@@ -1,0 +1,92 @@
+// Command ipim-asm assembles and disassembles SIMB programs (paper
+// Table I) and prints the ISA reference.
+//
+// Usage:
+//
+//	ipim-asm -table                 # print the SIMB ISA (Table I)
+//	ipim-asm -a prog.simb           # assemble to binary on stdout
+//	ipim-asm -d prog.bin            # disassemble binary to text
+//	ipim-asm -roundtrip prog.simb   # assemble + disassemble (canonical form)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ipim/internal/isa"
+)
+
+// table1 mirrors the paper's Table I rows: category, mnemonics,
+// description.
+var table1 = []struct{ category, insns, desc string }{
+	{"computation", "comp", "SIMD computation (vv/vs modes), FP/INT arithmetic and logic over 4x32b lanes"},
+	{"index calculation", "calc_arf", "INT address calculation in the per-PE address register file"},
+	{"intra-vault data movement", "st_rf / ld_rf", "store(/load) data to(/from) the bank from(/to) the DataRF"},
+	{"", "st_pgsm / ld_pgsm", "store(/load) data to(/from) the bank from(/to) the PGSM"},
+	{"", "rd_pgsm / wr_pgsm", "read(/write) data from(/to) the PGSM to(/from) the DataRF"},
+	{"", "rd_vsm / wr_vsm", "read(/write) data from(/to) the VSM to(/from) the DataRF"},
+	{"", "mov_drf / mov_arf", "move data between the DataRF and the AddrRF (lane select)"},
+	{"", "seti_vsm", "set immediate value to a VSM location"},
+	{"", "reset", "reset a DataRF entry to zero"},
+	{"inter-vault data movement", "req", "request data from a remote vault into the local VSM"},
+	{"control flow", "jump / cjump", "(conditional) jump via a CtrlRF-held target"},
+	{"", "calc_crf", "control flow INT calculation"},
+	{"", "seti_crf", "set immediate (or label) to a CtrlRF location"},
+	{"synchronization", "sync", "inter-vault barrier with phase id (master-slave protocol)"},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ipim-asm: ")
+	showTable := flag.Bool("table", false, "print the SIMB ISA reference (paper Table I)")
+	asm := flag.String("a", "", "assemble text file to binary on stdout")
+	dis := flag.String("d", "", "disassemble binary file to text on stdout")
+	rt := flag.String("roundtrip", "", "assemble then disassemble (canonical form)")
+	flag.Parse()
+
+	switch {
+	case *showTable:
+		fmt.Println("SIMB (Single-Instruction-Multiple-Bank) ISA — paper Table I")
+		fmt.Println()
+		for _, r := range table1 {
+			fmt.Printf("%-28s %-20s %s\n", r.category, r.insns, r.desc)
+		}
+	case *asm != "":
+		src, err := os.ReadFile(*asm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := isa.Assemble(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := os.Stdout.Write(isa.EncodeProgram(p)); err != nil {
+			log.Fatal(err)
+		}
+	case *dis != "":
+		data, err := os.ReadFile(*dis)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := isa.DecodeProgram(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(isa.Disassemble(p))
+	case *rt != "":
+		src, err := os.ReadFile(*rt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := isa.Assemble(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(isa.Disassemble(p))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,53 @@
+// Command ipim-bench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	ipim-bench                 # run everything at full bench sizes
+//	ipim-bench -exp fig6       # one experiment
+//	ipim-bench -div 4          # shrink images 4x for a quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ipim/internal/exp"
+)
+
+func main() {
+	expName := flag.String("exp", "all", "experiment to run: all, "+strings.Join(exp.ExperimentNames(), ", "))
+	div := flag.Int("div", 1, "divide bench image sizes by this factor (faster, same shapes)")
+	flag.Parse()
+
+	c := exp.NewContext()
+	c.SizeDiv = *div
+
+	run := func(name string) error {
+		t0 := time.Now()
+		tb, err := c.ByName(name)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tb.Format())
+		fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+
+	if *expName == "all" {
+		for _, name := range exp.ExperimentNames() {
+			if err := run(name); err != nil {
+				fmt.Fprintln(os.Stderr, "ipim-bench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(*expName); err != nil {
+		fmt.Fprintln(os.Stderr, "ipim-bench:", err)
+		os.Exit(1)
+	}
+}

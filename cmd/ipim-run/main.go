@@ -1,0 +1,181 @@
+// Command ipim-run executes one Table II workload end-to-end on the
+// simulated machine, verifies it against the host golden model, and
+// prints the run statistics.
+//
+// Usage:
+//
+//	ipim-run -workload GaussianBlur
+//	ipim-run -workload Histogram -W 512 -H 256 -opts baseline1
+//	ipim-run -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ipim"
+	"ipim/internal/isa"
+	"ipim/internal/pixel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ipim-run: ")
+	name := flag.String("workload", "GaussianBlur", "Table II workload name")
+	width := flag.Int("W", 0, "input width (0 = workload bench default)")
+	height := flag.Int("H", 0, "input height (0 = workload bench default)")
+	optName := flag.String("opts", "opt", "compiler config: opt, baseline1..baseline4")
+	list := flag.Bool("list", false, "list workloads and exit")
+	seed := flag.Uint64("seed", 1, "synthetic image seed")
+	inFile := flag.String("in", "", "input PGM file (overrides -W/-H/-seed)")
+	outFile := flag.String("out", "", "write the result as a PGM file")
+	flag.Parse()
+
+	if *list {
+		for _, wl := range ipim.Workloads() {
+			kind := "single-stage"
+			if wl.MultiStage {
+				kind = "multi-stage"
+			}
+			fmt.Printf("%-16s %-12s %s\n", wl.Name, kind, wl.Description)
+		}
+		return
+	}
+
+	opts, err := optionsByName(*optName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := ipim.WorkloadByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, h := wl.BenchW, wl.BenchH
+	if *width > 0 {
+		w = *width
+	}
+	if *height > 0 {
+		h = *height
+	}
+
+	cfg := ipim.OneVaultConfig()
+	m, err := ipim.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var img *ipim.Image
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		img, err = ipim.ReadPGM(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, h = img.W, img.H
+	} else {
+		img = ipim.Synth(w, h, *seed)
+	}
+	pipe := wl.Build().Pipe
+	art, err := ipim.Compile(&cfg, pipe, w, h, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %dx%d (%s): %d SIMB instructions, %d spills\n",
+		wl.Name, w, h, opts.Name(), len(art.Prog.Ins), art.Spills)
+
+	var stats ipim.Stats
+	var result *ipim.Image
+	verified := false
+	if pipe.Histogram {
+		bins, s, err := ipim.RunHistogram(m, art, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats = s
+		want, err := pipe.ReferenceHistogram(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verified = true
+		for i := range want {
+			if bins[i] != want[i] {
+				verified = false
+			}
+		}
+	} else {
+		out, s, err := ipim.Run(m, art, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats = s
+		result = out
+		want, err := pipe.Reference(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verified = pixel.MaxAbsDiff(out, want) == 0
+	}
+	if *outFile != "" && result != nil {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ipim.WritePGM(f, result); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%dx%d)\n", *outFile, result.W, result.H)
+	}
+	if !verified {
+		fmt.Println("VERIFICATION FAILED: output differs from the host golden model")
+		os.Exit(1)
+	}
+	fmt.Println("verified against host golden model")
+	fmt.Printf("cycles: %d  issued: %d  IPC: %.3f\n", stats.Cycles, stats.Issued, stats.IPC())
+	fmt.Println("instruction mix:")
+	for cat := isa.Category(0); cat < isa.NumCategories; cat++ {
+		fmt.Printf("  %-14s %6.2f%%\n", cat, stats.CategoryFraction(cat)*100)
+	}
+	fmt.Printf("DRAM: %d reads, %d writes, %d activates, %.1f%% row hits\n",
+		stats.DRAM.Reads, stats.DRAM.Writes, stats.DRAM.Activates,
+		100*float64(stats.DRAM.RowHits)/float64(max64(1, stats.DRAM.RowHits+stats.DRAM.RowMisses)))
+	b := ipim.EnergyOf(&stats, cfg.TotalPEs(), cfg.TotalVaults())
+	fmt.Printf("energy: %.4g mJ (PIM dies %.1f%%)\n", b.Total()*1e3, b.PIMDieFraction()*100)
+
+	g, err := ipim.GPUBaseline(pipe, w, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := ipim.DefaultConfig()
+	machineTime := float64(stats.Cycles) * 1e-9 / float64(full.TotalVaults())
+	fmt.Printf("full-machine speedup over the V100 baseline: %.2fx; energy saving %.1f%%\n",
+		g.TimeSec/machineTime, (1-b.Total()/g.EnergyJ)*100)
+}
+
+func optionsByName(name string) (ipim.Options, error) {
+	switch name {
+	case "opt":
+		return ipim.Opt, nil
+	case "baseline1":
+		return ipim.Baseline1, nil
+	case "baseline2":
+		return ipim.Baseline2, nil
+	case "baseline3":
+		return ipim.Baseline3, nil
+	case "baseline4":
+		return ipim.Baseline4, nil
+	}
+	return ipim.Options{}, fmt.Errorf("unknown compiler config %q", name)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+// Command ipim-trace runs a workload with instruction tracing enabled
+// and prints a stall analysis: where the in-order control core loses
+// cycles and to what (data hazards, DRAM queue pressure, barriers).
+//
+// Usage:
+//
+//	ipim-trace -workload GaussianBlur
+//	ipim-trace -workload Shift -opts baseline1 -top 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ipim"
+	"ipim/internal/compiler"
+	"ipim/internal/cube"
+	"ipim/internal/vault"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ipim-trace: ")
+	name := flag.String("workload", "GaussianBlur", "Table II workload name")
+	optName := flag.String("opts", "opt", "compiler config: opt, baseline1..baseline4")
+	top := flag.Int("top", 12, "entries per ranking")
+	flag.Parse()
+
+	var opts ipim.Options
+	switch *optName {
+	case "opt":
+		opts = ipim.Opt
+	case "baseline1":
+		opts = ipim.Baseline1
+	case "baseline2":
+		opts = ipim.Baseline2
+	case "baseline3":
+		opts = ipim.Baseline3
+	case "baseline4":
+		opts = ipim.Baseline4
+	default:
+		log.Fatalf("unknown compiler config %q", *optName)
+	}
+
+	wl, err := ipim.WorkloadByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ipim.OneVaultConfig()
+	img := ipim.Synth(wl.BenchW, wl.BenchH, 5)
+	pipe := wl.Build().Pipe
+	art, err := ipim.Compile(&cfg, pipe, img.W, img.H, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cube.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := &vault.Tracer{}
+	m.Vault(0, 0).SetTracer(tr)
+	if err := compiler.LoadInput(m, art, img); err != nil {
+		log.Fatal(err)
+	}
+	stats, err := compiler.Execute(m, art)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%s): %d cycles, IPC %.3f\n\n", wl.Name, opts.Name(), stats.Cycles, stats.IPC())
+	fmt.Print(tr.Summary(art.Prog, *top))
+}

@@ -1,0 +1,71 @@
+// Blur pipeline study: the same Gaussian blur under different iPIM
+// schedules — with and without load_pgsm staging, and across tile sizes
+// — showing how the paper's schedule primitives trade DRAM traffic
+// against scratchpad usage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipim"
+	"ipim/internal/halide"
+	"ipim/internal/pixel"
+)
+
+func buildBlur(pgsm bool, tile int) *halide.Pipeline {
+	blurx := halide.NewFunc("blurx").Define(
+		halide.Mul(halide.Add(halide.Add(halide.In(0, 0), halide.In(1, 0)), halide.In(2, 0)),
+			halide.K(1.0/3)))
+	out := halide.NewFunc("blur").Define(
+		halide.Mul(halide.Add(halide.Add(blurx.At(0, 0), blurx.At(0, 1)), blurx.At(0, 2)),
+			halide.K(1.0/3)))
+	if pgsm {
+		out.LoadPGSM()
+	}
+	return halide.NewPipeline("blur", out).IPIMTile(tile, tile)
+}
+
+func main() {
+	cfg := ipim.OneVaultConfig()
+	img := ipim.Synth(512, 256, 7)
+	type variant struct {
+		name string
+		pipe *halide.Pipeline
+	}
+	variants := []variant{
+		{"tile 8x8 + load_pgsm", buildBlur(true, 8)},
+		{"tile 8x8, bank only", buildBlur(false, 8)},
+		{"tile 16x16 + load_pgsm", buildBlur(true, 16)},
+	}
+	fmt.Printf("%-24s %12s %10s %12s %12s %10s\n",
+		"schedule", "cycles", "IPC", "DRAM reads", "PGSM acc", "rowhit%")
+	var golden *pixel.Image
+	for _, v := range variants {
+		art, err := ipim.Compile(&cfg, v.pipe, img.W, img.H, ipim.Opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := ipim.NewMachine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, stats, err := ipim.Run(m, art, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if golden == nil {
+			golden, err = v.pipe.Reference(img)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if pixel.MaxAbsDiff(out, golden) != 0 {
+			log.Fatalf("%s: output diverged from reference", v.name)
+		}
+		fmt.Printf("%-24s %12d %10.2f %12d %12d %9.1f%%\n",
+			v.name, stats.Cycles, stats.IPC(), stats.DRAM.Reads, stats.PGSMAcc,
+			100*float64(stats.DRAM.RowHits)/float64(stats.DRAM.RowHits+stats.DRAM.RowMisses))
+	}
+	fmt.Println("\nall variants verified bit-exact against the host reference")
+}

@@ -1,0 +1,77 @@
+// Color pipeline: RGB images run as three independent planes — the way
+// the paper's grayscale-plane workloads extend to color. This example
+// tone-maps a synthetic color image with the LocalLaplacian-style
+// pipeline per plane and writes before/after PPMs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ipim"
+)
+
+func main() {
+	wl, err := ipim.WorkloadByName("GaussianBlur")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ipim.OneVaultConfig()
+
+	// Synthetic color input: three decorrelated planes.
+	w, h := 512, 256
+	planes := [3]*ipim.Image{
+		ipim.Synth(w, h, 101), ipim.Synth(w, h, 102), ipim.Synth(w, h, 103),
+	}
+	var out [3]*ipim.Image
+	var totalCycles int64
+	for i, plane := range planes {
+		pipe := wl.Build().Pipe // fresh pipeline per plane
+		art, err := ipim.Compile(&cfg, pipe, w, h, ipim.Opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := ipim.NewMachine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, stats, err := ipim.Run(m, art, plane)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out[i] = res
+		totalCycles += stats.Cycles
+	}
+
+	dir := os.TempDir()
+	writePPM := func(name string, p [3]*ipim.Image) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := ipim.WritePPM(f, p[0], p[1], p[2]); err != nil {
+			log.Fatal(err)
+		}
+		return path
+	}
+	in := writePPM("ipim-color-in.ppm", planes)
+	res := writePPM("ipim-color-out.ppm", out)
+	fmt.Printf("blurred a %dx%d RGB image as three planes in %d simulated cycles\n", w, h, totalCycles)
+	fmt.Printf("wrote %s and %s\n", in, res)
+
+	// Round-trip sanity: reread the output.
+	f, err := os.Open(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r2, _, _, err := ipim.ReadPPM(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("output PPM verified: %dx%d, corner value %.3f\n", r2.W, r2.H, r2.At(0, 0))
+}

@@ -1,0 +1,55 @@
+// Compiler optimization ablation (paper Fig. 12): run the same kernel
+// under the five backend configurations — min/max register allocation,
+// with/without instruction reordering and memory order enforcement —
+// and report the speedups over the naive baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipim"
+)
+
+func main() {
+	wl, err := ipim.WorkloadByName("GaussianBlur")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ipim.OneVaultConfig()
+	img := ipim.Synth(wl.BenchW, wl.BenchH, 3)
+
+	configs := []ipim.Options{
+		ipim.Baseline1, ipim.Baseline2, ipim.Baseline3, ipim.Baseline4, ipim.Opt,
+	}
+	var base int64
+	fmt.Printf("%-12s %-28s %12s %10s\n", "config", "(regalloc/reorder/memorder)", "cycles", "speedup")
+	for _, o := range configs {
+		pipe := wl.Build().Pipe
+		art, err := ipim.Compile(&cfg, pipe, img.W, img.H, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := ipim.NewMachine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, stats, err := ipim.Run(m, art, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = stats.Cycles
+		}
+		pol := "min"
+		if o.RegAllocMax {
+			pol = "max"
+		}
+		fmt.Printf("%-12s %-28s %12d %9.2fx\n",
+			o.Name(),
+			fmt.Sprintf("%s / %v / %v", pol, o.Reorder, o.MemOrder),
+			stats.Cycles,
+			float64(base)/float64(stats.Cycles))
+	}
+	fmt.Println("\npaper: the combined optimizations deliver 3.19x over baseline1 on average")
+}

@@ -1,0 +1,3 @@
+module ipim
+
+go 1.22

@@ -1,0 +1,103 @@
+package compiler
+
+import (
+	"fmt"
+
+	"ipim/internal/halide"
+	"ipim/internal/isa"
+	"ipim/internal/sim"
+)
+
+// Machineish is the execution surface Execute needs (satisfied by
+// *cube.Machine; an interface avoids an import cycle in tests).
+type Machineish interface {
+	RunSame(p *isa.Program) (sim.Stats, error)
+	Run(programs map[[2]int]*isa.Program) (sim.Stats, error)
+}
+
+type simStats = sim.Stats
+
+// Artifact is a compiled pipeline: the executable program (identical
+// for every vault — SPMD over the tile distribution) plus the plan the
+// host loader uses to place data.
+type Artifact struct {
+	Plan *Plan
+	Prog *isa.Program
+	// LeaderProg, when non-nil, replaces Prog on vault (0,0): the
+	// leader variant carries the cross-vault reduction phase of
+	// multi-vault histogram pipelines (req-based, paper Sec. IV-D).
+	LeaderProg *isa.Program
+	Opts       Options
+	Spills     int
+}
+
+// Compile maps a pipeline onto the machine configuration for a given
+// input image size, applying the selected backend optimizations.
+func Compile(cfg *sim.Config, pipe *halide.Pipeline, imgW, imgH int, opts Options) (*Artifact, error) {
+	plan, err := NewPlan(cfg, pipe, imgW, imgH)
+	if err != nil {
+		return nil, err
+	}
+	finish := func(mod *module) (*isa.Program, int, error) {
+		spills, err := Allocate(mod, plan, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		Reorder(mod, cfg, opts)
+		prog, err := mod.emit()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := prog.Validate(cfg.DataRFEntries, cfg.AddrRFEntries, cfg.CtrlRFEntries); err != nil {
+			return nil, 0, fmt.Errorf("compiler: generated program invalid: %w", err)
+		}
+		return prog, spills, nil
+	}
+	var mod *module
+	if pipe.Histogram {
+		mod, err = lowerHistogram(plan)
+	} else {
+		mod, err = Lower(plan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	prog, spills, err := finish(mod)
+	if err != nil {
+		return nil, err
+	}
+	art := &Artifact{Plan: plan, Prog: prog, Opts: opts, Spills: spills}
+	if pipe.Histogram && cfg.TotalVaults() > 1 {
+		lmod, err := lowerHistogramVariant(plan, true)
+		if err != nil {
+			return nil, err
+		}
+		if art.LeaderProg, _, err = finish(lmod); err != nil {
+			return nil, err
+		}
+	}
+	return art, nil
+}
+
+// Execute runs a compiled artifact on the machine: the base program on
+// every vault, with the leader variant (when present) on vault (0,0).
+func Execute(m Machineish, art *Artifact) (simStats, error) {
+	if art.LeaderProg == nil {
+		return m.RunSame(art.Prog)
+	}
+	progs := map[[2]int]*isa.Program{}
+	for c := 0; c < art.Plan.Cfg.Cubes; c++ {
+		for v := 0; v < art.Plan.Cfg.VaultsPerCube; v++ {
+			progs[[2]int{c, v}] = art.Prog
+		}
+	}
+	progs[[2]int{0, 0}] = art.LeaderProg
+	return m.Run(progs)
+}
+
+// StaticCounts returns the static instruction mix of the artifact
+// (used by analysis tools; the dynamic Fig. 11 mix comes from sim
+// stats).
+func (a *Artifact) StaticCounts() [isa.NumCategories]int {
+	return a.Prog.CountByCategory()
+}

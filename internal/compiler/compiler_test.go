@@ -1,0 +1,369 @@
+package compiler
+
+import (
+	"testing"
+
+	"ipim/internal/cube"
+	"ipim/internal/halide"
+	"ipim/internal/isa"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+)
+
+// Pipelines under test.
+
+func brightenPipe() *halide.Pipeline {
+	out := halide.NewFunc("brighten").Define(halide.Mul(halide.K(1.5), halide.In(0, 0)))
+	return halide.NewPipeline("brighten", out)
+}
+
+func blurPipe(pgsm bool) *halide.Pipeline {
+	blurx := halide.NewFunc("blurx").Define(
+		halide.Mul(halide.Add(halide.Add(halide.In(-1, 0), halide.In(0, 0)), halide.In(1, 0)), halide.K(1.0/3)))
+	out := halide.NewFunc("blur").Define(
+		halide.Mul(halide.Add(halide.Add(blurx.At(0, -1), blurx.At(0, 0)), blurx.At(0, 1)), halide.K(1.0/3)))
+	if pgsm {
+		out.LoadPGSM()
+	}
+	return halide.NewPipeline("blur", out)
+}
+
+func twoStagePipe() *halide.Pipeline {
+	s1 := halide.NewFunc("s1").Define(
+		halide.Add(halide.In(-1, 0), halide.In(1, 0))).ComputeRoot().LoadPGSM()
+	out := halide.NewFunc("s2").Define(
+		halide.Mul(halide.Add(s1.At(0, -1), s1.At(0, 1)), halide.K(0.25))).LoadPGSM()
+	return halide.NewPipeline("twostage", out)
+}
+
+func downsamplePipe() *halide.Pipeline {
+	out := halide.NewFunc("down").Define(
+		halide.Mul(halide.Add(
+			halide.Add(halide.InC(halide.CScale(2, -1, 1), halide.C(0)),
+				halide.Mul(halide.K(2), halide.InC(halide.CScale(2, 0, 1), halide.C(0)))),
+			halide.InC(halide.CScale(2, 1, 1), halide.C(0))), halide.K(0.25))).LoadPGSM()
+	return halide.NewPipeline("down", out).OutScale(1, 2)
+}
+
+func upsamplePipe() *halide.Pipeline {
+	out := halide.NewFunc("up").Define(
+		halide.Mul(halide.Add(halide.InC(halide.CScale(1, 0, 2), halide.C(0)),
+			halide.InC(halide.CScale(1, 1, 2), halide.C(0))), halide.K(0.5))).LoadPGSM()
+	return halide.NewPipeline("up", out).OutScale(2, 1)
+}
+
+func selectPipe() *halide.Pipeline {
+	out := halide.NewFunc("thresh").Define(
+		halide.Sel(halide.LT(halide.In(0, 0), halide.K(0.5)),
+			halide.Mul(halide.In(0, 0), halide.K(2)),
+			halide.K(1)))
+	return halide.NewPipeline("thresh", out)
+}
+
+// runPipe compiles and executes a pipeline on a fresh tiny machine and
+// compares the simulated output with the halide reference. It returns
+// the run stats.
+func runPipe(t *testing.T, cfg sim.Config, pipe *halide.Pipeline, img *pixel.Image, opts Options) sim.Stats {
+	t.Helper()
+	art, err := Compile(&cfg, pipe, img.W, img.H, opts)
+	if err != nil {
+		t.Fatalf("compile %s: %v", pipe.Name, err)
+	}
+	m, err := cube.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadInput(m, art, img); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Execute(m, art)
+	if err != nil {
+		t.Fatalf("run %s: %v", pipe.Name, err)
+	}
+	got, err := ReadOutput(m, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pipe.Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pixel.MaxAbsDiff(got, want); d != 0 {
+		t.Fatalf("%s: simulated output differs from reference by %g", pipe.Name, d)
+	}
+	return stats
+}
+
+func TestEndToEndPipelines(t *testing.T) {
+	cfg := sim.TestTiny() // 2 vaults x 2 PGs x 2 PEs = 8 PEs
+	img := pixel.Synth(32, 16, 11)
+	cases := []*halide.Pipeline{
+		brightenPipe(),
+		blurPipe(true),
+		blurPipe(false),
+		twoStagePipe(),
+		selectPipe(),
+	}
+	for _, p := range cases {
+		t.Run(p.Name, func(t *testing.T) {
+			stats := runPipe(t, cfg, p, img, Opt)
+			if stats.Cycles == 0 || stats.Issued == 0 {
+				t.Fatal("no cycles simulated")
+			}
+		})
+	}
+}
+
+func TestEndToEndResampling(t *testing.T) {
+	cfg := sim.TestTiny()
+	// Downsample: output 16x8 = 2x1 tiles of 8x8... need 8 tiles; use
+	// output 32x16 => input 64x32.
+	t.Run("down", func(t *testing.T) {
+		runPipe(t, cfg, downsamplePipe(), pixel.Synth(64, 32, 3), Opt)
+	})
+	t.Run("up", func(t *testing.T) {
+		runPipe(t, cfg, upsamplePipe(), pixel.Synth(16, 8, 4), Opt)
+	})
+}
+
+func TestAllCompilerOptionsAgree(t *testing.T) {
+	cfg := sim.TestTiny()
+	img := pixel.Synth(32, 16, 5)
+	pipe := blurPipe(true)
+	var cycles []int64
+	for _, opts := range []Options{Baseline1, Baseline2, Baseline3, Baseline4, Opt} {
+		stats := runPipe(t, cfg, pipe, img, opts)
+		cycles = append(cycles, stats.Cycles)
+	}
+	// opt must beat the naive baseline (paper: 3.19x on average).
+	if cycles[4] >= cycles[0] {
+		t.Errorf("opt (%d cycles) not faster than baseline1 (%d)", cycles[4], cycles[0])
+	}
+}
+
+func TestSpillingCorrectness(t *testing.T) {
+	cfg := sim.TestTiny()
+	cfg.DataRFEntries = 12 // force pressure (min legal is 8)
+	img := pixel.Synth(32, 16, 6)
+	pipe := blurPipe(true)
+	art, err := Compile(&cfg, pipe, img.W, img.H, Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Spills == 0 {
+		t.Fatal("expected spills with a 12-entry DataRF")
+	}
+	runPipe(t, cfg, pipe, img, Opt)
+}
+
+func TestRFSensitivityDirection(t *testing.T) {
+	// Fewer registers must not be faster (Fig. 10a trend).
+	img := pixel.Synth(32, 16, 7)
+	pipe := blurPipe(true)
+	small := sim.TestTiny()
+	small.DataRFEntries = 12
+	big := sim.TestTiny()
+	big.DataRFEntries = 128
+	cSmall := runPipe(t, small, pipe, img, Opt).Cycles
+	cBig := runPipe(t, big, pipe, img, Opt).Cycles
+	if cSmall < cBig {
+		t.Errorf("12-entry DataRF (%d cycles) faster than 128-entry (%d)", cSmall, cBig)
+	}
+}
+
+func TestHistogramEndToEnd(t *testing.T) {
+	cfg := sim.TestTiny()
+	img := pixel.Synth(32, 16, 8)
+	out := halide.NewFunc("hist").Define(halide.In(0, 0))
+	pipe := halide.NewPipeline("histogram", out)
+	pipe.Histogram = true
+	pipe.Bins = 64
+	art, err := Compile(&cfg, pipe, img.W, img.H, Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cube.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadInput(m, art, img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(m, art); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHistogram(m, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pipe.ReferenceHistogram(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int32
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d = %d, want %d", i, got[i], want[i])
+		}
+		total += got[i]
+	}
+	if total != int32(img.W*img.H) {
+		t.Fatalf("histogram total %d != pixel count %d", total, img.W*img.H)
+	}
+}
+
+func TestPlanBlurLayout(t *testing.T) {
+	cfg := sim.TestTiny()
+	pipe := blurPipe(true)
+	plan, err := NewPlan(&cfg, pipe, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TilesPerPE != 1 || plan.TilesX != 4 || plan.TilesY != 2 {
+		t.Fatalf("tiling = %d x %d, %d per PE", plan.TilesX, plan.TilesY, plan.TilesPerPE)
+	}
+	// Input needs a 1-pixel halo, X padded to a multiple of 4.
+	in := plan.Input
+	if in.Y != (halide.Interval{Lo: -1, Hi: 8}) {
+		t.Fatalf("input Y region %+v", in.Y)
+	}
+	if in.X.Lo != -1 || in.X.Len()%4 != 0 {
+		t.Fatalf("input X region %+v", in.X)
+	}
+	// One stage; its output stores the bare (padded) tile.
+	if len(plan.Stages) != 1 {
+		t.Fatalf("stages = %d", len(plan.Stages))
+	}
+	out := plan.Stages[0].Out
+	if out.Y != (halide.Interval{Lo: 0, Hi: 7}) || out.X.Lo != 0 {
+		t.Fatalf("output region %+v %+v", out.X, out.Y)
+	}
+	// PGSM staging accepted for the blur working set.
+	if !plan.Stages[0].Uses[0].Staged {
+		t.Fatal("blur input not staged despite load_pgsm")
+	}
+	// Addresses: input slot covers the region.
+	if _, err := in.Addr(-1, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Addr(in.X.Hi+1, 0); err == nil {
+		t.Fatal("out-of-region address accepted")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	cfg := sim.TestTiny()
+	if _, err := NewPlan(&cfg, blurPipe(false), 30, 16); err == nil {
+		t.Error("non-divisible image accepted")
+	}
+	p := blurPipe(false).IPIMTile(6, 8)
+	if _, err := NewPlan(&cfg, p, 48, 16); err == nil {
+		t.Error("tile width not multiple of 4 accepted")
+	}
+	// Tiles not divisible across PEs: 32x16 with 16x16 tiles = 2 tiles
+	// over 8 PEs.
+	q := blurPipe(false).IPIMTile(16, 16)
+	if _, err := NewPlan(&cfg, q, 32, 16); err == nil {
+		t.Error("tile count < PE count accepted")
+	}
+}
+
+func TestPGSMFallbackWhenTooSmall(t *testing.T) {
+	cfg := sim.TestTiny()
+	cfg.PGSMBytes = 256 // partition = 128 B, far below the blur region
+	pipe := blurPipe(true)
+	plan, err := NewPlan(&cfg, pipe, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages[0].Uses[0].Staged {
+		t.Fatal("staging accepted despite tiny PGSM")
+	}
+	// End-to-end still correct via the bank fallback.
+	runPipe(t, cfg, pipe, pixel.Synth(32, 16, 12), Opt)
+}
+
+func TestPGSMSensitivityDirection(t *testing.T) {
+	// Smaller PGSM forces the bank fallback: DRAM traffic must rise
+	// substantially (the stencil re-reads every input vector from the
+	// bank instead of the scratchpad), and cycles must not improve
+	// beyond small-scale noise (Fig. 10b direction).
+	img := pixel.Synth(32, 16, 13)
+	pipe := blurPipe(true)
+	small := sim.TestTiny()
+	small.PGSMBytes = 256
+	big := sim.TestTiny()
+	sSmall := runPipe(t, small, pipe, img, Opt)
+	sBig := runPipe(t, big, pipe, img, Opt)
+	if sSmall.DRAM.Reads < 2*sBig.DRAM.Reads {
+		t.Errorf("bank fallback reads = %d, staged reads = %d: staging did not cut DRAM traffic",
+			sSmall.DRAM.Reads, sBig.DRAM.Reads)
+	}
+	if float64(sSmall.Cycles) < 0.9*float64(sBig.Cycles) {
+		t.Errorf("256B PGSM (%d cycles) much faster than 8KB (%d)", sSmall.Cycles, sBig.Cycles)
+	}
+}
+
+func TestOptionsNames(t *testing.T) {
+	names := map[string]Options{
+		"opt": Opt, "baseline1": Baseline1, "baseline2": Baseline2,
+		"baseline3": Baseline3, "baseline4": Baseline4,
+	}
+	for want, o := range names {
+		if o.Name() != want {
+			t.Errorf("Name() = %q, want %q", o.Name(), want)
+		}
+	}
+}
+
+// Property: reordering emits a permutation of the block that respects
+// every dependency edge of the original order.
+func TestReorderPreservesDependencies(t *testing.T) {
+	cfg := sim.TestTiny()
+	pipe := blurPipe(true)
+	plan, err := NewPlan(&cfg, pipe, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Lower(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Allocate(mod, plan, Opt); err != nil {
+		t.Fatal(err)
+	}
+	for bi, b := range mod.blocks {
+		if !b.reorderable || len(b.ins) < 2 {
+			continue
+		}
+		// Tag each instruction with its original index through the
+		// Phase field (unused by every opcode except sync, which never
+		// appears in reorderable blocks).
+		for i := range b.ins {
+			if b.ins[i].Op == isa.OpSync {
+				t.Fatalf("block %d: sync in reorderable block", bi)
+			}
+			b.ins[i].Phase = i
+		}
+		edges := DepEdgesForTest(&cfg, b, true)
+		g := buildDeps(&cfg, b, true)
+		schedule(&cfg, b, g)
+		newPos := make([]int, len(b.ins))
+		seen := make([]bool, len(b.ins))
+		for pos := range b.ins {
+			orig := b.ins[pos].Phase
+			if orig < 0 || orig >= len(b.ins) || seen[orig] {
+				t.Fatalf("block %d: not a permutation (tag %d)", bi, orig)
+			}
+			seen[orig] = true
+			newPos[orig] = pos
+		}
+		for i, succs := range edges {
+			for _, j := range succs {
+				if newPos[i] >= newPos[j] {
+					t.Fatalf("block %d: dependency %d->%d violated (%d >= %d)", bi, i, j, newPos[i], newPos[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package compiler
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ipim/internal/isa"
+)
+
+// Halo exchange (DESIGN.md §2). Under ClampedStages semantics each
+// stage computes only its core tile; the halo cells its consumers need
+// are then filled from neighbor tiles:
+//
+//   - Vertical halo rows come from the same PE's own bank: with
+//     TilesX % N == 0 the tiles directly above/below a PE's tile belong
+//     to the same PE at a different loop slot, so whole rows transfer
+//     with local vector loads.
+//   - Horizontal and corner halo cells come from neighbor PEs through
+//     the VSM: during the tile loop every PE publishes its core's left
+//     and right column strips to a tile-indexed VSM layout; after a
+//     barrier, each PE computes the clamped source coordinates of every
+//     halo cell arithmetically (pure calc_arf sequences — no per-PE
+//     control flow, preserving SIMB lock-step) and gathers the cells
+//     with indirect rd_vsm.
+//
+// Boundary semantics match the clamped-stage reference: absolute
+// coordinates clamp to the producer's domain before the source tile is
+// resolved.
+
+// log2 returns log2(v) for a power of two.
+func log2(v int) int64 { return int64(bits.TrailingZeros(uint(v))) }
+
+// stripIndexConst is the compressed column index adjustment: a source
+// column lx' maps to strip index lx' (left strip) or lx'-(coreW-2H)
+// (right strip).
+func stripIndexAdjust(b *BufPlan) int64 { return int64(b.CoreW - 2*b.StripH) }
+
+// exchangeMasks are the static SIMB masks the dual-path exchange uses:
+// PG-boundary PEs (first/last of each process group) must cross the
+// VSM; interior PEs reach their horizontal neighbor through the PGSM.
+type exchangeMasks struct {
+	left, right       uint64 // peID == 0 / peID == PEsPerPG-1
+	intLeft, intRight uint64 // complements within the vault
+}
+
+func (k *kern) masks() exchangeMasks {
+	per := k.plan.Cfg.PEsPerPG
+	n := k.plan.Cfg.PEsPerVault()
+	var m exchangeMasks
+	for i := 0; i < n; i++ {
+		if i%per == 0 {
+			m.left |= 1 << uint(i)
+		}
+		if i%per == per-1 {
+			m.right |= 1 << uint(i)
+		}
+	}
+	all := isa.MaskAll(n)
+	m.intLeft = all &^ m.left
+	m.intRight = all &^ m.right
+	return m
+}
+
+// vertHaloDepth is the vertical halo depth of a buffer (corner-source
+// rows of the published strips).
+func vertHaloDepth(b *BufPlan) int {
+	h := 0
+	if -b.NeedY.Lo > h {
+		h = -b.NeedY.Lo
+	}
+	if d := b.NeedY.Hi - (b.CoreH - 1); d > h {
+		h = d
+	}
+	return h
+}
+
+// emitPublish appends the strip publication to the current tile-loop
+// body: every core cell in the left/right StripH columns goes to this
+// tile's strip slot. With ViaPGSM, strips land in the PE's PGSM
+// partition; the VSM receives only what is read across PG boundaries —
+// boundary PEs' full strips plus the corner-source rows of every PE.
+// Without ViaPGSM everything goes to the VSM.
+func (k *kern) emitPublish(sp *StagePlan) {
+	b := sp.Out
+	if b.StripH == 0 {
+		return
+	}
+	vsmTag := memTag{bank: -1, pgsm: -1, vsm: k.bufTag(b)}
+	pgsmTag := memTag{bank: -1, pgsm: 1<<19 + k.bufTag(b), vsm: -1}
+	bankTag := memTag{bank: k.bufTag(b), pgsm: -1, vsm: -1}
+	m := k.masks()
+	hy := vertHaloDepth(b)
+	cols := stripColumns(b)
+	for _, c := range cols {
+		// The side's boundary mask (who must publish this strip to the
+		// VSM when the PGSM fast path is on).
+		bndMask := m.left
+		if c.sIdx >= b.StripH {
+			bndMask = m.right
+		}
+		for ly := 0; ly < b.CoreH; ly++ {
+			bankOff, err := b.Addr(c.lx, ly)
+			if err != nil {
+				panic(fmt.Sprintf("compiler: publish cell outside stored region: %v", err))
+			}
+			off := int64((ly*2*b.StripH + c.sIdx) * 4)
+			aB := k.addA(k.baseReg[b], int64(bankOff))
+			d := k.newD()
+			ld := isa.New(isa.OpLdRF)
+			ld.Dst = d
+			ld.Addr, ld.Indirect = uint32(aB), true
+			ld.VecMask = 1
+			ld.SimbMask = k.simb
+			k.emitTagged(ld, bankTag)
+			if b.ViaPGSM {
+				aP := k.addA(k.exPgsmStrip, off)
+				wp := isa.New(isa.OpWrPGSM)
+				wp.Dst = d
+				wp.Addr, wp.Indirect = uint32(aP), true
+				wp.VecMask = 1
+				wp.SimbMask = k.simb
+				k.emitTagged(wp, pgsmTag)
+			}
+			vsmMask := k.simb
+			if b.ViaPGSM {
+				corner := ly < hy || ly >= b.CoreH-hy
+				if corner {
+					vsmMask = k.simb // corner-source rows: everyone
+				} else {
+					vsmMask = bndMask
+				}
+			}
+			if vsmMask == 0 {
+				continue
+			}
+			aV := k.addA(k.exVdst, off)
+			wr := isa.New(isa.OpWrVSM)
+			wr.Dst = d
+			wr.Addr, wr.Indirect = uint32(aV), true
+			wr.VecMask = 1
+			wr.SimbMask = vsmMask
+			k.emitTagged(wr, vsmTag)
+		}
+	}
+}
+
+type stripCol struct {
+	lx   int // source column within the core
+	sIdx int // compressed strip index
+}
+
+func stripColumns(b *BufPlan) []stripCol {
+	var cols []stripCol
+	for i := 0; i < b.StripH; i++ {
+		cols = append(cols, stripCol{lx: i, sIdx: i})
+		cols = append(cols, stripCol{lx: b.CoreW - b.StripH + i, sIdx: b.StripH + i})
+	}
+	return cols
+}
+
+// emitFill appends the post-barrier halo fill: a second slot loop that
+// writes every stored halo cell of the stage's output buffer.
+func (k *kern) emitFill(sp *StagePlan) error {
+	plan := k.plan
+	b := sp.Out
+	n := plan.NumPEs
+	m := plan.TilesX / n
+	haloTag := memTag{bank: 1<<18 + k.bufTag(b), pgsm: -1, vsm: -1}
+	coreTag := memTag{bank: k.bufTag(b), pgsm: -1, vsm: -1}
+	vsmTag := memTag{bank: -1, pgsm: -1, vsm: k.bufTag(b)}
+	domW := plan.OutW * b.SigmaX.Num / b.SigmaX.Den
+	domH := plan.OutH * b.SigmaY.Num / b.SigmaY.Den
+
+	// Publishes must land before any PE gathers.
+	k.startBlock(-1, false)
+	sync := isa.New(isa.OpSync)
+	sync.Phase = k.phase
+	k.phase++
+	k.emit(sync)
+
+	// Fill prologue: fresh buffer base, tile-coordinate accumulators.
+	k.startBlock(-1, true)
+	aOut := k.liA(b.Base)
+	aOne := k.liA(1)
+	g := k.calcRI(isa.IMul, isa.ARFPgID, int64(plan.Cfg.PEsPerPG))
+	aG := k.calcRR(isa.IAdd, g, isa.ARFPeID)
+	aTxBase := k.liA(0) // (k % m) * N
+	aTy := k.liA(0)     // k / m
+	// PGSM fast-path cursors: left/right neighbor partitions' strip
+	// regions, advanced by one strip slot per loop iteration.
+	aNbL, aNbR := -1, -1
+	msk := k.masks()
+	if b.ViaPGSM {
+		part := int64(plan.Cfg.PGSMBytes / plan.Cfg.PEsPerPG)
+		l := k.calcRI(isa.IAdd, isa.ARFPeID, -1)
+		k.calcRIInto(isa.IMul, l, l, part)
+		k.calcRIInto(isa.IAdd, l, l, int64(b.StripPGSMBase))
+		aNbL = l
+		r := k.calcRI(isa.IAdd, isa.ARFPeID, 1)
+		k.calcRIInto(isa.IMul, r, r, part)
+		k.calcRIInto(isa.IAdd, r, r, int64(b.StripPGSMBase))
+		aNbR = r
+	}
+
+	k.startBlock(-1, false)
+	loop := k.mod.newLabel()
+	seti := isa.New(isa.OpSetiCRF)
+	seti.Dst, seti.Imm = crfLoopCount, int64(plan.TilesPerPE)
+	k.emit(seti)
+	setl := isa.New(isa.OpSetiCRF)
+	setl.Dst, setl.ImmLabel = crfLoopTarget, loop
+	k.emit(setl)
+
+	k.startBlock(loop, true)
+	// Per-slot tile coordinates (producer domain): tx = (k%m)*N + g.
+	aTx := k.calcRR(isa.IAdd, aTxBase, aG)
+	aOx := k.calcRI(isa.Shl, aTx, log2(b.CoreW))
+	aOy := k.calcRI(isa.Shl, aTy, log2(b.CoreH))
+	aKm := k.calcRI(isa.Shr, aTxBase, log2(n)) // k % m
+
+	// Vertical halo rows (and any pad rows): own-bank vector copies.
+	for ly := b.NeedY.Lo; ly <= b.NeedY.Hi; ly++ {
+		if ly >= 0 && ly < b.CoreH {
+			continue
+		}
+		aYa := k.calcRI(isa.IAdd, aOy, int64(ly))
+		k.calcRIInto(isa.IMax, aYa, aYa, 0)
+		k.calcRIInto(isa.IMin, aYa, aYa, int64(domH-1))
+		aSy := k.calcRI(isa.Shr, aYa, log2(b.CoreH))
+		aLy := k.calcRI(isa.And, aYa, int64(b.CoreH-1))
+		aK2 := k.calcRI(isa.IMul, aSy, int64(m))
+		k.calcRRInto(isa.IAdd, aK2, aK2, aKm)
+		aRow := k.calcRI(isa.IMul, aK2, int64(b.Slot))
+		aLyOff := k.calcRI(isa.IMul, aLy, int64(b.Width()*4))
+		k.calcRRInto(isa.IAdd, aRow, aRow, aLyOff)
+		// Static per-chunk constant: Base + (lx-loX)*4 - loY*W*4.
+		for lx := 0; lx < b.CoreW; lx += 4 {
+			cc := int64(b.Base) + int64((lx-b.X.Lo)*4) - int64(b.Y.Lo*b.Width()*4)
+			aSrc := k.addA(aRow, cc)
+			d := k.newD()
+			ld := isa.New(isa.OpLdRF)
+			ld.Dst = d
+			ld.Addr, ld.Indirect = uint32(aSrc), true
+			ld.SimbMask = k.simb
+			k.emitTagged(ld, coreTag)
+			off, err := b.Addr(lx, ly)
+			if err != nil {
+				return err
+			}
+			aDst := k.addA(aOut, int64(off))
+			st := isa.New(isa.OpStRF)
+			st.Dst = d
+			st.Addr, st.Indirect = uint32(aDst), true
+			st.SimbMask = k.simb
+			k.emitTagged(st, haloTag)
+		}
+	}
+
+	// Horizontal and corner halo cells: VSM strip gathers. The clamped
+	// coordinate chains are factored per column and per row so each
+	// cell costs only the final address combine + gather + store.
+	// Per-column chain: strip-part byte offset aSx*SB + sIdx*4.
+	type colChain struct{ aColOff int }
+	cols := map[int]colChain{}
+	for lx := b.NeedX.Lo; lx <= b.NeedX.Hi; lx++ {
+		if lx >= 0 && lx < b.CoreW {
+			continue
+		}
+		aXa := k.calcRI(isa.IAdd, aOx, int64(lx))
+		k.calcRIInto(isa.IMax, aXa, aXa, 0)
+		k.calcRIInto(isa.IMin, aXa, aXa, int64(domW-1))
+		aSx := k.calcRI(isa.Shr, aXa, log2(b.CoreW))
+		aLx := k.calcRI(isa.And, aXa, int64(b.CoreW-1))
+		// Compressed strip index: aLx - (aLx >= H)*(coreW-2H).
+		aC := k.calcRI(isa.ICmpLT, aLx, int64(b.StripH))
+		aM := k.calcRR(isa.ISub, aOne, aC)
+		k.calcRIInto(isa.IMul, aM, aM, stripIndexAdjust(b))
+		aS := k.calcRR(isa.ISub, aLx, aM)
+		aColOff := k.calcRI(isa.IMul, aSx, int64(b.StripBytes()))
+		aSB := k.calcRI(isa.Shl, aS, 2)
+		k.calcRRInto(isa.IAdd, aColOff, aColOff, aSB)
+		cols[lx] = colChain{aColOff: aColOff}
+	}
+	for ly := b.NeedY.Lo; ly <= b.NeedY.Hi; ly++ {
+		if len(cols) == 0 {
+			break
+		}
+		// Per-row chain: tile-row byte offset aSy*TilesX*SB + aLy*2H*4.
+		aYa := k.calcRI(isa.IAdd, aOy, int64(ly))
+		k.calcRIInto(isa.IMax, aYa, aYa, 0)
+		k.calcRIInto(isa.IMin, aYa, aYa, int64(domH-1))
+		aSy := k.calcRI(isa.Shr, aYa, log2(b.CoreH))
+		aLy := k.calcRI(isa.And, aYa, int64(b.CoreH-1))
+		aRowOff := k.calcRI(isa.IMul, aSy, int64(plan.TilesX*b.StripBytes()))
+		aLyB := k.calcRI(isa.IMul, aLy, int64(2*b.StripH*4))
+		k.calcRRInto(isa.IAdd, aRowOff, aRowOff, aLyB)
+		for lx := b.NeedX.Lo; lx <= b.NeedX.Hi; lx++ {
+			cc, ok := cols[lx]
+			if !ok {
+				continue
+			}
+			off, err := b.Addr(lx, ly)
+			if err != nil {
+				return err
+			}
+			// PGSM fast path: pure-horizontal cells (unclamped row) of
+			// PG-interior PEs read the neighbor's scratchpad strip.
+			vsmMask := k.simb
+			if b.ViaPGSM && ly >= 0 && ly < b.CoreH {
+				aNb, intMask := aNbR, msk.intRight
+				sIdx := lx - b.CoreW // right halo: neighbor's left strip
+				if lx < 0 {
+					aNb, intMask = aNbL, msk.intLeft
+					sIdx = 2*b.StripH + lx // left halo: neighbor's right strip
+					vsmMask = msk.left
+				} else {
+					vsmMask = msk.right
+				}
+				if intMask != 0 {
+					cellOff := int64((ly*2*b.StripH + sIdx) * 4)
+					aP := k.addA(aNb, cellOff)
+					k.cur.ins[len(k.cur.ins)-1].SimbMask = intMask
+					dp := k.newD()
+					rp := isa.New(isa.OpRdPGSM)
+					rp.Dst = dp
+					rp.Addr, rp.Indirect = uint32(aP), true
+					rp.VecMask = 1
+					rp.SimbMask = intMask
+					k.emitTagged(rp, memTag{bank: -1, pgsm: 1<<19 + k.bufTag(b), vsm: -1})
+					aDp := k.addA(aOut, int64(off))
+					k.cur.ins[len(k.cur.ins)-1].SimbMask = intMask
+					sp2 := isa.New(isa.OpStRF)
+					sp2.Dst = dp
+					sp2.Addr, sp2.Indirect = uint32(aDp), true
+					sp2.VecMask = 1
+					sp2.SimbMask = intMask
+					k.emitTagged(sp2, haloTag)
+				}
+			}
+			if vsmMask != 0 {
+				aAddr := k.calcRR(isa.IAdd, aRowOff, cc.aColOff)
+				d := k.newD()
+				rd := isa.New(isa.OpRdVSM)
+				rd.Dst = d
+				rd.Addr, rd.Indirect = uint32(aAddr), true
+				rd.VecMask = 1
+				rd.SimbMask = vsmMask
+				k.emitTagged(rd, vsmTag)
+				aDst := k.addA(aOut, int64(off))
+				st := isa.New(isa.OpStRF)
+				st.Dst = d
+				st.Addr, st.Indirect = uint32(aDst), true
+				st.VecMask = 1
+				st.SimbMask = vsmMask
+				k.emitTagged(st, haloTag)
+			}
+		}
+	}
+
+	// Fill-loop control: advance the slot accumulators.
+	k.startBlock(-1, false)
+	k.bumpA(aOut, int64(b.Slot))
+	if aNbL >= 0 {
+		k.bumpA(aNbL, int64(b.StripBytes()))
+		k.bumpA(aNbR, int64(b.StripBytes()))
+	}
+	k.calcRIInto(isa.IAdd, aTxBase, aTxBase, int64(n))
+	aWrap := k.calcRI(isa.ICmpEQ, aTxBase, int64(m*n))
+	k.calcRRInto(isa.IAdd, aTy, aTy, aWrap)
+	aKeep := k.calcRR(isa.ISub, aOne, aWrap)
+	k.calcRRInto(isa.IMul, aTxBase, aTxBase, aKeep)
+	dec := isa.New(isa.OpCalcCRF)
+	dec.ALU, dec.Dst, dec.Src1 = isa.ISub, crfLoopCount, crfLoopCount
+	dec.HasImm, dec.Imm = true, 1
+	k.emit(dec)
+	cj := isa.New(isa.OpCJump)
+	cj.Cond, cj.Src1 = crfLoopCount, crfLoopTarget
+	k.emit(cj)
+	return nil
+}

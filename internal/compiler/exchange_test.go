@@ -1,0 +1,166 @@
+package compiler
+
+import (
+	"fmt"
+	"testing"
+
+	"ipim/internal/cube"
+	"ipim/internal/halide"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+)
+
+func chainPipe(n int) *halide.Pipeline {
+	var prev *halide.Func
+	for i := 0; i < n; i++ {
+		at := func(dx, dy int) halide.Expr {
+			if prev == nil {
+				return halide.In(dx, dy)
+			}
+			return prev.At(dx, dy)
+		}
+		var sum halide.Expr = at(-1, -1)
+		for _, d := range [][2]int{{0, -1}, {1, -1}, {-1, 0}, {0, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1}} {
+			sum = halide.Add(sum, at(d[0], d[1]))
+		}
+		prev = halide.NewFunc(fmt.Sprintf("c%d", i)).Define(halide.Mul(sum, halide.K(1.0/9))).ComputeRoot()
+	}
+	return halide.NewPipeline("chain", prev).ClampStages()
+}
+
+func TestExchangeTwoStageChain(t *testing.T) {
+	cfg := sim.TestTinyOneVault()
+	img := pixel.Synth(64, 16, 42)
+	pipe := chainPipe(2)
+	art, err := Compile(&cfg, pipe, img.W, img.H, Baseline1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !art.Plan.Exchange {
+		t.Fatal("exchange mode not selected")
+	}
+	m, err := cube.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadInput(m, art, img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(m, art); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOutput(m, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pipe.Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for y := 0; y < img.H; y++ {
+		row := ""
+		for x := 0; x < img.W; x++ {
+			if got.At(x, y) != want.At(x, y) {
+				row += "X"
+				bad++
+			} else {
+				row += "."
+			}
+		}
+		t.Logf("%2d %s", y, row)
+	}
+	if bad > 0 {
+		t.Fatalf("%d mismatched pixels", bad)
+	}
+}
+
+// TestExchangeDeepChainAllOptions runs a 4-stage clamped chain under
+// every compiler configuration: exchange correctness must not depend on
+// the backend optimizations.
+func TestExchangeDeepChainAllOptions(t *testing.T) {
+	cfg := sim.TestTinyOneVault()
+	img := pixel.Synth(32, 16, 43)
+	want, err := chainPipe(4).Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{Baseline1, Baseline2, Baseline3, Baseline4, Opt} {
+		pipe := chainPipe(4)
+		art, err := Compile(&cfg, pipe, img.W, img.H, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", opts.Name(), err)
+		}
+		m, err := cube.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := LoadInput(m, art, img); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Execute(m, art); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadOutput(m, art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := pixel.MaxAbsDiff(got, want); d != 0 {
+			t.Fatalf("%s: diverged by %g", opts.Name(), d)
+		}
+	}
+}
+
+// TestExchangeStripsPGSMFastPath verifies the PG-level strip fast path
+// engages when the partition has room, and that forcing it off (tiny
+// PGSM) falls back to the VSM with identical results.
+func TestExchangeStripsPGSMFastPath(t *testing.T) {
+	img := pixel.Synth(32, 16, 44)
+	want, err := chainPipe(3).Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pgsmBytes int) (*Plan, *pixel.Image) {
+		cfg := sim.TestTinyOneVault()
+		cfg.PGSMBytes = pgsmBytes
+		pipe := chainPipe(3)
+		art, err := Compile(&cfg, pipe, img.W, img.H, Opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := cube.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := LoadInput(m, art, img); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Execute(m, art); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ReadOutput(m, art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return art.Plan, out
+	}
+	bigPlan, bigOut := run(8 << 10)
+	viaPGSM := false
+	for _, sp := range bigPlan.Stages {
+		if sp.Out.ViaPGSM {
+			viaPGSM = true
+		}
+	}
+	if !viaPGSM {
+		t.Error("PGSM strip fast path never engaged with an 8KB PGSM")
+	}
+	smallPlan, smallOut := run(1 << 10)
+	for _, sp := range smallPlan.Stages {
+		if sp.Out.ViaPGSM && sp.Out.StripBytes()*smallPlan.TilesPerPE > 512 {
+			t.Error("strips accepted beyond the small partition")
+		}
+	}
+	if pixel.MaxAbsDiff(bigOut, want) != 0 || pixel.MaxAbsDiff(smallOut, want) != 0 {
+		t.Fatal("fast path and fallback disagree with the reference")
+	}
+}

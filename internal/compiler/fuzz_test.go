@@ -1,0 +1,156 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ipim/internal/cube"
+	"ipim/internal/halide"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+)
+
+// Random-pipeline property test: generate arbitrary (but well-formed)
+// pipelines — random expression trees over random stencil offsets,
+// random stage materialization, random load_pgsm schedules, random
+// compiler options — compile them, run them on the simulator, and
+// require bit-exact agreement with the reference interpreter. This is
+// the strongest end-to-end check in the suite: it exercises bound
+// inference, layout, lowering, register allocation (including spills on
+// small register files), reordering and memory-order enforcement
+// against arbitrary programs.
+
+type pipeGen struct {
+	r      *rand.Rand
+	funcs  []*halide.Func // materialized producers available for reads
+	nextID int
+}
+
+// expr generates a random expression of bounded depth reading the
+// input and previously materialized stages.
+func (g *pipeGen) expr(depth int) halide.Expr {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		// Leaf: constant or access.
+		if g.r.Intn(4) == 0 {
+			return halide.K(float32(g.r.Intn(8)) * 0.25)
+		}
+		dx, dy := g.r.Intn(5)-2, g.r.Intn(5)-2
+		if len(g.funcs) > 0 && g.r.Intn(2) == 0 {
+			f := g.funcs[g.r.Intn(len(g.funcs))]
+			return f.At(dx, dy)
+		}
+		return halide.In(dx, dy)
+	}
+	ops := []func(a, b halide.Expr) halide.Expr{
+		halide.Add, halide.Sub, halide.Mul, halide.Min, halide.Max,
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return halide.Sel(halide.LT(g.expr(depth-1), halide.K(0.5)),
+			g.expr(depth-1), g.expr(depth-1))
+	default:
+		op := ops[g.r.Intn(len(ops))]
+		return op(g.expr(depth-1), g.expr(depth-1))
+	}
+}
+
+// pipeline generates a random multi-stage pipeline. Clamped (exchange)
+// pipelines chain materialized stencil stages; unclamped ones inline
+// everything into a single kernel.
+func (g *pipeGen) pipeline(clamped bool) *halide.Pipeline {
+	stages := 1
+	if clamped {
+		stages = 1 + g.r.Intn(3)
+	}
+	for i := 0; i < stages; i++ {
+		e := g.expr(2 + g.r.Intn(2))
+		// Anchor terms guarantee a connected pipeline that reads its
+		// input: stage 0 always reads the input, and each later stage
+		// reads its predecessor.
+		if i == 0 {
+			e = halide.Add(e, halide.Mul(halide.K(0.125), halide.In(0, 0)))
+		} else {
+			prev := g.funcs[len(g.funcs)-1]
+			e = halide.Add(e, halide.Mul(halide.K(0.25), prev.At(0, 0)))
+		}
+		f := halide.NewFunc(fmt.Sprintf("fz%d", g.nextID)).Define(e)
+		g.nextID++
+		if i < stages-1 {
+			f.ComputeRoot()
+		}
+		if g.r.Intn(2) == 0 {
+			f.LoadPGSM()
+		}
+		g.funcs = append(g.funcs, f)
+	}
+	out := g.funcs[len(g.funcs)-1]
+	p := halide.NewPipeline(fmt.Sprintf("fuzz%d", g.nextID), out)
+	if clamped {
+		p.ClampStages()
+	}
+	return p
+}
+
+func runFuzzCase(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	clamped := r.Intn(2) == 0
+	g := &pipeGen{r: r}
+	pipe := g.pipeline(clamped)
+
+	cfg := sim.TestTiny()
+	if clamped {
+		cfg = sim.TestTinyOneVault()
+	}
+	// Occasionally shrink the register file to force spills, and vary
+	// the compiler options.
+	if r.Intn(3) == 0 {
+		cfg.DataRFEntries = 12 + r.Intn(20)
+	}
+	if r.Intn(4) == 0 {
+		cfg.PGSMBytes = 512 << uint(r.Intn(3))
+	}
+	allOpts := []Options{Opt, Baseline1, Baseline2, Baseline3, Baseline4}
+	opts := allOpts[r.Intn(len(allOpts))]
+
+	img := pixel.Synth(32, 16, uint64(seed)*7+1)
+	art, err := Compile(&cfg, pipe, img.W, img.H, opts)
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v", seed, err)
+	}
+	m, err := cube.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadInput(m, art, img); err != nil {
+		t.Fatalf("seed %d: load: %v", seed, err)
+	}
+	if _, err := Execute(m, art); err != nil {
+		t.Fatalf("seed %d: run: %v", seed, err)
+	}
+	got, err := ReadOutput(m, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pipe.Reference(img)
+	if err != nil {
+		t.Fatalf("seed %d: reference: %v", seed, err)
+	}
+	if d := pixel.MaxAbsDiff(got, want); d != 0 {
+		t.Fatalf("seed %d (clamped=%v, opts=%s, rf=%d, pgsm=%d): diff %g",
+			seed, clamped, opts.Name(), cfg.DataRFEntries, cfg.PGSMBytes, d)
+	}
+}
+
+func TestFuzzRandomPipelines(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runFuzzCase(t, seed)
+		})
+	}
+}

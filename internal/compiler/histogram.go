@@ -1,0 +1,378 @@
+package compiler
+
+import (
+	"fmt"
+	"math"
+
+	"ipim/internal/halide"
+	"ipim/internal/isa"
+	"ipim/internal/sim"
+)
+
+// Histogram is the paper's value-dependent Table II benchmark. The GPU
+// schedule struggles with it; on iPIM the schedule "converts it into a
+// reduction of parallel reduced partial histogram results"
+// (Sec. VII-B): every PE scatters into a private bank-resident
+// histogram, process groups merge the four partials through the PGSM,
+// PG leaders merge through the VSM, and the vault total lands in PE0
+// of PG0's bank. The host sums vault totals (negligible next to the
+// per-pixel scatter).
+
+// newHistogramPlan lays out the input tiles and the histogram buffers.
+func newHistogramPlan(cfg *sim.Config, pipe *halide.Pipeline, imgW, imgH int) (*Plan, error) {
+	if pipe.Bins <= 0 || pipe.Bins%4 != 0 {
+		return nil, fmt.Errorf("compiler: histogram bins %d must be a positive multiple of 4", pipe.Bins)
+	}
+	p := &Plan{
+		Cfg: cfg, Pipe: pipe,
+		ImgW: imgW, ImgH: imgH, OutW: imgW, OutH: imgH,
+		ByFunc: map[*halide.Func]*BufPlan{},
+		NumPEs: cfg.TotalPEs(),
+	}
+	tw, th := pipe.TileW, pipe.TileH
+	if tw%4 != 0 {
+		return nil, fmt.Errorf("compiler: tile width %d must be a multiple of 4", tw)
+	}
+	if imgW%tw != 0 || imgH%th != 0 {
+		return nil, fmt.Errorf("compiler: image %dx%d not divisible into %dx%d tiles", imgW, imgH, tw, th)
+	}
+	p.TilesX, p.TilesY = imgW/tw, imgH/th
+	tiles := p.TilesX * p.TilesY
+	if tiles%p.NumPEs != 0 {
+		return nil, fmt.Errorf("compiler: %d tiles not divisible across %d PEs", tiles, p.NumPEs)
+	}
+	p.TilesPerPE = tiles / p.NumPEs
+	p.ConstBase = 0
+	cursor := uint32(4096)
+	one := halide.Scale{Num: 1, Den: 1}
+	p.Input = &BufPlan{
+		Name:   "input",
+		SigmaX: one,
+		SigmaY: one,
+		X:      halide.Interval{Lo: 0, Hi: tw - 1},
+		Y:      halide.Interval{Lo: 0, Hi: th - 1},
+		Base:   cursor,
+	}
+	p.Input.Slot = uint32(align16(p.Input.Width() * th * 4))
+	cursor += p.Input.Slot * uint32(p.TilesPerPE)
+	histBytes := uint32(4 * pipe.Bins)
+	p.HistLocal = cursor
+	cursor += histBytes
+	p.HistPG = cursor
+	cursor += histBytes
+	p.HistFinal = cursor
+	cursor += histBytes
+	p.HistGlobal = cursor
+	cursor += histBytes
+	p.SpillBase = cursor
+	if int(cursor) > cfg.BankBytes {
+		return nil, fmt.Errorf("compiler: bank overflow in histogram plan (%d bytes)", cursor)
+	}
+	return p, nil
+}
+
+// lowerHistogram emits the three-level partial-histogram kernel.
+// When leader is set (and the machine has multiple vaults), a fourth
+// level follows: vault 0's leader PE pulls every other vault's total
+// through asynchronous req instructions (paper Sec. IV-D) and
+// assembles the machine-global histogram.
+func lowerHistogram(plan *Plan) (*module, error) {
+	return lowerHistogramVariant(plan, false)
+}
+
+func lowerHistogramVariant(plan *Plan, leader bool) (*module, error) {
+	mod, k, err := lowerHistogramBase(plan)
+	if err != nil {
+		return nil, err
+	}
+	if leader && plan.Cfg.TotalVaults() > 1 {
+		if err := emitCrossVaultReduce(plan, k); err != nil {
+			return nil, err
+		}
+	}
+	return mod, nil
+}
+
+// emitCrossVaultReduce appends the leader-vault phase: a barrier so
+// every vault's total is bank-resident, reqs for each remote total,
+// then the accumulate into HistGlobal.
+func emitCrossVaultReduce(plan *Plan, k *kern) error {
+	cfg := plan.Cfg
+	bins := plan.Pipe.Bins
+	histBytes := 4 * bins
+	const leaderMask uint64 = 1
+	// Response staging region, above the PG-merge area.
+	stageBase := uint32(cfg.PGsPerVault * histBytes)
+	need := int(stageBase) + (cfg.TotalVaults()-1)*histBytes
+	if need > cfg.VSMBytes {
+		return fmt.Errorf("compiler: cross-vault reduce needs %d VSM bytes, have %d", need, cfg.VSMBytes)
+	}
+
+	k.startBlock(-1, false)
+	sync := isa.New(isa.OpSync)
+	sync.Phase = 3
+	k.emit(sync)
+
+	k.startBlock(-1, true)
+	vsmTag := memTag{bank: -1, pgsm: -1, vsm: 2}
+	globalTag := memTag{bank: 1<<17 + 3, pgsm: -1, vsm: -1}
+	pgTag := memTag{bank: 1<<17 + 2, pgsm: -1, vsm: -1}
+	ri := 0
+	for c := 0; c < cfg.Cubes; c++ {
+		for v := 0; v < cfg.VaultsPerCube; v++ {
+			if c == 0 && v == 0 {
+				continue
+			}
+			for j := 0; j < bins/4; j++ {
+				rq := isa.New(isa.OpReq)
+				rq.DstChip, rq.DstVault, rq.DstPG, rq.DstPE = c, v, 0, 0
+				rq.Addr = plan.HistFinal + uint32(16*j)
+				rq.Addr2 = stageBase + uint32(ri*histBytes+16*j)
+				k.emitTagged(rq, vsmTag)
+			}
+			ri++
+		}
+	}
+	for j := 0; j < bins/4; j++ {
+		acc := k.newD()
+		ld := isa.New(isa.OpLdRF)
+		ld.Dst = acc
+		ld.Addr = plan.HistFinal + uint32(16*j)
+		ld.SimbMask = leaderMask
+		k.emitTagged(ld, pgTag)
+		for r := 0; r < cfg.TotalVaults()-1; r++ {
+			t := k.newD()
+			rd := isa.New(isa.OpRdVSM)
+			rd.Dst = t
+			rd.Addr = stageBase + uint32(r*histBytes+16*j)
+			rd.SimbMask = leaderMask
+			k.emitTagged(rd, vsmTag)
+			add := isa.New(isa.OpComp)
+			add.ALU, add.Dst, add.Src1, add.Src2 = isa.IAdd, acc, acc, t
+			add.SimbMask = leaderMask
+			k.emit(add)
+		}
+		st := isa.New(isa.OpStRF)
+		st.Dst = acc
+		st.Addr = plan.HistGlobal + uint32(16*j)
+		st.SimbMask = leaderMask
+		k.emitTagged(st, globalTag)
+	}
+	return nil
+}
+
+// lowerHistogramBase emits the per-vault three-level kernel, returning
+// the kern for optional extension.
+func lowerHistogramBase(plan *Plan) (*module, *kern, error) {
+	k := newKern(plan)
+	k.constReg = map[int]int{}
+	cfg := plan.Cfg
+	bins := plan.Pipe.Bins
+	in := plan.Input
+	pgTag := memTag{bank: 1<<17 + 1, pgsm: -1, vsm: -1}
+	finalTag := memTag{bank: 1<<17 + 2, pgsm: -1, vsm: -1}
+	vsmTag := memTag{bank: -1, pgsm: -1, vsm: 1}
+	pgsmXTag := memTag{bank: -1, pgsm: 1, vsm: -1}
+
+	// PE masks.
+	allPE := isa.MaskAll(cfg.PEsPerVault())
+	var pe0s uint64 // PE0 of every PG
+	for pg := 0; pg < cfg.PGsPerVault; pg++ {
+		pe0s |= 1 << uint(pg*cfg.PEsPerPG)
+	}
+	const leader uint64 = 1 // PE0 of PG0
+
+	// --- Phase 1: zero the per-PE partial histograms. ---
+	// Partials live in each PE's PGSM partition: the scatter's
+	// read-modify-write hits 1-cycle SRAM instead of thrashing DRAM
+	// rows against the pixel stream (the paper's partial-histogram
+	// schedule; Sec. VII-B).
+	part := int64(cfg.PGSMBytes / cfg.PEsPerPG)
+	if int64(bins*4) > part {
+		return nil, nil, fmt.Errorf("compiler: %d histogram bytes exceed the %d-byte PGSM partition", bins*4, part)
+	}
+	k.startBlock(-1, true)
+	aP := k.calcRI(isa.IMul, isa.ARFPeID, part)
+	zero := k.newD()
+	rz := isa.New(isa.OpReset)
+	rz.Dst = zero
+	rz.SimbMask = allPE
+	k.emit(rz)
+	for j := 0; j < bins/4; j++ {
+		aJ := k.addA(aP, int64(16*j))
+		st := isa.New(isa.OpWrPGSM)
+		st.Dst = zero
+		st.Addr, st.Indirect = uint32(aJ), true
+		st.SimbMask = allPE
+		k.emitTagged(st, pgsmXTag)
+	}
+
+	// --- Phase 2: scatter pass over the PE's tiles. ---
+	k.startBlock(-1, true)
+	aIn := k.liA(in.Base)
+	// Constants: bin scale (Bins-1), rounding 0.5, integer 1 (bit
+	// pattern preserved through the FP32 pool).
+	scaleC := k.constVec(float32(bins - 1))
+	halfC := k.constVec(0.5)
+	oneI := k.constVec(math.Float32frombits(1))
+
+	k.startBlock(-1, false)
+	loop := k.mod.newLabel()
+	seti := isa.New(isa.OpSetiCRF)
+	seti.Dst, seti.Imm = crfLoopCount, int64(plan.TilesPerPE)
+	k.emit(seti)
+	setl := isa.New(isa.OpSetiCRF)
+	setl.Dst, setl.ImmLabel = crfLoopTarget, loop
+	k.emit(setl)
+
+	k.startBlock(loop, true)
+	rowW := in.Width()
+	for ly := 0; ly < plan.Pipe.TileH; ly++ {
+		for lx := 0; lx < plan.Pipe.TileW; lx += 4 {
+			off := (ly*rowW + lx) * 4
+			aT := k.addA(aIn, int64(off))
+			pix := k.newD()
+			ld := isa.New(isa.OpLdRF)
+			ld.Dst = pix
+			ld.Addr, ld.Indirect = uint32(aT), true
+			ld.SimbMask = allPE
+			k.emitTagged(ld, memTag{bank: firstBufTag, pgsm: -1, vsm: -1})
+			// bin = f2i(v*(bins-1) + 0.5) per lane.
+			s1 := k.comp(isa.FMul, pix, scaleC)
+			s2 := k.comp(isa.FAdd, s1, halfC)
+			binV := k.comp(isa.F2I, s2, s2)
+			for l := 0; l < 4; l++ {
+				aV := k.newA()
+				mv := isa.New(isa.OpMovARF)
+				mv.Dst, mv.Src1, mv.Lane = aV, binV, l
+				mv.SimbMask = allPE
+				k.emit(mv)
+				sh := isa.New(isa.OpCalcARF)
+				sh.ALU, sh.Dst, sh.Src1 = isa.Shl, aV, aV
+				sh.HasImm, sh.Imm = true, 2
+				sh.SimbMask = allPE
+				k.emit(sh)
+				k.calcRRInto(isa.IAdd, aV, aV, aP)
+				cnt := k.newD()
+				lb := isa.New(isa.OpRdPGSM)
+				lb.Dst = cnt
+				lb.Addr, lb.Indirect = uint32(aV), true
+				lb.VecMask = 1
+				lb.SimbMask = allPE
+				k.emitTagged(lb, pgsmXTag)
+				addc := isa.New(isa.OpComp)
+				addc.ALU, addc.Dst, addc.Src1, addc.Src2 = isa.IAdd, cnt, cnt, oneI
+				addc.VecMask = 1
+				addc.SimbMask = allPE
+				k.emit(addc)
+				sb := isa.New(isa.OpWrPGSM)
+				sb.Dst = cnt
+				sb.Addr, sb.Indirect = uint32(aV), true
+				sb.VecMask = 1
+				sb.SimbMask = allPE
+				k.emitTagged(sb, pgsmXTag)
+			}
+		}
+	}
+
+	k.startBlock(-1, false)
+	k.bumpA(aIn, int64(in.Slot))
+	dec := isa.New(isa.OpCalcCRF)
+	dec.ALU, dec.Dst, dec.Src1 = isa.ISub, crfLoopCount, crfLoopCount
+	dec.HasImm, dec.Imm = true, 1
+	k.emit(dec)
+	cj := isa.New(isa.OpCJump)
+	cj.Cond, cj.Src1 = crfLoopCount, crfLoopTarget
+	k.emit(cj)
+
+	// --- Phase 3: PG merge through the PGSM. ---
+	k.startBlock(-1, false)
+	sync1 := isa.New(isa.OpSync)
+	sync1.Phase = 1
+	k.emit(sync1)
+
+	k.startBlock(-1, true)
+	// PE0 of each PG accumulates the four PGSM-resident partitions.
+	for j := 0; j < bins/4; j++ {
+		acc := k.newD()
+		first := isa.New(isa.OpRdPGSM)
+		first.Dst = acc
+		first.Addr = uint32(16 * j)
+		first.SimbMask = pe0s
+		k.emitTagged(first, pgsmXTag)
+		for pe := 1; pe < cfg.PEsPerPG; pe++ {
+			t := k.newD()
+			rd := isa.New(isa.OpRdPGSM)
+			rd.Dst = t
+			rd.Addr = uint32(int64(pe)*part + int64(16*j))
+			rd.SimbMask = pe0s
+			k.emitTagged(rd, pgsmXTag)
+			add := isa.New(isa.OpComp)
+			add.ALU, add.Dst, add.Src1, add.Src2 = isa.IAdd, acc, acc, t
+			add.SimbMask = pe0s
+			k.emit(add)
+		}
+		st := isa.New(isa.OpStRF)
+		st.Dst = acc
+		st.Addr = plan.HistPG + uint32(16*j)
+		st.SimbMask = pe0s
+		k.emitTagged(st, pgTag)
+	}
+
+	// --- Phase 4: vault merge through the VSM. ---
+	k.startBlock(-1, false)
+	sync2 := isa.New(isa.OpSync)
+	sync2.Phase = 2
+	k.emit(sync2)
+
+	k.startBlock(-1, true)
+	histBytes := int64(4 * bins)
+	aV := k.newA()
+	vm := isa.New(isa.OpCalcARF)
+	vm.ALU, vm.Dst, vm.Src1 = isa.IMul, aV, isa.ARFPgID
+	vm.HasImm, vm.Imm = true, histBytes
+	vm.SimbMask = pe0s
+	k.emit(vm)
+	for j := 0; j < bins/4; j++ {
+		t := k.newD()
+		ld := isa.New(isa.OpLdRF)
+		ld.Dst = t
+		ld.Addr = plan.HistPG + uint32(16*j)
+		ld.SimbMask = pe0s
+		k.emitTagged(ld, pgTag)
+		aJ := k.addA(aV, int64(16*j))
+		// addA emits with the kernel-wide mask; narrow it to the leaders.
+		k.cur.ins[len(k.cur.ins)-1].SimbMask = pe0s
+		wr := isa.New(isa.OpWrVSM)
+		wr.Dst = t
+		wr.Addr, wr.Indirect = uint32(aJ), true
+		wr.SimbMask = pe0s
+		k.emitTagged(wr, vsmTag)
+	}
+	for j := 0; j < bins/4; j++ {
+		acc := k.newD()
+		first := isa.New(isa.OpRdVSM)
+		first.Dst = acc
+		first.Addr = uint32(16 * j)
+		first.SimbMask = leader
+		k.emitTagged(first, vsmTag)
+		for pg := 1; pg < cfg.PGsPerVault; pg++ {
+			t := k.newD()
+			rd := isa.New(isa.OpRdVSM)
+			rd.Dst = t
+			rd.Addr = uint32(int64(pg)*histBytes + int64(16*j))
+			rd.SimbMask = leader
+			k.emitTagged(rd, vsmTag)
+			add := isa.New(isa.OpComp)
+			add.ALU, add.Dst, add.Src1, add.Src2 = isa.IAdd, acc, acc, t
+			add.SimbMask = leader
+			k.emit(add)
+		}
+		st := isa.New(isa.OpStRF)
+		st.Dst = acc
+		st.Addr = plan.HistFinal + uint32(16*j)
+		st.SimbMask = leader
+		k.emitTagged(st, finalTag)
+	}
+	return k.mod, k, nil
+}

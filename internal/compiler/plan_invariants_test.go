@@ -1,0 +1,136 @@
+package compiler
+
+import (
+	"testing"
+
+	"ipim/internal/halide"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+	"ipim/internal/workloads"
+)
+
+// Plan-level invariants, checked across the whole Table II suite:
+// buffer allocations must tile the bank address space without overlap,
+// staging assignments must fit their PGSM partitions, and exchange
+// geometry must be self-consistent.
+
+func planOf(t *testing.T, wl workloads.Workload) *Plan {
+	t.Helper()
+	w := wl.Build()
+	cfg := sim.TestTiny()
+	if w.Pipe.ClampedStages {
+		cfg = sim.TestTinyOneVault()
+	}
+	plan, err := NewPlan(&cfg, w.Pipe, wl.TestW, wl.TestH)
+	if err != nil {
+		t.Fatalf("%s: %v", wl.Name, err)
+	}
+	return plan
+}
+
+func TestPlanBufferRegionsDisjoint(t *testing.T) {
+	for _, wl := range workloads.All() {
+		plan := planOf(t, wl)
+		type region struct {
+			name   string
+			lo, hi uint32
+		}
+		var regions []region
+		add := func(name string, lo uint32, size int) {
+			if size <= 0 {
+				return
+			}
+			regions = append(regions, region{name, lo, lo + uint32(size)})
+		}
+		add("consts", plan.ConstBase, 16*256)
+		if plan.Input != nil {
+			add(plan.Input.Name, plan.Input.Base, int(plan.Input.Slot)*plan.TilesPerPE)
+		}
+		for _, sp := range plan.Stages {
+			add(sp.Out.Name, sp.Out.Base, int(sp.Out.Slot)*plan.TilesPerPE)
+		}
+		if plan.Pipe.Histogram {
+			bins := plan.Pipe.Bins * 4
+			add("histPG", plan.HistPG, bins)
+			add("histFinal", plan.HistFinal, bins)
+			add("histGlobal", plan.HistGlobal, bins)
+		}
+		add("spill", plan.SpillBase, 16) // at least the start is beyond everything
+		for i := range regions {
+			for j := i + 1; j < len(regions); j++ {
+				a, b := regions[i], regions[j]
+				if a.lo < b.hi && b.lo < a.hi {
+					t.Errorf("%s: regions %s [%#x,%#x) and %s [%#x,%#x) overlap",
+						wl.Name, a.name, a.lo, a.hi, b.name, b.lo, b.hi)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanStagingFitsPartition(t *testing.T) {
+	for _, wl := range workloads.All() {
+		plan := planOf(t, wl)
+		partition := plan.Cfg.PGSMBytes / plan.Cfg.PEsPerPG
+		for _, sp := range plan.Stages {
+			var staged int
+			for _, u := range sp.Uses {
+				if u.Staged {
+					sz := u.Buf.Width() * u.Y.Len() * 4
+					if int(u.PGSMOff)+sz > partition {
+						t.Errorf("%s/%s: staged region [%d,%d) beyond %d-byte partition",
+							wl.Name, sp.F.Name, u.PGSMOff, int(u.PGSMOff)+sz, partition)
+					}
+					staged += sz
+				}
+			}
+			if sp.Out.ViaPGSM {
+				strips := sp.Out.StripBytes() * plan.TilesPerPE
+				if int(sp.Out.StripPGSMBase)+strips > partition {
+					t.Errorf("%s/%s: strip region beyond partition", wl.Name, sp.F.Name)
+				}
+				if staged > int(sp.Out.StripPGSMBase) {
+					t.Errorf("%s/%s: staging (%d) collides with strips at %d",
+						wl.Name, sp.F.Name, staged, sp.Out.StripPGSMBase)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanExchangeGeometry(t *testing.T) {
+	for _, wl := range workloads.All() {
+		w := wl.Build()
+		if !w.Pipe.ClampedStages {
+			continue
+		}
+		plan := planOf(t, wl)
+		if !plan.Exchange {
+			t.Errorf("%s: clamped pipeline not in exchange mode", wl.Name)
+			continue
+		}
+		for _, sp := range plan.Stages {
+			b := sp.Out
+			if b.CoreW&(b.CoreW-1) != 0 || b.CoreH&(b.CoreH-1) != 0 {
+				t.Errorf("%s/%s: non-pow2 core %dx%d", wl.Name, b.Name, b.CoreW, b.CoreH)
+			}
+			if 2*b.StripH > b.CoreW {
+				t.Errorf("%s/%s: strips overlap (H=%d, core %d)", wl.Name, b.Name, b.StripH, b.CoreW)
+			}
+			if sp.Publish != b.HasHalo() {
+				t.Errorf("%s/%s: publish=%v but HasHalo=%v", wl.Name, b.Name, sp.Publish, b.HasHalo())
+			}
+		}
+	}
+}
+
+// TestFilterChainOnSimulator runs the halide filter-block library
+// through the full stack (the edgedetect example's pipeline).
+func TestFilterChainOnSimulator(t *testing.T) {
+	blur := halide.SeparableGaussian("fb", nil, 1).ComputeRoot().LoadPGSM()
+	grad := halide.SobelMag("fgd", blur).ComputeRoot().LoadPGSM()
+	edges := halide.Threshold("fe", grad, 0.25)
+	pipe := halide.NewPipeline("edge", edges).ClampStages()
+	cfg := sim.TestTinyOneVault()
+	runPipe(t, cfg, pipe, pixel.Synth(32, 16, 55), Opt)
+}

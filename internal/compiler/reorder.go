@@ -1,0 +1,314 @@
+package compiler
+
+import (
+	"container/heap"
+
+	"ipim/internal/isa"
+	"ipim/internal/sim"
+)
+
+// Instruction reordering (paper Sec. V-C, Algorithm 1): list
+// scheduling over the dependency graph of each reorderable block,
+// exposing instruction-level parallelism to the in-order core. The
+// memory order enforcement pass adds two extra edge kinds before
+// scheduling (paper Fig. 5): deferral edges that keep consecutive DRAM
+// requests from monopolizing the instruction/request queues, and
+// ordering edges that preserve the program's bank access order (and
+// with it the row-buffer locality of the tile layout).
+
+// effects describes an instruction's memory behavior for alias edges.
+type effects struct {
+	readsBank, writesBank bool
+	readsPGSM, writesPGSM bool
+	readsVSM, writesVSM   bool
+}
+
+func effectsOf(in *isa.Instruction) effects {
+	switch in.Op {
+	case isa.OpLdRF:
+		return effects{readsBank: true}
+	case isa.OpStRF:
+		return effects{writesBank: true}
+	case isa.OpLdPGSM:
+		return effects{readsBank: true, writesPGSM: true}
+	case isa.OpStPGSM:
+		return effects{readsPGSM: true, writesBank: true}
+	case isa.OpRdPGSM:
+		return effects{readsPGSM: true}
+	case isa.OpWrPGSM:
+		return effects{writesPGSM: true}
+	case isa.OpRdVSM:
+		return effects{readsVSM: true}
+	case isa.OpWrVSM, isa.OpSetiVSM, isa.OpReq:
+		return effects{writesVSM: true}
+	}
+	return effects{}
+}
+
+// depGraph is a DAG over one block's instructions. Edges carry their
+// own latency: a true RAW dependency delays the consumer by the
+// producer's full latency, while ordering edges (WAR/WAW, memory
+// ordering) only impose issue/burst spacing.
+type depGraph struct {
+	n    int
+	succ [][]edge
+	pred []int // in-degree
+	lat  []int64
+}
+
+type edge struct {
+	to  int
+	lat int64
+}
+
+func (g *depGraph) addEdge(i, j int, lat int64) {
+	for k, s := range g.succ[i] {
+		if s.to == j {
+			if lat > s.lat {
+				g.succ[i][k].lat = lat
+			}
+			return
+		}
+	}
+	g.succ[i] = append(g.succ[i], edge{j, lat})
+	g.pred[j]++
+}
+
+// orderLat is the spacing for pure ordering edges (DRAM burst length).
+const orderLat = 2
+
+// estimateLatency approximates instruction latency for scheduling
+// priorities (exact service times are dynamic).
+func estimateLatency(cfg *sim.Config, in *isa.Instruction) int64 {
+	switch in.Op {
+	case isa.OpComp:
+		return int64(cfg.LatencyOf(compClass(in.ALU)))
+	case isa.OpCalcARF, isa.OpCalcCRF:
+		return int64(cfg.LatencyOf(compClass(in.ALU)))
+	case isa.OpLdRF, isa.OpLdPGSM:
+		return int64(cfg.Timing.TRCD + cfg.Timing.TCL + 1)
+	case isa.OpStRF, isa.OpStPGSM:
+		return int64(cfg.Timing.TCWL + 2)
+	case isa.OpRdPGSM, isa.OpWrPGSM:
+		return int64(cfg.TPGSM + cfg.TDataRF)
+	case isa.OpRdVSM, isa.OpWrVSM:
+		return int64(cfg.TTSV + cfg.TVSM + cfg.TDataRF)
+	}
+	return 1
+}
+
+// compClass mirrors the vault's latency classification.
+func compClass(op isa.ALUOp) sim.ALUClass {
+	switch op {
+	case isa.FAdd, isa.FSub, isa.IAdd, isa.ISub, isa.FMin, isa.FMax,
+		isa.IMin, isa.IMax, isa.FCmpLT, isa.FCmpLE, isa.ICmpLT, isa.ICmpEQ,
+		isa.FAbs, isa.FFloor:
+		return sim.ClassAdd
+	case isa.FMul, isa.IMul, isa.FDiv:
+		return sim.ClassMul
+	case isa.FMac, isa.IMac:
+		return sim.ClassMac
+	}
+	return sim.ClassLogic
+}
+
+// buildDeps constructs the dependency DAG of a block: register RAW/
+// WAR/WAW edges plus memory alias edges (same tag, at least one
+// writer; unknown tags are conservative).
+func buildDeps(cfg *sim.Config, b *block, memOrder bool) *depGraph {
+	n := len(b.ins)
+	g := &depGraph{n: n, succ: make([][]edge, n), pred: make([]int, n), lat: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		g.lat[i] = estimateLatency(cfg, &b.ins[i])
+	}
+	// Register edges: last writer / readers tracking.
+	lastDef := map[isa.RegRef]int{}
+	lastUses := map[isa.RegRef][]int{}
+	for j := 0; j < n; j++ {
+		in := &b.ins[j]
+		for _, u := range in.Uses() {
+			if w, ok := lastDef[u]; ok {
+				g.addEdge(w, j, g.lat[w]) // RAW: full producer latency
+			}
+			lastUses[u] = append(lastUses[u], j)
+		}
+		for _, d := range in.Defs() {
+			if w, ok := lastDef[d]; ok {
+				g.addEdge(w, j, 1) // WAW: issue order only
+			}
+			for _, r := range lastUses[d] {
+				if r != j {
+					g.addEdge(r, j, 1) // WAR: issue order only
+				}
+			}
+			lastDef[d] = j
+			delete(lastUses, d)
+		}
+	}
+	// Memory alias edges.
+	alias := func(t1, t2 int) bool { return t1 == t2 || t1 < 0 || t2 < 0 }
+	for j := 0; j < n; j++ {
+		ej := effectsOf(&b.ins[j])
+		if ej == (effects{}) {
+			continue
+		}
+		tj := b.tags[j]
+		for i := 0; i < j; i++ {
+			ei := effectsOf(&b.ins[i])
+			if ei == (effects{}) {
+				continue
+			}
+			ti := b.tags[i]
+			conflict :=
+				(ei.writesBank && (ej.readsBank || ej.writesBank) || ej.writesBank && ei.readsBank) &&
+					alias(ti.bank, tj.bank) ||
+					(ei.writesPGSM && (ej.readsPGSM || ej.writesPGSM) || ej.writesPGSM && ei.readsPGSM) &&
+						alias(ti.pgsm, tj.pgsm) ||
+					(ei.writesVSM && (ej.readsVSM || ej.writesVSM) || ej.writesVSM && ei.readsVSM) &&
+						alias(ti.vsm, tj.vsm)
+			if conflict {
+				g.addEdge(i, j, orderLat)
+			}
+		}
+	}
+	if memOrder {
+		// Memory order enforcement: bank accesses to the same buffer
+		// keep program order (the lowering emits them row-sequentially,
+		// so this preserves row-buffer locality); accesses with unknown
+		// tags chain conservatively with everything (paper Fig. 5).
+		prevByTag := map[int]int{}
+		prevUnknown := -1
+		for j := 0; j < n; j++ {
+			if !b.ins[j].Op.AccessesBank() {
+				continue
+			}
+			tag := b.tags[j].bank
+			if tag < 0 {
+				// Unknown: order against every prior bank access.
+				for _, p := range prevByTag {
+					g.addEdge(p, j, orderLat)
+				}
+				if prevUnknown >= 0 {
+					g.addEdge(prevUnknown, j, orderLat)
+				}
+				prevUnknown = j
+				continue
+			}
+			if p, ok := prevByTag[tag]; ok {
+				g.addEdge(p, j, orderLat)
+			}
+			if prevUnknown >= 0 {
+				g.addEdge(prevUnknown, j, orderLat)
+			}
+			prevByTag[tag] = j
+		}
+	}
+	return g
+}
+
+// readyItem is a heap entry for Algorithm 1's ready set.
+type readyItem struct {
+	node   int
+	t      int64
+	isLoad bool
+}
+
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].node < h[j].node // stable on original order
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// schedule runs Algorithm 1 on one block: topological list scheduling
+// with T(v) timestamps; among ready nodes, a load whose T is within
+// the current step is preferred, otherwise the smallest T.
+func schedule(cfg *sim.Config, b *block, g *depGraph) {
+	n := g.n
+	T := make([]int64, n)
+	loads := &readyHeap{}
+	others := &readyHeap{}
+	add := func(v int) {
+		it := readyItem{node: v, t: T[v], isLoad: b.ins[v].Op.IsBankLoad()}
+		if it.isLoad {
+			heap.Push(loads, it)
+		} else {
+			heap.Push(others, it)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if g.pred[v] == 0 {
+			add(v)
+		}
+	}
+	perm := make([]int, 0, n)
+	var cur int64
+	for len(perm) < n {
+		var v int
+		switch {
+		case loads.Len() > 0 && (*loads)[0].t <= cur:
+			v = heap.Pop(loads).(readyItem).node
+		case others.Len() > 0 && (loads.Len() == 0 || (*others)[0].t <= (*loads)[0].t):
+			v = heap.Pop(others).(readyItem).node
+		case loads.Len() > 0:
+			v = heap.Pop(loads).(readyItem).node
+		default:
+			v = heap.Pop(others).(readyItem).node
+		}
+		if T[v] > cur {
+			cur = T[v]
+		}
+		perm = append(perm, v)
+		cur++
+		for _, e := range g.succ[v] {
+			if t := T[v] + e.lat; t > T[e.to] {
+				T[e.to] = t
+			}
+			g.pred[e.to]--
+			if g.pred[e.to] == 0 {
+				add(e.to)
+			}
+		}
+	}
+	// Apply the permutation.
+	ins := make([]isa.Instruction, n)
+	tags := make([]memTag, n)
+	for pos, v := range perm {
+		ins[pos] = b.ins[v]
+		tags[pos] = b.tags[v]
+	}
+	b.ins, b.tags = ins, tags
+}
+
+// Reorder applies memory order enforcement and Algorithm 1 to every
+// reorderable block per the options.
+func Reorder(mod *module, cfg *sim.Config, opts Options) {
+	if !opts.Reorder {
+		return
+	}
+	for _, b := range mod.blocks {
+		if !b.reorderable || len(b.ins) < 2 {
+			continue
+		}
+		g := buildDeps(cfg, b, opts.MemOrder)
+		schedule(cfg, b, g)
+	}
+}
+
+// DepEdgesForTest exposes the dependency graph for property tests.
+func DepEdgesForTest(cfg *sim.Config, b *block, memOrder bool) [][]int {
+	g := buildDeps(cfg, b, memOrder)
+	out := make([][]int, g.n)
+	for i, succs := range g.succ {
+		for _, e := range succs {
+			out[i] = append(out[i], e.to)
+		}
+	}
+	return out
+}

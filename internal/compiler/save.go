@@ -1,0 +1,120 @@
+package compiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ipim/internal/halide"
+	"ipim/internal/isa"
+	"ipim/internal/sim"
+)
+
+// Artifact serialization: a compiled kernel plus the layout metadata
+// the host runtime needs (LoadInput / Execute / ReadOutput /
+// ReadHistogram). This is the shippable form of an offloaded kernel —
+// the VSM "accepts computation offloading from a host" (paper
+// Sec. IV-E) and this file format is what the host would ship. Loaded
+// artifacts run but cannot be recompiled (the expression IR is not
+// serialized).
+
+const artifactMagic = "ipim-artifact-v1"
+
+// savedArtifact is the JSON envelope. Programs ride as the ISA binary
+// codec's bytes (base64 in JSON).
+type savedArtifact struct {
+	Magic string
+	Cfg   sim.Config
+	Opts  Options
+
+	// Pipeline metadata needed at run time.
+	PipeName       string
+	TileW, TileH   int
+	OutNum, OutDen int
+	Histogram      bool
+	Bins           int
+	ClampedStages  bool
+
+	// Layout.
+	ImgW, ImgH, OutW, OutH       int
+	TilesX, TilesY, TilesPerPE   int
+	NumPEs                       int
+	Input, OutBuf                *BufPlan
+	Consts                       []float32
+	ConstBase, SpillBase         uint32
+	HistLocal, HistPG, HistFinal uint32
+	HistGlobal                   uint32
+	Exchange                     bool
+
+	Prog       []byte
+	LeaderProg []byte
+	Spills     int
+}
+
+// SaveArtifact writes the artifact in the shippable format.
+func SaveArtifact(w io.Writer, art *Artifact) error {
+	p := art.Plan
+	sa := savedArtifact{
+		Magic: artifactMagic,
+		Cfg:   *p.Cfg, Opts: art.Opts,
+		PipeName: p.Pipe.Name, TileW: p.Pipe.TileW, TileH: p.Pipe.TileH,
+		OutNum: p.Pipe.OutNum, OutDen: p.Pipe.OutDen,
+		Histogram: p.Pipe.Histogram, Bins: p.Pipe.Bins,
+		ClampedStages: p.Pipe.ClampedStages,
+		ImgW:          p.ImgW, ImgH: p.ImgH, OutW: p.OutW, OutH: p.OutH,
+		TilesX: p.TilesX, TilesY: p.TilesY, TilesPerPE: p.TilesPerPE,
+		NumPEs: p.NumPEs,
+		Input:  p.Input, OutBuf: p.OutBuf,
+		Consts: p.Consts, ConstBase: p.ConstBase, SpillBase: p.SpillBase,
+		HistLocal: p.HistLocal, HistPG: p.HistPG, HistFinal: p.HistFinal,
+		HistGlobal: p.HistGlobal,
+		Exchange:   p.Exchange,
+		Prog:       isa.EncodeProgram(art.Prog),
+		Spills:     art.Spills,
+	}
+	if art.LeaderProg != nil {
+		sa.LeaderProg = isa.EncodeProgram(art.LeaderProg)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&sa)
+}
+
+// LoadArtifact reads a saved artifact back into runnable form.
+func LoadArtifact(r io.Reader) (*Artifact, error) {
+	var sa savedArtifact
+	if err := json.NewDecoder(r).Decode(&sa); err != nil {
+		return nil, fmt.Errorf("compiler: decode artifact: %w", err)
+	}
+	if sa.Magic != artifactMagic {
+		return nil, fmt.Errorf("compiler: not an ipim artifact (magic %q)", sa.Magic)
+	}
+	prog, err := isa.DecodeProgram(sa.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("compiler: artifact program: %w", err)
+	}
+	cfg := sa.Cfg
+	pipe := &halide.Pipeline{
+		Name: sa.PipeName, TileW: sa.TileW, TileH: sa.TileH,
+		OutNum: sa.OutNum, OutDen: sa.OutDen,
+		Histogram: sa.Histogram, Bins: sa.Bins,
+		ClampedStages: sa.ClampedStages,
+	}
+	plan := &Plan{
+		Cfg: &cfg, Pipe: pipe,
+		ImgW: sa.ImgW, ImgH: sa.ImgH, OutW: sa.OutW, OutH: sa.OutH,
+		TilesX: sa.TilesX, TilesY: sa.TilesY, TilesPerPE: sa.TilesPerPE,
+		NumPEs: sa.NumPEs,
+		Input:  sa.Input, OutBuf: sa.OutBuf,
+		Consts: sa.Consts, ConstBase: sa.ConstBase, SpillBase: sa.SpillBase,
+		HistLocal: sa.HistLocal, HistPG: sa.HistPG, HistFinal: sa.HistFinal,
+		HistGlobal: sa.HistGlobal,
+		Exchange:   sa.Exchange,
+	}
+	art := &Artifact{Plan: plan, Prog: prog, Opts: sa.Opts, Spills: sa.Spills}
+	if len(sa.LeaderProg) > 0 {
+		if art.LeaderProg, err = isa.DecodeProgram(sa.LeaderProg); err != nil {
+			return nil, fmt.Errorf("compiler: artifact leader program: %w", err)
+		}
+	}
+	return art, nil
+}

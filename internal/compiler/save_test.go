@@ -1,0 +1,102 @@
+package compiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ipim/internal/cube"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+)
+
+func TestArtifactSaveLoadRun(t *testing.T) {
+	cfg := sim.TestTiny()
+	img := pixel.Synth(32, 16, 21)
+	pipe := blurPipe(true)
+	art, err := Compile(&cfg, pipe, img.W, img.H, Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Prog.Ins) != len(art.Prog.Ins) {
+		t.Fatalf("program length %d != %d", len(loaded.Prog.Ins), len(art.Prog.Ins))
+	}
+	// Run the LOADED artifact end to end and verify against the golden.
+	m, err := cube.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadInput(m, loaded, img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(m, loaded); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOutput(m, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pipe.Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pixel.MaxAbsDiff(got, want); d != 0 {
+		t.Fatalf("loaded artifact diverged by %g", d)
+	}
+}
+
+func TestArtifactSaveLoadHistogramWithLeader(t *testing.T) {
+	cfg := sim.TestTiny() // multi-vault: leader program present
+	img := pixel.Synth(32, 16, 22)
+	pipe := histPipe(64)
+	art, err := Compile(&cfg, pipe, img.W, img.H, Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.LeaderProg == nil {
+		t.Fatal("leader program lost in serialization")
+	}
+	m, err := cube.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadInput(m, loaded, img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(m, loaded); err != nil {
+		t.Fatal(err)
+	}
+	bins, err := ReadHistogram(m, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHist(t, bins, img)
+}
+
+func TestLoadArtifactErrors(t *testing.T) {
+	if _, err := LoadArtifact(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadArtifact(strings.NewReader(`{"Magic":"wrong"}`)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := LoadArtifact(strings.NewReader(`{"Magic":"ipim-artifact-v1","Prog":"AAAA"}`)); err == nil {
+		t.Error("corrupt program accepted")
+	}
+}

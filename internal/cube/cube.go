@@ -1,0 +1,222 @@
+// Package cube assembles iPIM's full machine hierarchy (paper
+// Sec. IV-A): vaults on a per-cube 2D-mesh on-chip network, cubes on a
+// 2D-mesh of off-chip SERDES links, the master–slave inter-vault
+// synchronization protocol (Sec. IV-D), and the host-side data loading
+// interface. It also provides the process-on-base-die (PonB) baseline
+// by flipping the config's PonB switch (Sec. VII-C1).
+package cube
+
+import (
+	"fmt"
+
+	"ipim/internal/dram"
+	"ipim/internal/isa"
+	"ipim/internal/noc"
+	"ipim/internal/sim"
+	"ipim/internal/vault"
+)
+
+// Machine is a complete iPIM accelerator.
+type Machine struct {
+	Cfg sim.Config
+
+	// Vaults[cube][vault].
+	Vaults [][]*vault.Vault
+
+	meshes []*noc.Mesh // per-cube on-chip mesh
+	serdes *noc.Mesh   // inter-cube SERDES mesh
+
+	// remoteServiceLat is the remote-end bank service latency applied to
+	// req round trips: tRCD + tCL + data + queueing margin.
+	remoteServiceLat int64
+}
+
+// New builds a machine for the configuration.
+func New(cfg sim.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{Cfg: cfg}
+	t := cfg.Timing
+	m.remoteServiceLat = int64(t.TRCD + t.TCL + 1 + 8)
+	mw, mh := meshDims(cfg.VaultsPerCube)
+	sw, sh := meshDims(cfg.Cubes)
+	m.serdes = noc.NewMesh(sw, sh, cfg.TSERDESNum, cfg.TSERDESDen, cfg.SERDESLinkBytesPerCycle)
+	for c := 0; c < cfg.Cubes; c++ {
+		m.meshes = append(m.meshes, noc.NewMesh(mw, mh, int64(cfg.TNoCHop), 1, cfg.NoCLinkBytesPerCycle))
+		var vs []*vault.Vault
+		for vid := 0; vid < cfg.VaultsPerCube; vid++ {
+			vs = append(vs, vault.New(&m.Cfg, c, vid, m))
+		}
+		m.Vaults = append(m.Vaults, vs)
+	}
+	return m, nil
+}
+
+// meshDims picks near-square 2D mesh dimensions for n nodes.
+func meshDims(n int) (w, h int) {
+	w = 1
+	for w*w < n {
+		w++
+	}
+	for n%w != 0 {
+		w++
+	}
+	return w, n / w
+}
+
+// Vault returns the vault at (cube, vault).
+func (m *Machine) Vault(cube, vlt int) *vault.Vault { return m.Vaults[cube][vlt] }
+
+// RemoteRead implements vault.Remote.
+func (m *Machine) RemoteRead(chip, vlt, pg, pe int, addr uint32) ([]byte, error) {
+	if chip < 0 || chip >= len(m.Vaults) || vlt < 0 || vlt >= len(m.Vaults[chip]) {
+		return nil, fmt.Errorf("cube: remote read target chip=%d vault=%d out of range", chip, vlt)
+	}
+	v := m.Vaults[chip][vlt]
+	if pg < 0 || pg >= len(v.PGs) || pe < 0 || pe >= m.Cfg.PEsPerPG {
+		return nil, fmt.Errorf("cube: remote read target pg=%d pe=%d out of range", pg, pe)
+	}
+	b, err := v.PE(pg, pe).ReadBank(addr, dram.AccessBytes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, dram.AccessBytes)
+	copy(out, b)
+	return out, nil
+}
+
+// RemoteRoundTrip implements vault.Remote: request packet to the remote
+// vault, bank service there, 16-byte response back, all over the mesh
+// (and the SERDES links for cross-cube requests).
+func (m *Machine) RemoteRoundTrip(now int64, srcChip, srcVault, dstChip, dstVault int) int64 {
+	const reqBytes = 16 // address + routing header
+	t := m.sendVaultToVault(now, srcChip, srcVault, dstChip, dstVault, reqBytes)
+	t += m.remoteServiceLat
+	return m.sendVaultToVault(t, dstChip, dstVault, srcChip, srcVault, dram.AccessBytes)
+}
+
+// sendVaultToVault models one direction of inter-vault traffic.
+func (m *Machine) sendVaultToVault(now int64, srcChip, srcVault, dstChip, dstVault int, bytes int) int64 {
+	if srcChip == dstChip {
+		return m.meshes[srcChip].Send(now, srcVault, dstVault, bytes)
+	}
+	// Egress to the cube's SERDES port (vault 0 by convention), cross
+	// the cube mesh, then ingress to the destination vault.
+	t := m.meshes[srcChip].Send(now, srcVault, 0, bytes)
+	t = m.serdes.Send(t, srcChip, dstChip, bytes)
+	return m.meshes[dstChip].Send(t, 0, dstVault, bytes)
+}
+
+// barrierCost returns the master–slave sync overhead: every slave
+// signals the master vault (vault 0 of cube 0), the master updates the
+// global synchronization status vector, then broadcasts the
+// proceed-phase message (paper Sec. IV-D). Cost is two worst-case
+// traversals plus bookkeeping.
+func (m *Machine) barrierCost() int64 {
+	maxHops := 0
+	mesh := m.meshes[0]
+	for vid := 0; vid < m.Cfg.VaultsPerCube; vid++ {
+		if h := mesh.HopCount(0, vid); h > maxHops {
+			maxHops = h
+		}
+	}
+	interCube := 0
+	for c := 0; c < m.Cfg.Cubes; c++ {
+		if h := m.serdes.HopCount(0, c); h > interCube {
+			interCube = h
+		}
+	}
+	oneWay := int64(maxHops*m.Cfg.TNoCHop) + (int64(interCube)*m.Cfg.TSERDESNum+m.Cfg.TSERDESDen-1)/m.Cfg.TSERDESDen
+	const bookkeeping = 4
+	return 2*oneWay + bookkeeping
+}
+
+// Run executes one program per vault (entries may repeat the same
+// program; a nil entry idles that vault). Programs must be finalized.
+// Vaults run phase by phase: every vault executes to its next sync,
+// then the machine aligns clocks with the barrier cost and proceeds —
+// exactly the lock-step phase semantics the sync instruction provides.
+// It returns aggregated statistics (Cycles = wall clock of the slowest
+// vault).
+func (m *Machine) Run(programs map[[2]int]*isa.Program) (sim.Stats, error) {
+	var active []*vault.Vault
+	for key, p := range programs {
+		if p == nil {
+			continue
+		}
+		v := m.Vaults[key[0]][key[1]]
+		if err := v.Load(p); err != nil {
+			return sim.Stats{}, fmt.Errorf("cube: vault %v: %w", key, err)
+		}
+		active = append(active, v)
+	}
+	if len(active) == 0 {
+		return sim.Stats{}, fmt.Errorf("cube: no programs to run")
+	}
+	for {
+		allDone := true
+		anyPhase := false
+		for _, v := range active {
+			if v.Done() {
+				continue
+			}
+			done, err := v.RunPhase()
+			if err != nil {
+				return sim.Stats{}, err
+			}
+			if !done {
+				anyPhase = true
+				allDone = false
+			} else if !v.Done() {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+		if anyPhase {
+			// Barrier: align all participants to the slowest plus the
+			// master-slave round trip.
+			var t int64
+			for _, v := range active {
+				if v.Now() > t {
+					t = v.Now()
+				}
+			}
+			t += m.barrierCost()
+			for _, v := range active {
+				v.AlignTo(t)
+			}
+		}
+	}
+	var total sim.Stats
+	for _, v := range active {
+		v.FoldDRAMStats()
+		total.Add(&v.Stats)
+	}
+	for _, mesh := range m.meshes {
+		total.NoC.Packets += mesh.Stats.Packets
+		total.NoC.Flits += mesh.Stats.Flits
+		total.NoC.Hops += mesh.Stats.Hops
+	}
+	total.SerdesBeat += m.serdes.Stats.Flits
+	return total, nil
+}
+
+// RunSame loads the same program into every vault and runs the machine.
+func (m *Machine) RunSame(p *isa.Program) (sim.Stats, error) {
+	programs := map[[2]int]*isa.Program{}
+	for c := range m.Vaults {
+		for vid := range m.Vaults[c] {
+			programs[[2]int{c, vid}] = p
+		}
+	}
+	return m.Run(programs)
+}
+
+// RunVault runs a program on a single vault (the representative-vault
+// bench mode; see DESIGN.md §2).
+func (m *Machine) RunVault(cubeID, vaultID int, p *isa.Program) (sim.Stats, error) {
+	return m.Run(map[[2]int]*isa.Program{{cubeID, vaultID}: p})
+}

@@ -1,0 +1,480 @@
+package cube
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"ipim/internal/isa"
+	"ipim/internal/sim"
+)
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return p
+}
+
+func newTinyMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(sim.TestTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func f32bytes(vals ...float32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(v))
+	}
+	return b
+}
+
+func bytesToF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// brightenSrc scales 4 vectors per PE by a VSM-resident constant.
+const brightenSrc = `
+rd_vsm d7, 0x0, sm=*
+calc_arf iadd a6, a5, #256, sm=*
+seti_crf c1, #4
+seti_crf c2, =loop
+loop:
+ld_rf d0, @a5, sm=*
+comp fmul vs d1, d0, d7, vm=0xf, sm=*
+st_rf d1, @a6, sm=*
+calc_arf iadd a5, a5, #16, sm=*
+calc_arf iadd a6, a6, #16, sm=*
+calc_crf isub c1, c1, #1
+cjump c1, c2
+`
+
+func TestBrightenKernelEndToEnd(t *testing.T) {
+	m := newTinyMachine(t)
+	const alpha = float32(2.5)
+	if err := m.WriteVSM(0, 0, 0, f32bytes(alpha, alpha, alpha, alpha)); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct input per PE.
+	for pg := 0; pg < m.Cfg.PGsPerVault; pg++ {
+		for pe := 0; pe < m.Cfg.PEsPerPG; pe++ {
+			var in []float32
+			for i := 0; i < 16; i++ {
+				in = append(in, float32(pg*100+pe*10)+float32(i))
+			}
+			if err := m.WriteBank(0, 0, pg, pe, 0, f32bytes(in...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stats, err := m.RunVault(0, 0, mustAssemble(t, brightenSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pg := 0; pg < m.Cfg.PGsPerVault; pg++ {
+		for pe := 0; pe < m.Cfg.PEsPerPG; pe++ {
+			out, err := m.ReadBank(0, 0, pg, pe, 256, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range bytesToF32(out) {
+				want := (float32(pg*100+pe*10) + float32(i)) * alpha
+				if v != want {
+					t.Fatalf("pg%d pe%d out[%d] = %v, want %v", pg, pe, i, v, want)
+				}
+			}
+		}
+	}
+	if stats.Cycles <= 0 || stats.Issued == 0 {
+		t.Fatalf("no timing recorded: %+v", stats)
+	}
+	// 2 prologue + 2 seti + 4 iterations x 7 instructions.
+	if stats.Issued != 4+4*7 {
+		t.Errorf("issued = %d, want 32", stats.Issued)
+	}
+	if ipc := stats.IPC(); ipc <= 0 || ipc > 1 {
+		t.Errorf("IPC = %v outside (0,1]", ipc)
+	}
+	if stats.DRAM.Reads != 4*4 || stats.DRAM.Writes != 4*4 { // 4 PEs x 4 iters
+		t.Errorf("DRAM reads/writes = %d/%d, want 16/16", stats.DRAM.Reads, stats.DRAM.Writes)
+	}
+	if stats.InstByCategory[isa.CatIndexCalc] != 9 { // 1 prologue + 2 x 4 iters
+		t.Errorf("index-calc count = %d, want 9", stats.InstByCategory[isa.CatIndexCalc])
+	}
+}
+
+func TestSimbMaskSelectsPEs(t *testing.T) {
+	m := newTinyMachine(t)
+	// Only PE index 2 (pg1, pe0) stores d0 (zeros overwritten by ld).
+	src := `
+ld_rf d0, 0x0, sm=0x4
+comp fadd vv d1, d0, d0, vm=0xf, sm=0x4
+st_rf d1, 0x40, sm=0x4
+`
+	for pg := 0; pg < 2; pg++ {
+		for pe := 0; pe < 2; pe++ {
+			m.WriteBank(0, 0, pg, pe, 0, f32bytes(1, 2, 3, 4))
+		}
+	}
+	if _, err := m.RunVault(0, 0, mustAssemble(t, src)); err != nil {
+		t.Fatal(err)
+	}
+	for pg := 0; pg < 2; pg++ {
+		for pe := 0; pe < 2; pe++ {
+			out, _ := m.ReadBank(0, 0, pg, pe, 0x40, 16)
+			got := bytesToF32(out)
+			if pg == 1 && pe == 0 {
+				if got[0] != 2 || got[3] != 8 {
+					t.Fatalf("masked PE wrong result: %v", got)
+				}
+			} else if got[0] != 0 {
+				t.Fatalf("unmasked PE pg%d pe%d wrote data: %v", pg, pe, got)
+			}
+		}
+	}
+}
+
+func TestPGSMSharingBetweenPEs(t *testing.T) {
+	m := newTinyMachine(t)
+	// PE0 of each PG loads its bank vector into PGSM; then all PEs of
+	// the PG read it back (data sharing within a process group).
+	src := `
+ld_pgsm 0x0, 0x20, sm=0x5
+rd_pgsm d2, 0x20, sm=*
+st_rf d2, 0x100, sm=*
+`
+	m.WriteBank(0, 0, 0, 0, 0, f32bytes(7, 8, 9, 10))
+	m.WriteBank(0, 0, 1, 0, 0, f32bytes(70, 80, 90, 100))
+	if _, err := m.RunVault(0, 0, mustAssemble(t, src)); err != nil {
+		t.Fatal(err)
+	}
+	// PE1 of pg0 sees pg0's PGSM data.
+	out, _ := m.ReadBank(0, 0, 0, 1, 0x100, 16)
+	if got := bytesToF32(out); got[0] != 7 || got[3] != 10 {
+		t.Fatalf("pg0 pe1 read %v via PGSM", got)
+	}
+	out, _ = m.ReadBank(0, 0, 1, 1, 0x100, 16)
+	if got := bytesToF32(out); got[0] != 70 {
+		t.Fatalf("pg1 pe1 read %v via PGSM", got)
+	}
+}
+
+func TestIndirectAddressingPerPE(t *testing.T) {
+	m := newTinyMachine(t)
+	// Each PE stores its vault-wide PE index vector to addr 16*index:
+	// a4 = (pgID*2 + peID) * 16, mov to DRF, store.
+	src := `
+calc_arf shl a4, a1, #1, sm=*
+calc_arf iadd a4, a4, a0, sm=*
+mov_drf d1, a4, lane=0, sm=*
+calc_arf shl a5, a4, #4, sm=*
+st_rf d1, @a5, sm=*
+`
+	if _, err := m.RunVault(0, 0, mustAssemble(t, src)); err != nil {
+		t.Fatal(err)
+	}
+	for pg := 0; pg < 2; pg++ {
+		for pe := 0; pe < 2; pe++ {
+			idx := pg*2 + pe
+			out, _ := m.ReadBank(0, 0, pg, pe, uint32(16*idx), 16)
+			got := binary.LittleEndian.Uint32(out)
+			if got != uint32(idx) {
+				t.Fatalf("pg%d pe%d stored %d at %#x, want %d", pg, pe, got, 16*idx, idx)
+			}
+		}
+	}
+}
+
+func TestDataHazardStallsIssue(t *testing.T) {
+	// A dependent chain of fmacs must take longer than independent ones.
+	m1 := newTinyMachine(t)
+	dep := `
+comp fmac vv d1, d0, d0, vm=0xf, sm=*
+comp fmac vv d1, d1, d1, vm=0xf, sm=*
+comp fmac vv d1, d1, d1, vm=0xf, sm=*
+comp fmac vv d1, d1, d1, vm=0xf, sm=*
+`
+	sDep, err := m1.RunVault(0, 0, mustAssemble(t, dep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newTinyMachine(t)
+	indep := `
+comp fmac vv d1, d0, d0, vm=0xf, sm=*
+comp fmac vv d2, d0, d0, vm=0xf, sm=*
+comp fmac vv d3, d0, d0, vm=0xf, sm=*
+comp fmac vv d4, d0, d0, vm=0xf, sm=*
+`
+	sIndep, err := m2.RunVault(0, 0, mustAssemble(t, indep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sDep.Cycles <= sIndep.Cycles {
+		t.Fatalf("dependent chain (%d cycles) not slower than independent (%d)", sDep.Cycles, sIndep.Cycles)
+	}
+	if sDep.StallCycles[sim.StallData] == 0 {
+		t.Fatal("no data-hazard stalls recorded for dependent chain")
+	}
+	if sIndep.StallCycles[sim.StallData] != 0 {
+		t.Fatal("independent stream recorded hazard stalls")
+	}
+}
+
+func TestRemoteReqAcrossVaults(t *testing.T) {
+	m := newTinyMachine(t)
+	m.WriteBank(0, 1, 0, 0, 0x0, f32bytes(42, 43, 44, 45))
+	src := `
+req chip=0, vault=1, pg=0, pe=0, dram=0x0, vsm=0x40
+sync 0
+rd_vsm d1, 0x40, sm=0x1
+st_rf d1, 0x80, sm=0x1
+`
+	stats, err := m.RunVault(0, 0, mustAssemble(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := m.ReadBank(0, 0, 0, 0, 0x80, 16)
+	if got := bytesToF32(out); got[0] != 42 || got[3] != 45 {
+		t.Fatalf("remote data = %v", got)
+	}
+	if stats.RemoteReqs != 1 || stats.Syncs != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.NoC.Packets == 0 {
+		t.Fatal("remote access generated no NoC traffic")
+	}
+}
+
+func TestReqWithoutSyncStillOrdersRdVSM(t *testing.T) {
+	m := newTinyMachine(t)
+	m.WriteBank(0, 1, 0, 0, 0x0, f32bytes(5, 6, 7, 8))
+	src := `
+req chip=0, vault=1, pg=0, pe=0, dram=0x0, vsm=0x40
+rd_vsm d1, 0x40, sm=0x1
+st_rf d1, 0x80, sm=0x1
+`
+	stats, err := m.RunVault(0, 0, mustAssemble(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := m.ReadBank(0, 0, 0, 0, 0x80, 16)
+	if got := bytesToF32(out); got[0] != 5 {
+		t.Fatalf("remote data = %v", got)
+	}
+	// The rd_vsm must have waited for the round trip: cycles exceed the
+	// handful of issue slots.
+	if stats.Cycles < 20 {
+		t.Fatalf("rd_vsm did not wait for remote arrival: %d cycles", stats.Cycles)
+	}
+}
+
+func TestMultiVaultSyncAligns(t *testing.T) {
+	m := newTinyMachine(t)
+	// Vault 0 does heavy work before the sync; vault 1 almost none.
+	heavy := `
+seti_crf c1, #50
+seti_crf c2, =loop
+loop:
+comp fmac vv d1, d1, d1, vm=0xf, sm=*
+calc_crf isub c1, c1, #1
+cjump c1, c2
+sync 0
+st_rf d1, 0x0, sm=0x1
+`
+	light := `
+sync 0
+st_rf d1, 0x0, sm=0x1
+`
+	ph := mustAssemble(t, heavy)
+	pl := mustAssemble(t, light)
+	stats, err := m.Run(map[[2]int]*isa.Program{{0, 0}: ph, {0, 1}: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, v1 := m.Vault(0, 0), m.Vault(0, 1)
+	if v1.Stats.StallCycles[sim.StallSync] == 0 {
+		t.Fatal("light vault did not wait at the barrier")
+	}
+	// Both vaults end at roughly the same wall clock (within the tail
+	// store + barrier cost).
+	d := v0.Now() - v1.Now()
+	if d < 0 {
+		d = -d
+	}
+	if d > 100 {
+		t.Fatalf("vault clocks diverged by %d after barrier", d)
+	}
+	if stats.Syncs != 2 {
+		t.Fatalf("syncs = %d, want 2", stats.Syncs)
+	}
+}
+
+func TestPonBSlowerForStreaming(t *testing.T) {
+	// Unrolled independent loads: near-bank overlaps all banks; PonB
+	// serializes every beat on the vault TSVs.
+	src := `
+ld_rf d0, 0x0, sm=*
+ld_rf d1, 0x10, sm=*
+ld_rf d2, 0x20, sm=*
+ld_rf d3, 0x30, sm=*
+ld_rf d4, 0x40, sm=*
+ld_rf d5, 0x50, sm=*
+ld_rf d6, 0x60, sm=*
+ld_rf d7, 0x70, sm=*
+st_rf d0, 0x100, sm=*
+st_rf d1, 0x110, sm=*
+st_rf d2, 0x120, sm=*
+st_rf d3, 0x130, sm=*
+st_rf d4, 0x140, sm=*
+st_rf d5, 0x150, sm=*
+st_rf d6, 0x160, sm=*
+st_rf d7, 0x170, sm=*
+`
+	near, err := newTinyMachine(t).RunVault(0, 0, mustAssemble(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.TestTiny()
+	cfg.PonB = true
+	mp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ponb, err := mp.RunVault(0, 0, mustAssemble(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ponb.Cycles <= near.Cycles {
+		t.Fatalf("PonB (%d cycles) not slower than near-bank (%d)", ponb.Cycles, near.Cycles)
+	}
+	if ponb.TSVBeats == 0 {
+		t.Fatal("PonB recorded no TSV traffic")
+	}
+	if near.TSVBeats != 0 {
+		t.Fatal("near-bank bank accesses crossed TSVs")
+	}
+}
+
+func TestInstQueueCapacityLimitsInflight(t *testing.T) {
+	cfg := sim.TestTiny()
+	cfg.InstQueue = 2
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+comp fmac vv d1, d0, d0, vm=0xf, sm=*
+comp fmac vv d2, d0, d0, vm=0xf, sm=*
+comp fmac vv d3, d0, d0, vm=0xf, sm=*
+comp fmac vv d4, d0, d0, vm=0xf, sm=*
+`
+	stats, err := m.RunVault(0, 0, mustAssemble(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StallCycles[sim.StallQueueFull] == 0 {
+		t.Fatal("2-entry issued queue never filled with 8-cycle macs")
+	}
+}
+
+func TestHistogramStyleScatterIncrement(t *testing.T) {
+	m := newTinyMachine(t)
+	// Value-dependent addressing: bin = f2i(v); addr = base + bin*16;
+	// load bin count, add 1, store. Two increments of the same bin.
+	src := `
+rd_vsm d6, 0x0, sm=0x1        ; ones vector
+ld_rf d0, 0x0, sm=0x1         ; pixel value
+comp f2i vv d1, d0, d0, vm=0x1, sm=0x1
+mov_arf a4, d1, lane=0, sm=0x1
+calc_arf shl a4, a4, #4, sm=0x1
+calc_arf iadd a4, a4, #4096, sm=0x1
+ld_rf d2, @a4, sm=0x1
+comp iadd vv d2, d2, d6, vm=0x1, sm=0x1
+st_rf d2, @a4, sm=0x1
+ld_rf d2, @a4, sm=0x1
+comp iadd vv d2, d2, d6, vm=0x1, sm=0x1
+st_rf d2, @a4, sm=0x1
+`
+	// ones = int32 1 in lane 0.
+	ones := make([]byte, 16)
+	binary.LittleEndian.PutUint32(ones, 1)
+	m.WriteVSM(0, 0, 0, ones)
+	m.WriteBank(0, 0, 0, 0, 0, f32bytes(3.7, 0, 0, 0)) // bin 3
+	if _, err := m.RunVault(0, 0, mustAssemble(t, src)); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := m.ReadBank(0, 0, 0, 0, 4096+3*16, 4)
+	if got := binary.LittleEndian.Uint32(out); got != 2 {
+		t.Fatalf("bin 3 count = %d, want 2", got)
+	}
+}
+
+func TestMeshDims(t *testing.T) {
+	cases := []struct{ n, w, h int }{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {8, 4, 2}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		w, h := meshDims(c.n)
+		if w != c.w || h != c.h {
+			t.Errorf("meshDims(%d) = (%d,%d), want (%d,%d)", c.n, w, h, c.w, c.h)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m := newTinyMachine(t)
+	if _, err := m.Run(map[[2]int]*isa.Program{}); err == nil {
+		t.Error("empty program map accepted")
+	}
+	// Register index beyond tiny config's files.
+	bad := &isa.Program{}
+	in := isa.New(isa.OpComp)
+	in.ALU = isa.FAdd
+	in.Dst = 9999
+	bad.Append(in)
+	if _, err := m.RunVault(0, 0, bad); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestHostAccessorErrors(t *testing.T) {
+	m := newTinyMachine(t)
+	if _, err := m.PEAt(9, 0, 0, 0); err == nil {
+		t.Error("bad cube accepted")
+	}
+	if _, err := m.PEAt(0, 9, 0, 0); err == nil {
+		t.Error("bad vault accepted")
+	}
+	if _, err := m.PEAt(0, 0, 9, 0); err == nil {
+		t.Error("bad pg accepted")
+	}
+	if err := m.WriteVSM(0, 0, uint32(m.Cfg.VSMBytes), []byte{1}); err == nil {
+		t.Error("VSM overflow accepted")
+	}
+	if err := m.WriteVSM(0, 5, 0, []byte{1}); err == nil {
+		t.Error("bad vault VSM write accepted")
+	}
+}
+
+func TestRemoteReadErrors(t *testing.T) {
+	m := newTinyMachine(t)
+	if _, err := m.RemoteRead(5, 0, 0, 0, 0); err == nil {
+		t.Error("bad chip accepted")
+	}
+	if _, err := m.RemoteRead(0, 0, 7, 0, 0); err == nil {
+		t.Error("bad pg accepted")
+	}
+}

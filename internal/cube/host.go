@@ -1,0 +1,66 @@
+package cube
+
+import (
+	"fmt"
+
+	"ipim/internal/engine"
+)
+
+// Host-side data interface. iPIM is a standalone accelerator with its
+// own address space (paper Sec. VI): the host loads inputs into banks
+// and constant pools into VSMs before launching kernels, and reads
+// results back afterwards. These transfers happen outside the timed
+// region, exactly as the paper's evaluation (which times kernels on
+// data already resident in the stack).
+
+// PEAt returns the PE at machine-global coordinates.
+func (m *Machine) PEAt(cubeID, vaultID, pgID, peID int) (*engine.PE, error) {
+	if cubeID < 0 || cubeID >= len(m.Vaults) {
+		return nil, fmt.Errorf("cube: cube %d out of range", cubeID)
+	}
+	v := m.Vaults[cubeID]
+	if vaultID < 0 || vaultID >= len(v) {
+		return nil, fmt.Errorf("cube: vault %d out of range", vaultID)
+	}
+	if pgID < 0 || pgID >= m.Cfg.PGsPerVault || peID < 0 || peID >= m.Cfg.PEsPerPG {
+		return nil, fmt.Errorf("cube: pg %d / pe %d out of range", pgID, peID)
+	}
+	return v[vaultID].PE(pgID, peID), nil
+}
+
+// WriteBank loads host data into a PE's bank.
+func (m *Machine) WriteBank(cubeID, vaultID, pgID, peID int, addr uint32, data []byte) error {
+	pe, err := m.PEAt(cubeID, vaultID, pgID, peID)
+	if err != nil {
+		return err
+	}
+	return pe.WriteBank(addr, data)
+}
+
+// ReadBank copies data out of a PE's bank.
+func (m *Machine) ReadBank(cubeID, vaultID, pgID, peID int, addr uint32, n int) ([]byte, error) {
+	pe, err := m.PEAt(cubeID, vaultID, pgID, peID)
+	if err != nil {
+		return nil, err
+	}
+	b, err := pe.ReadBank(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, nil
+}
+
+// WriteVSM loads host data (e.g. a constant pool) into a vault's VSM.
+func (m *Machine) WriteVSM(cubeID, vaultID int, addr uint32, data []byte) error {
+	if cubeID < 0 || cubeID >= len(m.Vaults) || vaultID < 0 || vaultID >= len(m.Vaults[cubeID]) {
+		return fmt.Errorf("cube: vault (%d,%d) out of range", cubeID, vaultID)
+	}
+	v := m.Vaults[cubeID][vaultID]
+	if int(addr)+len(data) > len(v.VSM) {
+		return fmt.Errorf("cube: VSM write at %#x+%d beyond %d bytes", addr, len(data), len(v.VSM))
+	}
+	copy(v.VSM[addr:], data)
+	return nil
+}

@@ -1,0 +1,159 @@
+package cube
+
+import (
+	"testing"
+
+	"ipim/internal/sim"
+)
+
+// Multi-cube SPMD tests: the same program running on every vault of a
+// 2-cube machine, with barriers crossing the SERDES links.
+
+func TestMultiCubeSPMDWithBarriers(t *testing.T) {
+	cfg := sim.TestTiny()
+	cfg.Cubes = 2
+	cfg.BankBytes = 1 << 20
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+comp fmac vv d1, d0, d0, vm=0xf, sm=*
+sync 0
+comp fmac vv d2, d1, d1, vm=0xf, sm=*
+sync 1
+st_rf d2, 0x0, sm=*
+`
+	stats, err := m.RunSame(mustAssemble(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 vaults x 2 syncs.
+	if stats.Syncs != 8 {
+		t.Fatalf("syncs = %d, want 8", stats.Syncs)
+	}
+	// All vault clocks aligned at the end within the tail + barrier.
+	var minNow, maxNow int64
+	for c := 0; c < 2; c++ {
+		for v := 0; v < cfg.VaultsPerCube; v++ {
+			n := m.Vault(c, v).Now()
+			if minNow == 0 || n < minNow {
+				minNow = n
+			}
+			if n > maxNow {
+				maxNow = n
+			}
+		}
+	}
+	if maxNow-minNow > 100 {
+		t.Fatalf("vault clocks diverged: %d..%d", minNow, maxNow)
+	}
+}
+
+func TestCrossCubeBarrierCostExceedsLocal(t *testing.T) {
+	// The master-slave barrier spans the SERDES for multi-cube machines.
+	one := sim.TestTiny()
+	one.BankBytes = 1 << 20
+	m1, err := New(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := one
+	two.Cubes = 2
+	m2, err := New(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.barrierCost() < m1.barrierCost() {
+		t.Fatalf("2-cube barrier (%d) cheaper than 1-cube (%d)", m2.barrierCost(), m1.barrierCost())
+	}
+}
+
+func TestRemoteRoundTripFartherIsSlower(t *testing.T) {
+	cfg := sim.TestTiny()
+	cfg.Cubes = 2
+	cfg.BankBytes = 1 << 20
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := m.RemoteRoundTrip(0, 0, 0, 0, 1)
+	cross := m.RemoteRoundTrip(0, 0, 0, 1, 1)
+	if cross <= local {
+		t.Fatalf("cross-cube round trip (%d) not slower than intra-cube (%d)", cross, local)
+	}
+}
+
+func TestRefreshOverheadIsSmallButPresent(t *testing.T) {
+	// A long-running kernel spans refresh epochs; disabling refresh
+	// (huge tREFI) must be slightly faster, not dramatically.
+	src := `
+seti_crf c1, #800
+seti_crf c2, =loop
+loop:
+ld_rf d0, 0x0, sm=*
+st_rf d0, 0x100, sm=*
+calc_crf isub c1, c1, #1
+cjump c1, c2
+`
+	run := func(trefi int) int64 {
+		cfg := sim.TestTiny()
+		cfg.Timing.TREFI = trefi
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := m.RunVault(0, 0, mustAssemble(t, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Cycles
+	}
+	withRefresh := run(3900)
+	noRefresh := run(1 << 30)
+	if withRefresh <= noRefresh {
+		t.Fatalf("refresh-free run (%d) not faster than refreshing run (%d)", noRefresh, withRefresh)
+	}
+	overhead := float64(withRefresh-noRefresh) / float64(noRefresh)
+	if overhead > 0.25 {
+		t.Fatalf("refresh overhead %.1f%% implausibly high", overhead*100)
+	}
+}
+
+// TestFullTableIIIMachineSmoke runs a small SPMD program across the
+// complete paper-scale machine: 8 cubes x 16 vaults x 32 PEs = 4096
+// process engines, with two global barriers.
+func TestFullTableIIIMachineSmoke(t *testing.T) {
+	cfg := sim.Default()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+calc_arf iadd a4, a2, #1, sm=*   ; a4 = vaultID + 1
+mov_drf d1, a4, lane=0, sm=*
+sync 0
+comp iadd vv d2, d1, d1, vm=0x1, sm=*
+st_rf d2, 0x0, sm=*
+sync 1
+`
+	stats, err := m.RunSame(mustAssemble(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Syncs != int64(2*cfg.TotalVaults()) {
+		t.Fatalf("syncs = %d, want %d", stats.Syncs, 2*cfg.TotalVaults())
+	}
+	// Spot-check results on distant corners of the machine.
+	for _, loc := range [][4]int{{0, 0, 0, 0}, {7, 15, 7, 3}, {3, 9, 2, 1}} {
+		b, err := m.ReadBank(loc[0], loc[1], loc[2], loc[3], 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+		want := int32(2 * (loc[1] + 1))
+		if got != want {
+			t.Fatalf("cube %d vault %d: %d, want %d", loc[0], loc[1], got, want)
+		}
+	}
+}

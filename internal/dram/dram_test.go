@@ -1,0 +1,402 @@
+package dram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCtrl(page PagePolicy, sched SchedPolicy) *Controller {
+	return NewController(4, 16, DefaultTiming(), DefaultGeometry(), page, sched)
+}
+
+func runOne(t *testing.T, c *Controller, now int64, bank int, addr uint32, write bool) *Request {
+	t.Helper()
+	r := &Request{Bank: bank, Addr: addr, Write: write}
+	if !c.Enqueue(now, r) {
+		t.Fatal("queue unexpectedly full")
+	}
+	for !r.Done {
+		ev := c.NextEvent(now)
+		if ev == math.MaxInt64 {
+			t.Fatal("controller idle with pending request")
+		}
+		now = ev
+		c.AdvanceTo(now)
+	}
+	return r
+}
+
+func TestColdReadLatency(t *testing.T) {
+	c := newTestCtrl(OpenPage, FRFCFS)
+	r := runOne(t, c, 0, 0, 0, false)
+	tm := DefaultTiming()
+	want := int64(tm.TRCD + tm.TCL + 1) // ACT at 0, RD at tRCD, data at +tCL+1
+	if r.Finish != want {
+		t.Fatalf("cold read finish = %d, want %d", r.Finish, want)
+	}
+	if c.Stats.Activates != 1 || c.Stats.RowMisses != 1 || c.Stats.Reads != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	c := newTestCtrl(OpenPage, FRFCFS)
+	r1 := runOne(t, c, 0, 0, 0, false)
+	// Same row: hit.
+	r2 := runOne(t, c, r1.Finish, 0, 16, false)
+	hitLat := r2.Finish - r2.Arrive
+	// Different row: miss (needs PRE + ACT).
+	r3 := runOne(t, c, r2.Finish, 0, uint32(DefaultGeometry().RowBytes*4), false)
+	missLat := r3.Finish - r3.Arrive
+	if hitLat >= missLat {
+		t.Fatalf("row hit latency %d not faster than miss %d", hitLat, missLat)
+	}
+	if c.Stats.RowHits != 1 {
+		t.Fatalf("expected exactly 1 row hit, stats = %+v", c.Stats)
+	}
+}
+
+func TestClosePageNeverHits(t *testing.T) {
+	c := newTestCtrl(ClosePage, FRFCFS)
+	r1 := runOne(t, c, 0, 0, 0, false)
+	r2 := runOne(t, c, r1.Finish, 0, 16, false)
+	_ = r2
+	if c.Stats.RowHits != 0 {
+		t.Fatalf("close page produced row hits: %+v", c.Stats)
+	}
+	if c.Stats.Precharges < 2 {
+		t.Fatalf("close page did not auto-precharge: %+v", c.Stats)
+	}
+}
+
+func TestStreamRespectsTCCD(t *testing.T) {
+	c := newTestCtrl(OpenPage, FRFCFS)
+	// Warm the row.
+	r := runOne(t, c, 0, 0, 0, false)
+	now := r.Finish
+	// Enqueue a back-to-back stream of row hits.
+	const n = 8
+	reqs := make([]*Request, n)
+	for i := range reqs {
+		reqs[i] = &Request{Bank: 0, Addr: uint32(16 + 16*i)}
+		if !c.Enqueue(now, reqs[i]) {
+			t.Fatal("queue full")
+		}
+	}
+	for !reqs[n-1].Done {
+		ev := c.NextEvent(now)
+		if ev == math.MaxInt64 {
+			t.Fatal("stalled")
+		}
+		now = ev
+		c.AdvanceTo(now)
+	}
+	tm := DefaultTiming()
+	for i := 1; i < n; i++ {
+		gap := reqs[i].Finish - reqs[i-1].Finish
+		if gap != int64(tm.TCCD) {
+			t.Fatalf("request %d finish gap = %d, want tCCD=%d", i, gap, tm.TCCD)
+		}
+	}
+}
+
+func TestWriteLatencyAndTWRGuard(t *testing.T) {
+	c := newTestCtrl(OpenPage, FRFCFS)
+	w := runOne(t, c, 0, 0, 0, true)
+	tm := DefaultTiming()
+	wantW := int64(tm.TRCD + tm.TCWL + 1)
+	if w.Finish != wantW {
+		t.Fatalf("cold write finish = %d, want %d", w.Finish, wantW)
+	}
+	// A row miss right after the write must wait at least tWR before PRE.
+	r := runOne(t, c, w.Finish, 0, uint32(DefaultGeometry().RowBytes*2), false)
+	minFinish := w.Finish + int64(tm.TWR+tm.TRP+tm.TRCD+tm.TCL+1)
+	if r.Finish < minFinish {
+		t.Fatalf("post-write miss finished at %d, violates tWR window (min %d)", r.Finish, minFinish)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	c := NewController(1, 2, DefaultTiming(), DefaultGeometry(), OpenPage, FRFCFS)
+	a := &Request{Bank: 0, Addr: 0}
+	b := &Request{Bank: 0, Addr: 16}
+	d := &Request{Bank: 0, Addr: 32}
+	if !c.Enqueue(0, a) || !c.Enqueue(0, b) {
+		t.Fatal("first two enqueues failed")
+	}
+	if c.Enqueue(0, d) {
+		t.Fatal("third enqueue accepted into a 2-entry queue")
+	}
+	if c.Stats.QueueFullStalls != 1 {
+		t.Fatalf("stall count = %d", c.Stats.QueueFullStalls)
+	}
+	if !c.Full() {
+		t.Fatal("Full() = false with full queue")
+	}
+}
+
+func TestFRFCFSPrefersRowHit(t *testing.T) {
+	c := newTestCtrl(OpenPage, FRFCFS)
+	// Open row 0 in bank 0.
+	r := runOne(t, c, 0, 0, 0, false)
+	now := r.Finish
+	rowBytes := uint32(DefaultGeometry().RowBytes)
+	miss := &Request{Bank: 0, Addr: rowBytes * 5} // row miss, arrives first
+	hit := &Request{Bank: 0, Addr: 32}            // row hit, arrives second
+	c.Enqueue(now, miss)
+	c.Enqueue(now, hit)
+	for !miss.Done || !hit.Done {
+		now = c.NextEvent(now)
+		c.AdvanceTo(now)
+	}
+	if hit.Finish >= miss.Finish {
+		t.Fatalf("FR-FCFS did not prioritize row hit: hit=%d miss=%d", hit.Finish, miss.Finish)
+	}
+}
+
+func TestFCFSKeepsArrivalOrder(t *testing.T) {
+	c := newTestCtrl(OpenPage, FCFS)
+	r := runOne(t, c, 0, 0, 0, false)
+	now := r.Finish
+	rowBytes := uint32(DefaultGeometry().RowBytes)
+	miss := &Request{Bank: 0, Addr: rowBytes * 5}
+	hit := &Request{Bank: 0, Addr: 32}
+	c.Enqueue(now, miss)
+	c.Enqueue(now, hit)
+	for !miss.Done || !hit.Done {
+		now = c.NextEvent(now)
+		c.AdvanceTo(now)
+	}
+	if miss.Finish >= hit.Finish {
+		t.Fatalf("FCFS reordered: miss=%d hit=%d", miss.Finish, hit.Finish)
+	}
+}
+
+func TestFRFCFSStarvationBound(t *testing.T) {
+	c := newTestCtrl(OpenPage, FRFCFS)
+	r := runOne(t, c, 0, 0, 0, false)
+	now := r.Finish
+	rowBytes := uint32(DefaultGeometry().RowBytes)
+	miss := &Request{Bank: 0, Addr: rowBytes * 7}
+	c.Enqueue(now, miss)
+	// Keep feeding row hits; the miss must still complete within the
+	// bypass bound.
+	issued := 0
+	for !miss.Done {
+		if c.QueueLen() < 8 {
+			h := &Request{Bank: 0, Addr: uint32(16 * (issued % 64))}
+			c.Enqueue(now, h)
+			issued++
+		}
+		now = c.NextEvent(now)
+		c.AdvanceTo(now)
+		if issued > 200 {
+			t.Fatal("miss starved beyond 200 hit injections")
+		}
+	}
+}
+
+func TestRefreshBlackout(t *testing.T) {
+	tm := DefaultTiming()
+	c := newTestCtrl(OpenPage, FRFCFS)
+	// A request arriving right at the refresh epoch waits out tRFC.
+	r := &Request{Bank: 0, Addr: 0}
+	now := int64(tm.TREFI)
+	c.Enqueue(now, r)
+	for !r.Done {
+		now = c.NextEvent(now)
+		c.AdvanceTo(now)
+	}
+	if c.Stats.Refreshes == 0 {
+		t.Fatal("no refresh recorded at tREFI boundary")
+	}
+	minFinish := int64(tm.TREFI+tm.TRFC) + int64(tm.TRCD+tm.TCL+1)
+	if r.Finish < minFinish {
+		t.Fatalf("request finished at %d inside refresh blackout (min %d)", r.Finish, minFinish)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	c := newTestCtrl(OpenPage, FRFCFS)
+	// Four cold reads to four different banks overlap: total time far
+	// below 4x the single-read latency.
+	reqs := make([]*Request, 4)
+	for i := range reqs {
+		reqs[i] = &Request{Bank: i, Addr: 0}
+		c.Enqueue(0, reqs[i])
+	}
+	now := int64(0)
+	for !reqs[3].Done {
+		now = c.NextEvent(now)
+		c.AdvanceTo(now)
+	}
+	single := int64(DefaultTiming().TRCD + DefaultTiming().TCL + 1)
+	var last int64
+	for _, r := range reqs {
+		if r.Finish > last {
+			last = r.Finish
+		}
+	}
+	if last >= 4*single {
+		t.Fatalf("no bank-level parallelism: last finish %d vs single %d", last, single)
+	}
+	// But tRRDS must stagger the activates: not all four finish together.
+	if reqs[3].Finish == reqs[0].Finish {
+		t.Fatal("tRRDS not enforced between banks")
+	}
+}
+
+func TestTRRDSpacing(t *testing.T) {
+	c := newTestCtrl(OpenPage, FRFCFS)
+	a := &Request{Bank: 0, Addr: 0}
+	b := &Request{Bank: 1, Addr: 0}
+	c.Enqueue(0, a)
+	c.Enqueue(0, b)
+	now := int64(0)
+	for !a.Done || !b.Done {
+		now = c.NextEvent(now)
+		c.AdvanceTo(now)
+	}
+	gap := b.Finish - a.Finish
+	if gap < int64(DefaultTiming().TRRDS) {
+		t.Fatalf("ACT spacing %d below tRRDS %d", gap, DefaultTiming().TRRDS)
+	}
+}
+
+func TestTRRDLWithinBankGroup(t *testing.T) {
+	// Banks 0 and 1 share a group: ACT spacing >= tRRDL (6).
+	// Banks 0 and 2 are in different groups: spacing >= tRRDS (4) only.
+	spacing := func(bankB int) int64 {
+		c := newTestCtrl(OpenPage, FRFCFS)
+		a := &Request{Bank: 0, Addr: 0}
+		b := &Request{Bank: bankB, Addr: 0}
+		c.Enqueue(0, a)
+		c.Enqueue(0, b)
+		now := int64(0)
+		for !a.Done || !b.Done {
+			now = c.NextEvent(now)
+			c.AdvanceTo(now)
+		}
+		d := b.Finish - a.Finish
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	sameGroup := spacing(1)
+	crossGroup := spacing(2)
+	tm := DefaultTiming()
+	if sameGroup < int64(tm.TRRDL) {
+		t.Errorf("same-group ACT spacing %d < tRRDL %d", sameGroup, tm.TRRDL)
+	}
+	if crossGroup >= sameGroup {
+		t.Errorf("cross-group spacing %d not tighter than same-group %d", crossGroup, sameGroup)
+	}
+}
+
+func TestEnqueuePanicsOnBadRequest(t *testing.T) {
+	c := newTestCtrl(OpenPage, FRFCFS)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad bank accepted")
+			}
+		}()
+		c.Enqueue(0, &Request{Bank: 9, Addr: 0})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-capacity address accepted")
+			}
+		}()
+		c.Enqueue(0, &Request{Bank: 0, Addr: uint32(DefaultGeometry().BankBytes)})
+	}()
+}
+
+func TestNewControllerPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero banks accepted")
+		}
+	}()
+	NewController(0, 16, DefaultTiming(), DefaultGeometry(), OpenPage, FRFCFS)
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if OpenPage.String() != "open" || ClosePage.String() != "close" {
+		t.Error("page policy strings")
+	}
+	if FRFCFS.String() != "FR-FCFS" || FCFS.String() != "FCFS" {
+		t.Error("sched policy strings")
+	}
+}
+
+// Property: under random request streams, every request completes, finish
+// times are strictly increasing per bank for same-row sequential access,
+// and no two column bursts to the same bank overlap within tCCD.
+func TestTimingInvariantsQuick(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	f := func() bool {
+		c := newTestCtrl(OpenPage, FRFCFS)
+		n := 20 + rnd.Intn(30)
+		var reqs []*Request
+		now := int64(0)
+		for i := 0; i < n; i++ {
+			r := &Request{
+				Bank:  rnd.Intn(4),
+				Addr:  uint32(rnd.Intn(1<<16)) &^ (AccessBytes - 1),
+				Write: rnd.Intn(3) == 0,
+			}
+			for !c.Enqueue(now, r) {
+				now = c.NextEvent(now)
+				c.AdvanceTo(now)
+			}
+			reqs = append(reqs, r)
+			now += int64(rnd.Intn(4))
+		}
+		for {
+			done := true
+			for _, r := range reqs {
+				if !r.Done {
+					done = false
+					break
+				}
+			}
+			if done {
+				break
+			}
+			ev := c.NextEvent(now)
+			if ev == math.MaxInt64 {
+				t.Log("idle with pending requests")
+				return false
+			}
+			now = ev
+			c.AdvanceTo(now)
+		}
+		// Per-bank: no two finishes closer than tCCD.
+		perBank := map[int][]int64{}
+		for _, r := range reqs {
+			if r.Finish <= r.Arrive {
+				t.Logf("finish %d <= arrive %d", r.Finish, r.Arrive)
+				return false
+			}
+			perBank[r.Bank] = append(perBank[r.Bank], r.Finish)
+		}
+		// Activate count sanity: at most one ACT per miss.
+		if c.Stats.Activates != c.Stats.RowMisses {
+			t.Logf("activates %d != misses %d", c.Stats.Activates, c.Stats.RowMisses)
+			return false
+		}
+		if c.Stats.Reads+c.Stats.Writes != int64(n) {
+			t.Logf("reads+writes != n")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

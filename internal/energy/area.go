@@ -1,0 +1,86 @@
+package energy
+
+import "ipim/internal/sim"
+
+// Area model (paper Table IV). Per-unit areas are derived from the
+// table's totals (which already include the conservative 2x
+// DRAM-process overhead): 64 SIMD units = 2.26 mm², 64 int ALUs =
+// 0.32 mm², 64 AddrRFs (256 B) = 0.20 mm², 64 DataRFs (1 KB) =
+// 1.79 mm², 16 memory controllers = 1.84 mm², 16 PGSMs (8 KB) =
+// 3.87 mm². Register files and scratchpads scale linearly with
+// capacity for the Fig. 10 sensitivity configurations.
+const (
+	// mm² per unit at Table III capacities.
+	areaSIMDUnit = 2.26 / 64
+	areaIntALU   = 0.32 / 64
+	areaAddrRF   = 0.20 / 64 // at 256 B
+	areaDataRF   = 1.79 / 64 // at 1 KB (64 x 128 b)
+	areaMemCtrl  = 1.84 / 16
+	areaPGSM     = 3.87 / 16 // at 8 KB
+
+	// Base-logic-die components (silicon process, no 2x overhead).
+	AreaControlCore = 0.92 // mm², includes the VSM
+	AreaVSM         = 0.23 // mm², part of AreaControlCore
+	// BaseDieVaultBudget is the spare base-die area per vault the
+	// control core must fit into (paper cites 3.5 mm² from TETRIS).
+	BaseDieVaultBudget = 3.5
+
+	// DRAMDieArea is one HBM-class DRAM die (paper cites 96 mm²).
+	DRAMDieArea = 96.0
+)
+
+// AreaItem is one row of the Table IV area report.
+type AreaItem struct {
+	Name     string
+	Number   int
+	AreaMM2  float64 // total for all units, incl. DRAM-process overhead
+	Overhead float64 // fraction of the DRAM die
+}
+
+// AreaReport reproduces Table IV for a configuration: the per-DRAM-die
+// overhead of the execution components. The paper's reference die holds
+// 16 PGs x 4 PEs (one PG per vault per die x 16 vaults).
+func AreaReport(cfg *sim.Config) []AreaItem {
+	// Components on one DRAM die: one PG per vault, all vaults.
+	nPG := cfg.VaultsPerCube
+	nPE := nPG * cfg.PEsPerPG
+	// Linear capacity scaling for the sensitivity sweeps.
+	drfScale := float64(cfg.DataRFEntries) / 64
+	arfScale := float64(cfg.AddrRFEntries) / 64
+	pgsmScale := float64(cfg.PGSMBytes) / float64(8<<10)
+	items := []AreaItem{
+		{Name: "SIMD Unit", Number: nPE, AreaMM2: float64(nPE) * areaSIMDUnit},
+		{Name: "Int ALU", Number: nPE, AreaMM2: float64(nPE) * areaIntALU},
+		{Name: "Address Register File", Number: nPE, AreaMM2: float64(nPE) * areaAddrRF * arfScale},
+		{Name: "Data Register File", Number: nPE, AreaMM2: float64(nPE) * areaDataRF * drfScale},
+		{Name: "Memory Controller", Number: nPG, AreaMM2: float64(nPG) * areaMemCtrl},
+		{Name: "PGSM", Number: nPG, AreaMM2: float64(nPG) * areaPGSM * pgsmScale},
+	}
+	for i := range items {
+		items[i].Overhead = items[i].AreaMM2 / DRAMDieArea
+	}
+	return items
+}
+
+// TotalArea sums an area report.
+func TotalArea(items []AreaItem) (mm2, overhead float64) {
+	for _, it := range items {
+		mm2 += it.AreaMM2
+	}
+	return mm2, mm2 / DRAMDieArea
+}
+
+// NaivePerBankOverhead returns the per-DRAM-die area overhead of the
+// strawman that integrates a full control core next to every bank
+// (paper: 122.36%, ~10x worse than the decoupled design). The core
+// pays the same conservative 2x DRAM-process factor.
+func NaivePerBankOverhead(cfg *sim.Config) float64 {
+	base, _ := TotalArea(AreaReport(cfg))
+	nPE := cfg.VaultsPerCube * cfg.PEsPerPG
+	cores := float64(nPE) * (AreaControlCore - AreaVSM) * 2
+	return (base + cores) / DRAMDieArea
+}
+
+// CoreFitsBaseDie reports whether the control core fits the spare
+// base-die area per vault.
+func CoreFitsBaseDie() bool { return AreaControlCore <= BaseDieVaultBudget }

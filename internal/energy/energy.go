@@ -1,0 +1,112 @@
+// Package energy implements iPIM's energy and area models. All dynamic
+// per-event energies come straight from the paper's Table III; the area
+// constants come from Table IV (which already includes the conservative
+// 2x DRAM-process overhead the paper applies). The PGSM/VSM access
+// energies and the background/core power — which the paper derived from
+// cacti-3DD and the ARM Cortex-A5 datasheet but does not tabulate — use
+// documented cacti-class estimates (see DESIGN.md §5).
+package energy
+
+import "ipim/internal/sim"
+
+// Model holds per-event energies in joules and standby powers in watts.
+type Model struct {
+	// Table III "J/access".
+	DRAMRdWr  float64 // 0.52 nJ per 128-bit CAS
+	DRAMRasOp float64 // 0.22 nJ per ACT or PRE
+	AddrRF    float64 // 0.43 pJ per access
+	DataRF    float64 // 2.66 pJ per access
+	SIMDUnit  float64 // 87.37 pJ per vector op
+	IntALU    float64 // 11.05 pJ per op
+
+	// Table III "J/bit".
+	PEBusBit  float64 // 0.017 pJ/bit
+	TSVBit    float64 // 4.64 pJ/bit
+	SerdesBit float64 // 4.50 pJ/bit
+
+	// cacti-class estimates for the scratchpads (per 128-bit access).
+	PGSM float64
+	VSM  float64
+
+	// Refresh energy per all-bank refresh per bank.
+	Refresh float64
+
+	// Standby powers.
+	BankBackgroundW float64 // per bank
+	CoreW           float64 // control core, per vault (ARM A5-class)
+}
+
+// DefaultModel returns the Table III energy model.
+func DefaultModel() Model {
+	const (
+		pJ = 1e-12
+		nJ = 1e-9
+	)
+	return Model{
+		DRAMRdWr:        0.52 * nJ,
+		DRAMRasOp:       0.22 * nJ,
+		AddrRF:          0.43 * pJ,
+		DataRF:          2.66 * pJ,
+		SIMDUnit:        87.37 * pJ,
+		IntALU:          11.05 * pJ,
+		PEBusBit:        0.017 * pJ,
+		TSVBit:          4.64 * pJ,
+		SerdesBit:       4.50 * pJ,
+		PGSM:            4.0 * pJ,
+		VSM:             20.0 * pJ,
+		Refresh:         28.0 * nJ, // tRFC x refresh current class estimate
+		BankBackgroundW: 0.5e-3,
+		CoreW:           80e-3,
+	}
+}
+
+// Breakdown is the Fig. 9 energy decomposition in joules.
+type Breakdown struct {
+	DRAM     float64 // background + RAS + CAS + refresh
+	SIMDUnit float64 // "all floating/integer operation energy" incl. the int ALUs
+	AddrRF   float64
+	DataRF   float64
+	PGSM     float64
+	Others   float64 // data movement (PEbus/TSV/NoC/SERDES) + VSM + control core
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.DRAM + b.SIMDUnit + b.AddrRF + b.DataRF + b.PGSM + b.Others
+}
+
+// PIMDieFraction returns the share of energy spent on the PIM dies
+// (everything except Others), the quantity the paper reports as 89.17%.
+func (b Breakdown) PIMDieFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return (t - b.Others) / t
+}
+
+// Compute converts run statistics into the Fig. 9 energy breakdown.
+// nBanks and nVaults describe the portion of the machine the stats
+// cover (for background/core standby energy); cycleNS is the clock
+// period in nanoseconds (1 at 1 GHz).
+func (m Model) Compute(s *sim.Stats, nBanks, nVaults int, cycleNS float64) Breakdown {
+	seconds := float64(s.Cycles) * cycleNS * 1e-9
+	var b Breakdown
+	b.DRAM = float64(s.DRAM.Reads+s.DRAM.Writes)*m.DRAMRdWr +
+		float64(s.DRAM.Activates+s.DRAM.Precharges)*m.DRAMRasOp +
+		float64(s.DRAM.Refreshes)*float64(nBanks)*m.Refresh +
+		seconds*m.BankBackgroundW*float64(nBanks)
+	b.SIMDUnit = float64(s.SIMDOps)*m.SIMDUnit + float64(s.IntALUOps)*m.IntALU
+	b.AddrRF = float64(s.AddrRFAcc) * m.AddrRF
+	b.DataRF = float64(s.DataRFAcc) * m.DataRF
+	b.PGSM = float64(s.PGSMAcc) * m.PGSM
+	const beatBits = 128
+	movement := float64(s.PEBusBeats)*beatBits*m.PEBusBit +
+		float64(s.TSVBeats)*beatBits*m.TSVBit +
+		float64(s.NoC.Flits)*beatBits*m.TSVBit + // on-chip mesh links are TSV-class wires
+		float64(s.SerdesBeat)*32*m.SerdesBit
+	b.Others = movement +
+		float64(s.VSMAcc)*m.VSM +
+		seconds*m.CoreW*float64(nVaults)
+	return b
+}

@@ -1,0 +1,166 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"ipim/internal/sim"
+)
+
+func TestBreakdownTotalEqualsSum(t *testing.T) {
+	b := Breakdown{DRAM: 1, SIMDUnit: 2, AddrRF: 3, DataRF: 4, PGSM: 5, Others: 6}
+	if b.Total() != 21 {
+		t.Fatalf("Total = %v, want 21", b.Total())
+	}
+}
+
+func TestPIMDieFraction(t *testing.T) {
+	b := Breakdown{DRAM: 80, SIMDUnit: 5, AddrRF: 1, DataRF: 2, PGSM: 2, Others: 10}
+	got := b.PIMDieFraction()
+	if math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("PIMDieFraction = %v, want 0.9", got)
+	}
+	var zero Breakdown
+	if zero.PIMDieFraction() != 0 {
+		t.Fatal("zero breakdown fraction must be 0")
+	}
+}
+
+func TestComputeUsesTableIIIConstants(t *testing.T) {
+	m := DefaultModel()
+	var s sim.Stats
+	s.Cycles = 1000
+	s.DRAM.Reads = 100
+	s.DRAM.Writes = 50
+	s.DRAM.Activates = 10
+	s.DRAM.Precharges = 10
+	s.SIMDOps = 200
+	s.IntALUOps = 40
+	s.AddrRFAcc = 300
+	s.DataRFAcc = 400
+	s.PGSMAcc = 20
+	s.VSMAcc = 5
+	s.TSVBeats = 8
+	s.PEBusBeats = 150
+
+	b := m.Compute(&s, 4, 1, 1.0)
+
+	// CAS energy: 150 accesses x 0.52 nJ.
+	wantCAS := 150 * 0.52e-9
+	wantRAS := 20 * 0.22e-9
+	bg := 1000e-9 * m.BankBackgroundW * 4
+	if math.Abs(b.DRAM-(wantCAS+wantRAS+bg)) > 1e-15 {
+		t.Errorf("DRAM = %v, want %v", b.DRAM, wantCAS+wantRAS+bg)
+	}
+	wantSIMD := 200*87.37e-12 + 40*11.05e-12
+	if math.Abs(b.SIMDUnit-wantSIMD) > 1e-18 {
+		t.Errorf("SIMDUnit = %v, want %v", b.SIMDUnit, wantSIMD)
+	}
+	if math.Abs(b.AddrRF-300*0.43e-12) > 1e-18 {
+		t.Errorf("AddrRF = %v", b.AddrRF)
+	}
+	if math.Abs(b.DataRF-400*2.66e-12) > 1e-18 {
+		t.Errorf("DataRF = %v", b.DataRF)
+	}
+	if b.Others <= 0 {
+		t.Error("Others must include movement + core energy")
+	}
+	// Total must exceed any single component.
+	if b.Total() <= b.DRAM {
+		t.Error("total not larger than DRAM component")
+	}
+}
+
+func TestComputeDRAMDominatesForMemoryBound(t *testing.T) {
+	// A bandwidth-bound profile (like Brighten): DRAM energy dominates,
+	// and most energy lands on the PIM dies (paper: 89.17%).
+	m := DefaultModel()
+	var s sim.Stats
+	s.Cycles = 100000
+	s.DRAM.Reads = 50000
+	s.DRAM.Writes = 25000
+	s.DRAM.Activates = 600
+	s.DRAM.Precharges = 600
+	s.SIMDOps = 75000
+	s.DataRFAcc = 225000
+	s.AddrRFAcc = 150000
+	s.IntALUOps = 50000
+	s.TSVBeats = 100
+	s.PEBusBeats = 75000
+	b := m.Compute(&s, 32, 1, 1.0)
+	if b.DRAM < b.SIMDUnit || b.DRAM < b.Others {
+		t.Errorf("DRAM energy should dominate: %+v", b)
+	}
+	if f := b.PIMDieFraction(); f < 0.7 {
+		t.Errorf("PIM-die fraction = %v, want the large majority", f)
+	}
+}
+
+func TestAreaReportMatchesTableIV(t *testing.T) {
+	cfg := sim.Default()
+	items := AreaReport(&cfg)
+	want := map[string]float64{
+		"SIMD Unit":             2.26,
+		"Int ALU":               0.32,
+		"Address Register File": 0.20,
+		"Data Register File":    1.79,
+		"Memory Controller":     1.84,
+		"PGSM":                  3.87,
+	}
+	for _, it := range items {
+		w, ok := want[it.Name]
+		if !ok {
+			t.Errorf("unexpected area item %q", it.Name)
+			continue
+		}
+		if math.Abs(it.AreaMM2-w) > 1e-9 {
+			t.Errorf("%s area = %v, want %v", it.Name, it.AreaMM2, w)
+		}
+	}
+	total, overhead := TotalArea(items)
+	if math.Abs(total-10.28) > 1e-9 {
+		t.Errorf("total area = %v, want 10.28", total)
+	}
+	// Paper: 10.71%.
+	if math.Abs(overhead-0.1071) > 0.001 {
+		t.Errorf("overhead = %v, want ~0.1071", overhead)
+	}
+}
+
+func TestAreaScalesWithCapacity(t *testing.T) {
+	cfg := sim.Default()
+	cfg.DataRFEntries = 128
+	cfg.PGSMBytes = 2 << 10
+	items := AreaReport(&cfg)
+	for _, it := range items {
+		switch it.Name {
+		case "Data Register File":
+			if math.Abs(it.AreaMM2-2*1.79) > 1e-9 {
+				t.Errorf("128-entry DRF area = %v, want %v", it.AreaMM2, 2*1.79)
+			}
+		case "PGSM":
+			if math.Abs(it.AreaMM2-3.87/4) > 1e-9 {
+				t.Errorf("2KB PGSM area = %v, want %v", it.AreaMM2, 3.87/4)
+			}
+		}
+	}
+}
+
+func TestNaivePerBankOverheadIsMuchWorse(t *testing.T) {
+	cfg := sim.Default()
+	_, decoupled := TotalArea(AreaReport(&cfg))
+	naive := NaivePerBankOverhead(&cfg)
+	if naive < 5*decoupled {
+		t.Errorf("naive overhead %v not dramatically worse than decoupled %v", naive, decoupled)
+	}
+	// Paper: 122.36% naive. Our constants give the same order.
+	if naive < 0.8 || naive > 2.0 {
+		t.Errorf("naive overhead = %v, want order of 100%%", naive)
+	}
+}
+
+func TestCoreFitsBaseDie(t *testing.T) {
+	if !CoreFitsBaseDie() {
+		t.Fatalf("control core %v mm² must fit the %v mm² vault budget", AreaControlCore, BaseDieVaultBudget)
+	}
+}

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"ipim/internal/compiler"
+	"ipim/internal/sim"
+)
+
+// Stalls is a diagnostic table (not a paper figure): the fraction of
+// cycles lost to each stall reason plus the TSV bus utilization, per
+// workload. Used to analyze where the simulated vault spends time.
+func (c *Context) Stalls() (*Table, error) {
+	t := &Table{
+		Name: "stalls", Title: "stall cycle breakdown (% of cycles) and TSV utilization",
+		Columns: []string{"data%", "queue%", "dramQ%", "branch%", "sync%", "ifetch%", "tsv%", "IPC"},
+	}
+	for _, wl := range suite() {
+		r, err := c.run(wl, compiler.Opt, c.BenchCfg, "bench")
+		if err != nil {
+			return nil, err
+		}
+		cyc := float64(r.stats.Cycles)
+		row := Row{Label: wl.Name}
+		for reason := sim.StallReason(0); reason < sim.NumStallReasons; reason++ {
+			row.Values = append(row.Values, float64(r.stats.StallCycles[reason])/cyc*100)
+		}
+		row.Values = append(row.Values,
+			float64(r.stats.TSVBeats)/cyc*100,
+			r.stats.IPC())
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

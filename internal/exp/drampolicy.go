@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"fmt"
+
+	"ipim/internal/compiler"
+	"ipim/internal/dram"
+)
+
+// DRAMPolicy is the ablation over the in-DRAM memory controller's page
+// and scheduling policies (paper Sec. IV-E: the controller supports
+// open/close page and FCFS/FR-FCFS). The paper evaluates with
+// open-page + FR-FCFS; this table shows why: cycles normalized to that
+// default for a representative workload subset.
+func (c *Context) DRAMPolicy() (*Table, error) {
+	t := &Table{
+		Name: "dram", Title: "DRAM policy ablation (cycles normalized to open-page FR-FCFS)",
+		Columns: []string{"open/FR-FCFS", "open/FCFS", "close/FR-FCFS", "close/FCFS"},
+		Notes:   []string{"paper default: open page + FR-FCFS (Table III)"},
+	}
+	type variant struct {
+		page  dram.PagePolicy
+		sched dram.SchedPolicy
+		key   string
+	}
+	variants := []variant{
+		{dram.OpenPage, dram.FRFCFS, "open-frfcfs"},
+		{dram.OpenPage, dram.FCFS, "open-fcfs"},
+		{dram.ClosePage, dram.FRFCFS, "close-frfcfs"},
+		{dram.ClosePage, dram.FCFS, "close-fcfs"},
+	}
+	for _, wl := range sensitivitySuite() {
+		var cycles []float64
+		for _, v := range variants {
+			cfg := c.BenchCfg
+			cfg.Page = v.page
+			cfg.Sched = v.sched
+			r, err := c.run(wl, compiler.Opt, cfg, v.key)
+			if err != nil {
+				return nil, fmt.Errorf("dram ablation %s/%s: %w", wl.Name, v.key, err)
+			}
+			cycles = append(cycles, float64(r.stats.Cycles))
+		}
+		row := Row{Label: wl.Name}
+		for _, cyc := range cycles {
+			row.Values = append(row.Values, cyc/cycles[0])
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+
+	"ipim/internal/compiler"
+	"ipim/internal/cube"
+	"ipim/internal/halide"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+)
+
+// chainPipeline builds an n-stage 3x3 stencil chain, with or without
+// clamped-stage (halo-exchange) semantics.
+func chainPipeline(n int, clamped bool) *halide.Pipeline {
+	var prev *halide.Func
+	for i := 0; i < n; i++ {
+		at := func(dx, dy int) halide.Expr {
+			if prev == nil {
+				return halide.In(dx, dy)
+			}
+			return prev.At(dx, dy)
+		}
+		var sum halide.Expr = at(-1, -1)
+		for _, d := range [][2]int{{0, -1}, {1, -1}, {-1, 0}, {0, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1}} {
+			sum = halide.Add(sum, at(d[0], d[1]))
+		}
+		prev = halide.NewFunc(fmt.Sprintf("xc%d_%v", i, clamped)).
+			Define(halide.Mul(sum, halide.K(1.0/9))).ComputeRoot().LoadPGSM()
+	}
+	p := halide.NewPipeline(fmt.Sprintf("chain%d", n), prev)
+	if clamped {
+		p.ClampStages()
+	}
+	return p
+}
+
+// Exchange is the halo-strategy ablation behind DESIGN.md §2: an
+// n-stage stencil chain compiled with overlapped tiling (cumulative
+// halo recompute) vs halo exchange (PGSM/VSM transfers). Overlapped
+// tiling's redundant work grows quadratically with depth; exchange pays
+// a per-stage constant.
+func (c *Context) Exchange() (*Table, error) {
+	t := &Table{
+		Name: "exchange", Title: "halo strategy ablation: n-stage chain cycles (Mcyc)",
+		Columns: []string{"overlap", "exchange", "speedup", "ovlDRAMrd(M)", "exDRAMrd(M)"},
+		Notes: []string{
+			"overlapped tiling recomputes cumulative halos; exchange transfers them (DESIGN.md §2)",
+		},
+	}
+	cfg := sim.OneVault()
+	for _, depth := range []int{2, 4, 8} {
+		var cycles [2]float64
+		var reads [2]float64
+		for i, clamped := range []bool{false, true} {
+			pipe := chainPipeline(depth, clamped)
+			imgW, imgH := 256, 64
+			img := pixel.Synth(imgW, imgH, 9)
+			art, err := compiler.Compile(&cfg, pipe, imgW, imgH, compiler.Opt)
+			if err != nil {
+				return nil, fmt.Errorf("exchange depth %d clamped=%v: %w", depth, clamped, err)
+			}
+			m, err := cube.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := compiler.LoadInput(m, art, img); err != nil {
+				return nil, err
+			}
+			stats, err := compiler.Execute(m, art)
+			if err != nil {
+				return nil, err
+			}
+			cycles[i] = float64(stats.Cycles)
+			reads[i] = float64(stats.DRAM.Reads)
+		}
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("chain-%d", depth), Values: []float64{
+			cycles[0] / 1e6, cycles[1] / 1e6, cycles[0] / cycles[1],
+			reads[0] / 1e6, reads[1] / 1e6,
+		}})
+	}
+	return t, nil
+}

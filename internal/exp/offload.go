@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"ipim/internal/compiler"
+	"ipim/internal/host"
+)
+
+// Offload models the system-integration picture (paper Sec. VI): kernel
+// time on the full machine vs PCIe transfer time for one frame, and the
+// batch size at which transfers amortize below 10% of the total — the
+// reason the paper's standalone accelerator is used with resident data
+// in the datacenter scenario.
+func (c *Context) Offload() (*Table, error) {
+	t := &Table{
+		Name: "offload", Title: "host offload over PCIe 3.0 x16 (per frame, full machine)",
+		Columns: []string{"kernel(us)", "xfer(us)", "xferShare%", "batch@10%"},
+		Notes: []string{
+			"paper Sec. VI: standalone accelerator, PCIe-attached, data resident across kernels",
+		},
+	}
+	bus := host.PCIe3x16()
+	for _, wl := range suite() {
+		r, err := c.run(wl, compiler.Opt, c.BenchCfg, "bench")
+		if err != nil {
+			return nil, err
+		}
+		pipe := wl.Build().Pipe
+		outPixels := r.pixels * float64(pipe.OutNum*pipe.OutNum) / float64(pipe.OutDen*pipe.OutDen)
+		o := host.Offload{
+			InputBytes:  int64(r.pixels * 4),
+			OutputBytes: int64(outPixels * 4),
+			KernelNS:    c.machineTimeSec(r) * 1e9,
+		}
+		// Smallest batch with transfer share <= 10%.
+		batch := 1
+		for batch < 1<<20 {
+			total := o.Amortized(bus, batch)
+			if (total-float64(batch)*o.KernelNS)/total <= 0.10 {
+				break
+			}
+			batch *= 2
+		}
+		xfer := bus.TransferNS(o.InputBytes) + bus.TransferNS(o.OutputBytes)
+		t.Rows = append(t.Rows, Row{Label: wl.Name, Values: []float64{
+			o.KernelNS / 1e3, xfer / 1e3, o.TransferShare(bus) * 100, float64(batch),
+		}})
+	}
+	return t, nil
+}

@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"fmt"
+
+	"ipim/internal/compiler"
+	"ipim/internal/sim"
+)
+
+// Scaling validates the representative-vault extrapolation (DESIGN.md
+// §2): the same workload on the same image across machines with 1, 2
+// and 4 vaults. Under lock-step SIMB and interleaved tile distribution,
+// cycles should drop in proportion to the vault count (modulo barrier
+// cost and tile-count rounding), so "cycles x vaults" — the rightmost
+// columns, normalized to the 1-vault run — should stay near 1.
+func (c *Context) Scaling() (*Table, error) {
+	t := &Table{
+		Name: "scaling", Title: "multi-vault scaling (single-stage workloads)",
+		Columns: []string{"1v(Mcyc)", "2v(Mcyc)", "4v(Mcyc)", "eff2v", "eff4v"},
+		Notes: []string{
+			"effNv = cycles(1v) / (N x cycles(Nv)); near 1.0 validates the vault extrapolation",
+		},
+	}
+	// Single-stage workloads only: halo-exchange pipelines require a
+	// single vault (DESIGN.md §2).
+	for _, name := range []string{"Brighten", "GaussianBlur", "Shift"} {
+		wl, err := wlByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var cycles []float64
+		for _, vaults := range []int{1, 2, 4} {
+			cfg := sim.OneVault()
+			cfg.VaultsPerCube = vaults
+			r, err := c.run(wl, compiler.Opt, cfg, fmt.Sprintf("scale%d", vaults))
+			if err != nil {
+				return nil, err
+			}
+			cycles = append(cycles, float64(r.stats.Cycles))
+		}
+		t.Rows = append(t.Rows, Row{Label: wl.Name, Values: []float64{
+			cycles[0] / 1e6, cycles[1] / 1e6, cycles[2] / 1e6,
+			cycles[0] / (2 * cycles[1]),
+			cycles[0] / (4 * cycles[2]),
+		}})
+	}
+	return t, nil
+}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+
+	"ipim/internal/compiler"
+)
+
+// Cooling limits the paper cites from the 3D-PIM thermal literature
+// (mW/mm² of stack footprint).
+const (
+	commodityCoolingLimit = 706.0
+	highEndCoolingLimit   = 1214.0
+	dieFootprintMM2       = 96.0
+)
+
+// Thermal reproduces the paper's thermal feasibility analysis
+// (Sec. VII-B): per-cube power under the most bandwidth-intensive
+// workloads, the resulting power density against the active-cooling
+// limits, and the share drawn by DRAM activate/precharge activity
+// (paper: 63 W/cube peak, 593 mW/mm², 78.5% from ACT/PRE, feasible
+// under commodity-server cooling).
+func (c *Context) Thermal() (*Table, error) {
+	t := &Table{
+		Name: "thermal", Title: "per-cube power and density under load",
+		Columns: []string{"W/cube", "mW/mm2", "dram%", "commodity-ok", "high-end-ok"},
+		Notes: []string{
+			"paper: 63 W peak per cube, 593 mW/mm2, fits the 706 mW/mm2 commodity active-cooling limit",
+		},
+	}
+	vaultsPerCube := float64(c.FullCfg.VaultsPerCube)
+	for _, wl := range suite() {
+		r, err := c.run(wl, compiler.Opt, c.BenchCfg, "bench")
+		if err != nil {
+			return nil, err
+		}
+		b := c.ipimEnergy(r)
+		seconds := float64(r.stats.Cycles) * 1e-9
+		vaultPower := b.Total() / seconds
+		cubePower := vaultPower * vaultsPerCube
+		density := cubePower / dieFootprintMM2 * 1e3 // mW/mm²
+		dramShare := b.DRAM / b.Total() * 100
+		ok := func(limit float64) float64 {
+			if density <= limit {
+				return 1
+			}
+			return 0
+		}
+		t.Rows = append(t.Rows, Row{Label: wl.Name, Values: []float64{
+			cubePower, density, dramShare, ok(commodityCoolingLimit), ok(highEndCoolingLimit),
+		}})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("measured max: %.1f W/cube, %.0f mW/mm2",
+		t.max(0), t.max(1)))
+	return t, nil
+}
+
+func (t *Table) max(col int) float64 {
+	var m float64
+	for _, r := range t.Rows {
+		if r.Values[col] > m {
+			m = r.Values[col]
+		}
+	}
+	return m
+}

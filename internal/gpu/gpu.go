@@ -1,0 +1,163 @@
+// Package gpu is the analytical NVIDIA Tesla V100 baseline model
+// standing in for the paper's nvprof/nvidia-smi measurements (see
+// DESIGN.md §5). It is a roofline model driven by the same workload IR
+// the iPIM compiler consumes: per materialized stage it derives the
+// DRAM traffic, FP32 arithmetic and INT32 index arithmetic, and takes
+// the larger of the memory time and ALU time. The effective DRAM
+// utilization, the Halide-fusion traffic discount for multi-stage
+// pipelines, and the value-dependent (atomic) penalty for Histogram are
+// calibrated to reproduce the paper's Fig. 1 profile qualitatively:
+// bandwidth-bound kernels at ~57% DRAM utilization, a few percent ALU
+// utilization dominated by index calculation, and a pathological
+// histogram schedule.
+package gpu
+
+import (
+	"fmt"
+
+	"ipim/internal/halide"
+)
+
+// Config describes the modeled GPU (defaults: Tesla V100 SXM2).
+type Config struct {
+	PeakBandwidth float64 // B/s (900 GB/s HBM2)
+	MemUtil       float64 // achieved fraction of peak (Fig. 1: 57.55%)
+	PeakFLOPS     float64 // FP32 ops/s
+	PeakIOPS      float64 // INT32 ops/s
+	BoardPowerW   float64 // average power under load
+
+	// FusionDiscount scales multi-stage traffic for Halide's fusion
+	// (the paper finds fusion barely moves the needle: util 58.8% to
+	// 55.7%).
+	FusionDiscount float64
+	// ValueDependentUtil replaces MemUtil for value-dependent kernels
+	// (Histogram's atomic-bound schedule; Fig. 1 shows both low memory
+	// and low ALU utilization for it).
+	ValueDependentUtil float64
+	// IdxOpsPerAccess is the INT32 index arithmetic per memory access
+	// (2D-to-1D coordinate translation; paper Sec. III).
+	IdxOpsPerAccess float64
+}
+
+// Default returns the calibrated V100 model.
+func Default() Config {
+	return Config{
+		PeakBandwidth:      900e9,
+		MemUtil:            0.5755,
+		PeakFLOPS:          14e12,
+		PeakIOPS:           14e12,
+		BoardPowerW:        300, // V100 SXM2 board power under load
+		FusionDiscount:     0.85,
+		ValueDependentUtil: 0.08,
+		IdxOpsPerAccess:    2.5,
+	}
+}
+
+// Profile is the modeled execution of one workload (one frame).
+type Profile struct {
+	Name         string
+	Pixels       float64 // output pixels
+	TimeSec      float64
+	EnergyJ      float64
+	TrafficBytes float64
+	FLOPs        float64
+	IntOps       float64
+
+	// Fig. 1 metrics.
+	BandwidthGBs float64 // achieved DRAM bandwidth
+	DRAMUtil     float64 // fraction of peak bandwidth
+	ALUUtil      float64 // ops / (peak FP32 + INT32)
+	IndexFrac    float64 // index calculation share of ALU work
+}
+
+// Model evaluates the GPU baseline for a pipeline on a WxH input.
+func Model(cfg Config, pipe *halide.Pipeline, imgW, imgH int) (Profile, error) {
+	outW := imgW * pipe.OutNum / pipe.OutDen
+	outH := imgH * pipe.OutNum / pipe.OutDen
+	p := Profile{Name: pipe.Name, Pixels: float64(outW) * float64(outH)}
+
+	if pipe.Histogram {
+		// One pass over the image; value-dependent atomics gate both
+		// memory and ALU pipes.
+		pixels := float64(imgW) * float64(imgH)
+		p.TrafficBytes = pixels * 4 * 2 // read pixels + bin traffic
+		p.FLOPs = pixels * 2
+		p.IntOps = pixels * (2 + cfg.IdxOpsPerAccess)
+		p.TimeSec = p.TrafficBytes / (cfg.PeakBandwidth * cfg.ValueDependentUtil)
+		p.finish(cfg)
+		return p, nil
+	}
+
+	stages, err := pipe.Stages()
+	if err != nil {
+		return Profile{}, err
+	}
+	scales, err := pipe.StageScales()
+	if err != nil {
+		return Profile{}, err
+	}
+	isInlined := func(f *halide.Func) bool {
+		return !(f.IsComputeRoot() || f == pipe.Output)
+	}
+	isMat := func(f *halide.Func) bool { return !isInlined(f) }
+	domPixels := func(f *halide.Func) float64 {
+		if f == nil {
+			return float64(imgW) * float64(imgH)
+		}
+		s := scales[f]
+		return float64(outW*s[0].Num/s[0].Den) * float64(outH*s[1].Num/s[1].Den)
+	}
+	var time float64
+	for _, s := range stages {
+		pixels := domPixels(s)
+		flopsPP, accPP := halide.OpCount(s.E, isInlined)
+		flops := pixels * float64(flopsPP)
+		intops := pixels * float64(accPP) * cfg.IdxOpsPerAccess
+		// Traffic: each distinct producer read once (caches capture
+		// stencil reuse), plus the stage's own output written once.
+		uses, err := halide.StageRequirements(s, halide.Interval{Lo: 0, Hi: 1}, halide.Interval{Lo: 0, Hi: 1}, isMat)
+		if err != nil {
+			return Profile{}, err
+		}
+		traffic := pixels * 4 // output write
+		for _, u := range uses {
+			traffic += domPixels(u.Buf) * 4
+		}
+		p.TrafficBytes += traffic
+		p.FLOPs += flops
+		p.IntOps += intops
+		tMem := traffic / (cfg.PeakBandwidth * cfg.MemUtil)
+		tALU := flops/cfg.PeakFLOPS + intops/cfg.PeakIOPS
+		if tALU > tMem {
+			time += tALU
+		} else {
+			time += tMem
+		}
+	}
+	if len(stages) > 1 {
+		time *= cfg.FusionDiscount
+		p.TrafficBytes *= cfg.FusionDiscount
+	}
+	p.TimeSec = time
+	p.finish(cfg)
+	return p, nil
+}
+
+func (p *Profile) finish(cfg Config) {
+	if p.TimeSec <= 0 {
+		return
+	}
+	p.EnergyJ = cfg.BoardPowerW * p.TimeSec
+	p.BandwidthGBs = p.TrafficBytes / p.TimeSec / 1e9
+	p.DRAMUtil = p.TrafficBytes / p.TimeSec / cfg.PeakBandwidth
+	p.ALUUtil = (p.FLOPs + p.IntOps) / p.TimeSec / (cfg.PeakFLOPS + cfg.PeakIOPS)
+	if p.FLOPs+p.IntOps > 0 {
+		p.IndexFrac = p.IntOps / (p.FLOPs + p.IntOps)
+	}
+}
+
+// String renders a one-line summary.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s: %.3g ms, %.0f GB/s (%.1f%% DRAM), ALU %.2f%%, index %.1f%%",
+		p.Name, p.TimeSec*1e3, p.BandwidthGBs, p.DRAMUtil*100, p.ALUUtil*100, p.IndexFrac*100)
+}

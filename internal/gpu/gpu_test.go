@@ -1,0 +1,107 @@
+package gpu
+
+import (
+	"testing"
+
+	"ipim/internal/workloads"
+)
+
+func profileOf(t *testing.T, name string, w, h int) Profile {
+	t.Helper()
+	wl, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Model(Default(), wl.Build().Pipe, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAllWorkloadsProfile(t *testing.T) {
+	for _, wl := range workloads.All() {
+		p := profileOf(t, wl.Name, wl.BenchW, wl.BenchH)
+		if p.TimeSec <= 0 || p.EnergyJ <= 0 || p.TrafficBytes <= 0 {
+			t.Errorf("%s: degenerate profile %+v", wl.Name, p)
+		}
+		if p.DRAMUtil < 0 || p.DRAMUtil > 1 {
+			t.Errorf("%s: DRAM util %v out of range", wl.Name, p.DRAMUtil)
+		}
+		if p.ALUUtil > 0.5 {
+			t.Errorf("%s: ALU util %v implausibly high for image processing", wl.Name, p.ALUUtil)
+		}
+	}
+}
+
+func TestBandwidthBoundProfileMatchesFig1(t *testing.T) {
+	// Paper Fig. 1: memory-bound kernels at ~57.55% DRAM utilization
+	// with single-digit ALU utilization.
+	p := profileOf(t, "Brighten", 512, 256)
+	if p.DRAMUtil < 0.5 || p.DRAMUtil > 0.6 {
+		t.Errorf("Brighten DRAM util = %v, want ~0.5755", p.DRAMUtil)
+	}
+	if p.ALUUtil > 0.1 {
+		t.Errorf("Brighten ALU util = %v, want a few percent", p.ALUUtil)
+	}
+	if p.DRAMUtil < 10*p.ALUUtil {
+		t.Errorf("bandwidth-bound shape lost: DRAM %v vs ALU %v", p.DRAMUtil, p.ALUUtil)
+	}
+}
+
+func TestIndexCalculationDominatesALU(t *testing.T) {
+	// Paper Fig. 1b: index calculation is the majority of ALU work for
+	// stencil-style kernels (58.71% average).
+	p := profileOf(t, "GaussianBlur", 512, 256)
+	if p.IndexFrac < 0.4 {
+		t.Errorf("blur index fraction = %v, want the dominant share", p.IndexFrac)
+	}
+}
+
+func TestHistogramIsPathological(t *testing.T) {
+	// Paper: Halide's GPU histogram schedule is poor — low memory AND
+	// low ALU utilization.
+	h := profileOf(t, "Histogram", 512, 256)
+	b := profileOf(t, "Brighten", 512, 256)
+	if h.DRAMUtil > 0.2 {
+		t.Errorf("Histogram DRAM util = %v, want low (atomic-bound)", h.DRAMUtil)
+	}
+	// Per-pixel time must be much worse than a streaming kernel.
+	if h.TimeSec/h.Pixels < 3*b.TimeSec/b.Pixels {
+		t.Errorf("Histogram not pathological: %v vs %v per pixel", h.TimeSec/h.Pixels, b.TimeSec/b.Pixels)
+	}
+}
+
+func TestMultiStageStaysMemoryBound(t *testing.T) {
+	// Paper Sec. III: fusion does not change the memory-bound behavior.
+	p := profileOf(t, "StencilChain", 256, 64)
+	if p.DRAMUtil < 0.4 {
+		t.Errorf("StencilChain DRAM util = %v, should remain memory-bound", p.DRAMUtil)
+	}
+	if p.ALUUtil > p.DRAMUtil {
+		t.Errorf("StencilChain became compute-bound: %v > %v", p.ALUUtil, p.DRAMUtil)
+	}
+}
+
+func TestTimeScalesWithImageSize(t *testing.T) {
+	small := profileOf(t, "GaussianBlur", 256, 128)
+	big := profileOf(t, "GaussianBlur", 512, 256)
+	ratio := big.TimeSec / small.TimeSec
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("4x pixels gave %vx time", ratio)
+	}
+}
+
+func TestEnergyProportionalToTime(t *testing.T) {
+	p := profileOf(t, "Shift", 512, 256)
+	if p.EnergyJ != Default().BoardPowerW*p.TimeSec {
+		t.Errorf("energy %v != power x time", p.EnergyJ)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p := profileOf(t, "Brighten", 64, 32)
+	if s := p.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+}

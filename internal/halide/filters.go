@@ -1,0 +1,143 @@
+package halide
+
+// Reusable filter building blocks for composing pipelines — the small
+// standard library a Halide-style frontend is expected to ship with.
+// All are pure constructors over the DSL; they carry no schedule (call
+// ComputeRoot/LoadPGSM on the results as needed).
+
+// Box builds a (2r+1)x(2r+1) box filter over src (nil = input).
+func Box(name string, src *Func, r int) *Func {
+	if r < 0 {
+		panic("halide: negative box radius")
+	}
+	at := func(dx, dy int) Expr {
+		if src == nil {
+			return In(dx, dy)
+		}
+		return src.At(dx, dy)
+	}
+	var sum Expr
+	n := 0
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if sum == nil {
+				sum = at(dx, dy)
+			} else {
+				sum = Add(sum, at(dx, dy))
+			}
+			n++
+		}
+	}
+	return NewFunc(name).Define(Mul(sum, K(1/float32(n))))
+}
+
+// SeparableGaussian builds a binomial-weighted separable blur of radius
+// r (weights from Pascal's triangle row 2r) as two funcs; the x pass is
+// inlined into the returned y pass.
+func SeparableGaussian(name string, src *Func, r int) *Func {
+	if r < 0 {
+		panic("halide: negative gaussian radius")
+	}
+	w := binomial(2 * r)
+	var norm float32
+	for _, c := range w {
+		norm += c
+	}
+	at := func(dx, dy int) Expr {
+		if src == nil {
+			return In(dx, dy)
+		}
+		return src.At(dx, dy)
+	}
+	tap := func(get func(i int) Expr) Expr {
+		var sum Expr
+		for i, c := range w {
+			term := Mul(K(c/norm), get(i-r))
+			if sum == nil {
+				sum = term
+			} else {
+				sum = Add(sum, term)
+			}
+		}
+		return sum
+	}
+	gx := NewFunc(name + "_x").Define(tap(func(d int) Expr { return at(d, 0) }))
+	return NewFunc(name).Define(tap(func(d int) Expr { return gx.At(0, d) }))
+}
+
+func binomial(n int) []float32 {
+	row := []float32{1}
+	for i := 0; i < n; i++ {
+		next := make([]float32, len(row)+1)
+		next[0], next[len(row)] = 1, 1
+		for j := 1; j < len(row); j++ {
+			next[j] = row[j-1] + row[j]
+		}
+		row = next
+	}
+	return row
+}
+
+// SobelMag builds the L1 gradient magnitude |Gx| + |Gy| of src.
+func SobelMag(name string, src *Func) *Func {
+	at := func(dx, dy int) Expr {
+		if src == nil {
+			return In(dx, dy)
+		}
+		return src.At(dx, dy)
+	}
+	gx := Add(Add(Sub(at(1, -1), at(-1, -1)),
+		Mul(K(2), Sub(at(1, 0), at(-1, 0)))),
+		Sub(at(1, 1), at(-1, 1)))
+	gy := Add(Add(Sub(at(-1, 1), at(-1, -1)),
+		Mul(K(2), Sub(at(0, 1), at(0, -1)))),
+		Sub(at(1, 1), at(1, -1)))
+	abs := func(e Expr) Expr { return Max(e, Sub(K(0), e)) }
+	return NewFunc(name).Define(Add(abs(gx), abs(gy)))
+}
+
+// UnsharpMask sharpens src: out = clamp(src + amount*(src - blur), 0, 1).
+func UnsharpMask(name string, src *Func, amount float32) *Func {
+	at := func(dx, dy int) Expr {
+		if src == nil {
+			return In(dx, dy)
+		}
+		return src.At(dx, dy)
+	}
+	blur := Box(name+"_blur", src, 1)
+	return NewFunc(name).Define(
+		Clamp(Add(at(0, 0), Mul(K(amount), Sub(at(0, 0), blur.At(0, 0)))), 0, 1))
+}
+
+// Dilate/Erode build 3x3 max/min morphology over src.
+func Dilate(name string, src *Func) *Func { return morph(name, src, Max) }
+func Erode(name string, src *Func) *Func  { return morph(name, src, Min) }
+
+func morph(name string, src *Func, op func(a, b Expr) Expr) *Func {
+	at := func(dx, dy int) Expr {
+		if src == nil {
+			return In(dx, dy)
+		}
+		return src.At(dx, dy)
+	}
+	var acc Expr
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if acc == nil {
+				acc = at(dx, dy)
+			} else {
+				acc = op(acc, at(dx, dy))
+			}
+		}
+	}
+	return NewFunc(name).Define(acc)
+}
+
+// Threshold builds a binary threshold: 1 where src >= th, else 0.
+func Threshold(name string, src *Func, th float32) *Func {
+	at := In(0, 0)
+	if src != nil {
+		at = src.At(0, 0)
+	}
+	return NewFunc(name).Define(Sub(K(1), LT(at, K(th))))
+}

@@ -1,0 +1,170 @@
+package halide
+
+import (
+	"math"
+	"testing"
+
+	"ipim/internal/pixel"
+)
+
+func refAt(t *testing.T, f *Func, img *pixel.Image, x, y int) float32 {
+	t.Helper()
+	p := NewPipeline("t", f)
+	out, err := p.Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.At(x, y)
+}
+
+func TestBoxFilter(t *testing.T) {
+	img := pixel.Ramp(8, 8)
+	b := Box("b", nil, 1)
+	// Interior pixel (3,3): mean of the ramp 3x3 neighborhood.
+	var want float32
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			want += img.At(3+dx, 3+dy)
+		}
+	}
+	want *= 1.0 / 9
+	if got := refAt(t, b, img, 3, 3); got != want {
+		t.Fatalf("box(3,3) = %v, want %v", got, want)
+	}
+	// Radius 0 is identity.
+	id := Box("id", nil, 0)
+	if got := refAt(t, id, img, 2, 5); got != img.At(2, 5) {
+		t.Fatal("box radius 0 not identity")
+	}
+}
+
+func TestBoxPanicsOnNegativeRadius(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative radius accepted")
+		}
+	}()
+	Box("bad", nil, -1)
+}
+
+func TestSeparableGaussianWeights(t *testing.T) {
+	// Radius 1 => weights 1,2,1: a constant image stays constant.
+	img := pixel.New(8, 8)
+	img.Fill(0.5)
+	g := SeparableGaussian("g", nil, 1)
+	if got := refAt(t, g, img, 4, 4); math.Abs(float64(got-0.5)) > 1e-6 {
+		t.Fatalf("gaussian of constant = %v", got)
+	}
+	// Gaussian smooths: variance must drop on a noisy image.
+	noisy := pixel.Synth(32, 32, 17)
+	p := NewPipeline("g", SeparableGaussian("g2", nil, 2))
+	out, err := p.Reference(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Variance() >= noisy.Variance() {
+		t.Fatalf("gaussian increased variance: %v -> %v", noisy.Variance(), out.Variance())
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	got := binomial(4)
+	want := []float32{1, 4, 6, 4, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("binomial(4) = %v", got)
+		}
+	}
+}
+
+func TestSobelOnEdge(t *testing.T) {
+	// A vertical step edge: strong response at the edge, zero far away.
+	img := pixel.New(16, 8)
+	for y := 0; y < 8; y++ {
+		for x := 8; x < 16; x++ {
+			img.Set(x, y, 1)
+		}
+	}
+	s := SobelMag("s", nil)
+	p := NewPipeline("s", s)
+	out, err := p.Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(7, 4) <= 0.5 {
+		t.Fatalf("edge response %v too weak", out.At(7, 4))
+	}
+	if out.At(2, 4) != 0 {
+		t.Fatalf("flat region response %v", out.At(2, 4))
+	}
+}
+
+func TestUnsharpMaskSharpens(t *testing.T) {
+	img := pixel.Synth(32, 16, 9)
+	u := UnsharpMask("u", nil, 1.5)
+	p := NewPipeline("u", u)
+	out, err := p.Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sharpening raises local contrast: variance grows (clamped to [0,1]).
+	if out.Variance() <= img.Variance() {
+		t.Fatalf("unsharp mask lowered variance: %v -> %v", img.Variance(), out.Variance())
+	}
+	for _, v := range out.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("unsharp mask out of range: %v", v)
+		}
+	}
+}
+
+func TestMorphologyOrdering(t *testing.T) {
+	img := pixel.Synth(16, 16, 4)
+	d, err := NewPipeline("d", Dilate("d", nil)).Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewPipeline("e", Erode("e", nil)).Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Pix {
+		if !(e.Pix[i] <= img.Pix[i] && img.Pix[i] <= d.Pix[i]) {
+			t.Fatalf("pixel %d: erode %v <= src %v <= dilate %v violated",
+				i, e.Pix[i], img.Pix[i], d.Pix[i])
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	img := pixel.New(4, 1)
+	img.Pix = []float32{0.1, 0.5, 0.7, 0.49}
+	th := Threshold("t", nil, 0.5)
+	out, err := NewPipeline("t", th).Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 1, 1, 0}
+	for i := range want {
+		if out.Pix[i] != want[i] {
+			t.Fatalf("threshold = %v, want %v", out.Pix, want)
+		}
+	}
+}
+
+// The blocks must also compile and run on the simulator bit-exactly.
+func TestFilterBlocksCompileChain(t *testing.T) {
+	g := SeparableGaussian("fg", nil, 1)
+	g.ComputeRoot().LoadPGSM()
+	s := SobelMag("fs", g)
+	pipe := NewPipeline("edgechain", s).ClampStages()
+	_ = pipe // compiled in the compiler package's integration tests; here
+	// just check the stage graph is well formed.
+	stages, err := pipe.Stages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(stages))
+	}
+}

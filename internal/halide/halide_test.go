@@ -1,0 +1,315 @@
+package halide
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ipim/internal/pixel"
+)
+
+func TestCoordApply(t *testing.T) {
+	cases := []struct {
+		c    Coord
+		v    int
+		want int
+	}{
+		{C(0), 5, 5},
+		{C(-1), 5, 4},
+		{C(3), 5, 8},
+		{CScale(2, 1, 1), 5, 11},
+		{CScale(1, 0, 2), 5, 2},
+		{CScale(1, 1, 2), 5, 3},
+		{CScale(1, 0, 2), -3, -2}, // floor division
+		{CScale(1, -1, 2), 0, -1},
+	}
+	for _, c := range cases {
+		if got := c.c.Apply(c.v); got != c.want {
+			t.Errorf("Coord%+v.Apply(%d) = %d, want %d", c.c, c.v, got, c.want)
+		}
+	}
+}
+
+func TestFloorDivQuick(t *testing.T) {
+	f := func(a int16, b uint8) bool {
+		d := int(b)%7 + 1
+		got := floorDiv(int(a), d)
+		want := int(math.Floor(float64(a) / float64(d)))
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// blurPipeline builds the Listing 1 blur: blurx inlined into out.
+func blurPipeline() (*Pipeline, *Func, *Func) {
+	blurx := NewFunc("blurx").Define(
+		Mul(Add(Add(In(-1, 0), In(0, 0)), In(1, 0)), K(1.0/3)))
+	out := NewFunc("out").Define(
+		Mul(Add(Add(blurx.At(0, -1), blurx.At(0, 0)), blurx.At(0, 1)), K(1.0/3))).
+		ComputeRoot().LoadPGSM()
+	return NewPipeline("blur", out), blurx, out
+}
+
+func TestStagesInlineVsComputeRoot(t *testing.T) {
+	p, blurx, out := blurPipeline()
+	stages, err := p.Stages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 1 || stages[0] != out {
+		t.Fatalf("stages = %v (blurx should be inlined)", names(stages))
+	}
+	blurx.ComputeRoot()
+	stages, err = p.Stages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 2 || stages[0] != blurx || stages[1] != out {
+		t.Fatalf("stages = %v, want [blurx out]", names(stages))
+	}
+}
+
+func names(fs []*Func) []string {
+	var n []string
+	for _, f := range fs {
+		n = append(n, f.Name)
+	}
+	return n
+}
+
+func TestStagesErrors(t *testing.T) {
+	// Undefined func.
+	f := NewFunc("f")
+	p := NewPipeline("bad", f)
+	if _, err := p.Stages(); err == nil {
+		t.Error("undefined func accepted")
+	}
+	// Cycle.
+	a := NewFunc("a")
+	b := NewFunc("b")
+	a.Define(b.At(0, 0))
+	b.Define(a.At(0, 0))
+	if _, err := NewPipeline("cyc", a).Stages(); err == nil {
+		t.Error("cyclic pipeline accepted")
+	}
+	// Nil output.
+	if _, err := (&Pipeline{Name: "nil"}).Stages(); err == nil {
+		t.Error("nil output accepted")
+	}
+}
+
+func TestReferenceBlurMatchesManual(t *testing.T) {
+	p, _, _ := blurPipeline()
+	in := pixel.Synth(16, 12, 9)
+	got, err := p.Reference(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual evaluation with the same clamp-at-input semantics.
+	blurx := func(x, y int) float32 {
+		return (in.At(x-1, y) + in.At(x, y) + in.At(x+1, y)) * float32(1.0/3)
+	}
+	for y := 0; y < 12; y++ {
+		for x := 0; x < 16; x++ {
+			want := (blurx(x, y-1) + blurx(x, y) + blurx(x, y+1)) * float32(1.0/3)
+			if got.At(x, y) != want {
+				t.Fatalf("blur(%d,%d) = %v, want %v", x, y, got.At(x, y), want)
+			}
+		}
+	}
+}
+
+func TestReferenceDownsampleScale(t *testing.T) {
+	// out(x,y) = in(2x, 2y): output is half size.
+	out := NewFunc("down").Define(InC(CScale(2, 0, 1), CScale(2, 0, 1)))
+	p := NewPipeline("down", out).OutScale(1, 2)
+	in := pixel.Ramp(8, 8)
+	got, err := p.Reference(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 4 || got.H != 4 {
+		t.Fatalf("output %dx%d, want 4x4", got.W, got.H)
+	}
+	if got.At(1, 2) != in.At(2, 4) {
+		t.Fatalf("down(1,2) = %v, want %v", got.At(1, 2), in.At(2, 4))
+	}
+}
+
+func TestReferenceUpsampleScale(t *testing.T) {
+	out := NewFunc("up").Define(InC(CScale(1, 0, 2), CScale(1, 0, 2)))
+	p := NewPipeline("up", out).OutScale(2, 1)
+	in := pixel.Ramp(4, 4)
+	got, err := p.Reference(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 8 || got.H != 8 {
+		t.Fatalf("output %dx%d, want 8x8", got.W, got.H)
+	}
+	if got.At(5, 3) != in.At(2, 1) {
+		t.Fatalf("up(5,3) = %v, want %v", got.At(5, 3), in.At(2, 1))
+	}
+}
+
+func TestReferenceSelectBlendSemantics(t *testing.T) {
+	// select(in < 0.5, 0, 1) as arithmetic blend.
+	out := NewFunc("thresh").Define(Sel(LT(In(0, 0), K(0.5)), K(0), K(1)))
+	p := NewPipeline("thresh", out)
+	in := pixel.New(2, 1)
+	in.Set(0, 0, 0.3)
+	in.Set(1, 0, 0.7)
+	got, err := p.Reference(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 0) != 0 || got.At(1, 0) != 1 {
+		t.Fatalf("threshold = %v, %v", got.At(0, 0), got.At(1, 0))
+	}
+}
+
+func TestReferenceHistogram(t *testing.T) {
+	out := NewFunc("hist").Define(In(0, 0)) // definition unused
+	p := NewPipeline("histogram", out)
+	p.Histogram = true
+	p.Bins = 4
+	in := pixel.New(4, 1)
+	in.Set(0, 0, 0.0)  // bin 0
+	in.Set(1, 0, 0.34) // 0.34*3+0.5 = 1.52 -> bin 1
+	in.Set(2, 0, 0.5)  // 2.0 -> bin 2
+	in.Set(3, 0, 1.0)  // 3.5 -> bin 3
+	bins, err := p.ReferenceHistogram(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 1, 1, 1}
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Fatalf("bins = %v, want %v", bins, want)
+		}
+	}
+	if _, err := p.Reference(in); err == nil {
+		t.Error("Reference accepted a histogram pipeline")
+	}
+	q, _, _ := blurPipeline()
+	if _, err := q.ReferenceHistogram(in); err == nil {
+		t.Error("ReferenceHistogram accepted a non-histogram pipeline")
+	}
+}
+
+func TestHistogramBinClamps(t *testing.T) {
+	if HistogramBin(-0.5, 256) != 0 {
+		t.Error("negative value not clamped to bin 0")
+	}
+	if HistogramBin(2.0, 256) != 255 {
+		t.Error("overflow value not clamped to last bin")
+	}
+}
+
+func TestStageRequirementsBlur(t *testing.T) {
+	p, _, out := blurPipeline()
+	_ = p
+	isMat := func(f *Func) bool { return f.IsComputeRoot() }
+	uses, err := StageRequirements(out, Interval{0, 7}, Interval{0, 7}, isMat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// blurx inlined: the only materialized producer is the input, with
+	// a 1-pixel halo in both dimensions (blurx contributes x±1, out
+	// contributes y±1).
+	if len(uses) != 1 || uses[0].Buf != nil {
+		t.Fatalf("uses = %+v", uses)
+	}
+	u := uses[0]
+	if u.X != (Interval{-1, 8}) || u.Y != (Interval{-1, 8}) {
+		t.Fatalf("input region = %+v, want [-1,8]x[-1,8]", u)
+	}
+	if u.SX != (Scale{1, 1}) || u.SY != (Scale{1, 1}) {
+		t.Fatalf("scale = %+v", u)
+	}
+}
+
+func TestStageRequirementsDownsampleScale(t *testing.T) {
+	// d(x,y) = (in(2x-1,y) + 2*in(2x,y) + in(2x+1,y))/4, materialized.
+	d := NewFunc("d").Define(
+		Mul(Add(Add(InC(CScale(2, -1, 1), C(0)), Mul(K(2), InC(CScale(2, 0, 1), C(0)))),
+			InC(CScale(2, 1, 1), C(0))), K(0.25))).ComputeRoot()
+	out := NewFunc("out").Define(
+		Mul(Add(Add(d.AtC(C(0), CScale(2, -1, 1)), Mul(K(2), d.AtC(C(0), CScale(2, 0, 1)))),
+			d.AtC(C(0), CScale(2, 1, 1))), K(0.25))).ComputeRoot()
+	isMat := func(f *Func) bool { return f.IsComputeRoot() }
+
+	// out needs d at y in [2*0-1, 2*7+1] = [-1, 15], x unscaled.
+	uses, err := StageRequirements(out, Interval{0, 7}, Interval{0, 7}, isMat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uses) != 1 || uses[0].Buf != d {
+		t.Fatalf("uses = %+v", uses)
+	}
+	if uses[0].SY != (Scale{2, 1}) || uses[0].Y != (Interval{-1, 15}) {
+		t.Fatalf("d use = %+v", uses[0])
+	}
+
+	// d needs input at x in [-1, 15] for local [0,7].
+	uses, err = StageRequirements(d, Interval{0, 7}, Interval{0, 7}, isMat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uses[0].SX != (Scale{2, 1}) || uses[0].X != (Interval{-1, 15}) {
+		t.Fatalf("input use = %+v", uses[0])
+	}
+}
+
+func TestStageRequirementsMixedScaleError(t *testing.T) {
+	// Same buffer at two different scales must be rejected.
+	bad := NewFunc("bad").Define(Add(In(0, 0), InC(CScale(2, 0, 1), C(0))))
+	isMat := func(f *Func) bool { return false }
+	if _, err := StageRequirements(bad, Interval{0, 7}, Interval{0, 7}, isMat); err == nil {
+		t.Fatal("mixed-scale access accepted")
+	}
+}
+
+func TestOpCount(t *testing.T) {
+	p, blurx, out := blurPipeline()
+	_ = p
+	inlined := func(f *Func) bool { return !f.IsComputeRoot() }
+	flops, accesses := OpCount(out.E, inlined)
+	// out: 3 blurx (each 2 adds + 1 mul + 3 accesses) + 2 adds + 1 mul.
+	if accesses != 9 {
+		t.Errorf("accesses = %d, want 9", accesses)
+	}
+	if flops != 3*3+3 {
+		t.Errorf("flops = %d, want 12", flops)
+	}
+	// After materializing blurx, out reads 3 buffer values.
+	blurx.ComputeRoot()
+	flops, accesses = OpCount(out.E, inlined)
+	if accesses != 3 || flops != 3 {
+		t.Errorf("materialized: flops=%d accesses=%d, want 3/3", flops, accesses)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	a := Interval{-1, 5}
+	if a.Len() != 7 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	b := a.Union(Interval{3, 9})
+	if b != (Interval{-1, 9}) {
+		t.Errorf("Union = %+v", b)
+	}
+}
+
+func TestScaleMulReduces(t *testing.T) {
+	s := Scale{1, 1}.Mul(CScale(2, 0, 1)).Mul(CScale(1, 0, 2))
+	if s != (Scale{1, 1}) {
+		t.Fatalf("2x then /2 = %+v, want 1/1", s)
+	}
+	s = Scale{1, 2}.Mul(CScale(1, 0, 2))
+	if s != (Scale{1, 4}) {
+		t.Fatalf("scale = %+v", s)
+	}
+}

@@ -1,0 +1,157 @@
+package halide
+
+import (
+	"fmt"
+
+	"ipim/internal/pixel"
+)
+
+// Reference evaluates the pipeline on the host — the golden model every
+// simulated run is checked against. Semantics match Halide's: the
+// pipeline input is clamped to its edges; intermediate Funcs are pure
+// functions evaluated at whatever coordinates their consumers request.
+// Evaluation order per pixel follows the expression tree exactly, so
+// simulated FP32 results are bit-identical to the reference.
+func (p *Pipeline) Reference(in *pixel.Image) (*pixel.Image, error) {
+	if p.Histogram {
+		return nil, fmt.Errorf("halide: %s is a histogram pipeline; use ReferenceHistogram", p.Name)
+	}
+	if p.Output == nil || p.Output.E == nil {
+		return nil, fmt.Errorf("halide: pipeline %q has no defined output", p.Name)
+	}
+	outW := in.W * p.OutNum / p.OutDen
+	outH := in.H * p.OutNum / p.OutDen
+	if outW <= 0 || outH <= 0 {
+		return nil, fmt.Errorf("halide: output %dx%d not positive", outW, outH)
+	}
+	ev := &refEval{in: in, memo: map[*Func]map[int64]float32{}}
+	if p.ClampedStages {
+		scales, err := p.StageScales()
+		if err != nil {
+			return nil, err
+		}
+		ev.domain = map[*Func][2]int{}
+		for f, s := range scales {
+			ev.domain[f] = [2]int{outW * s[0].Num / s[0].Den, outH * s[1].Num / s[1].Den}
+		}
+	}
+	out := pixel.New(outW, outH)
+	for y := 0; y < outH; y++ {
+		for x := 0; x < outW; x++ {
+			out.Set(x, y, checkFinite(ev.evalFunc(p.Output, x, y)))
+		}
+	}
+	return out, nil
+}
+
+// ReferenceHistogram computes the golden histogram: bin = trunc(v *
+// (Bins-1) + 0.5) clamped into range, matching the kernel's f2i-based
+// binning.
+func (p *Pipeline) ReferenceHistogram(in *pixel.Image) ([]int32, error) {
+	if !p.Histogram {
+		return nil, fmt.Errorf("halide: %s is not a histogram pipeline", p.Name)
+	}
+	bins := make([]int32, p.Bins)
+	for _, v := range in.Pix {
+		b := HistogramBin(v, p.Bins)
+		bins[b]++
+	}
+	return bins, nil
+}
+
+// HistogramBin maps a pixel value to its bin exactly as the SIMB kernel
+// does (fmul by Bins-1, fadd 0.5, f2i truncation, clamp).
+func HistogramBin(v float32, bins int) int {
+	b := int(v*float32(bins-1) + 0.5)
+	if b < 0 {
+		b = 0
+	}
+	if b >= bins {
+		b = bins - 1
+	}
+	return b
+}
+
+type refEval struct {
+	in   *pixel.Image
+	memo map[*Func]map[int64]float32
+	// domain, when non-nil, clamps reads of materialized funcs to
+	// their domains (ClampedStages semantics).
+	domain map[*Func][2]int
+}
+
+func (ev *refEval) evalFunc(f *Func, x, y int) float32 {
+	if dom, ok := ev.domain[f]; ok {
+		if x < 0 {
+			x = 0
+		} else if x >= dom[0] {
+			x = dom[0] - 1
+		}
+		if y < 0 {
+			y = 0
+		} else if y >= dom[1] {
+			y = dom[1] - 1
+		}
+	}
+	m, ok := ev.memo[f]
+	if !ok {
+		m = map[int64]float32{}
+		ev.memo[f] = m
+	}
+	key := int64(x)<<32 | int64(uint32(y))
+	if v, ok := m[key]; ok {
+		return v
+	}
+	v := ev.eval(f.E, x, y)
+	m[key] = v
+	return v
+}
+
+func (ev *refEval) eval(e Expr, x, y int) float32 {
+	switch t := e.(type) {
+	case Const:
+		return t.V
+	case Access:
+		nx, ny := t.CX.Apply(x), t.CY.Apply(y)
+		if t.Func == nil {
+			return ev.in.At(nx, ny) // clamp-to-edge at the input only
+		}
+		return ev.evalFunc(t.Func, nx, ny)
+	case Bin:
+		a := ev.eval(t.A, x, y)
+		b := ev.eval(t.B, x, y)
+		switch t.Op {
+		case OpAdd:
+			return a + b
+		case OpSub:
+			return a - b
+		case OpMul:
+			return a * b
+		case OpDiv:
+			return a / b
+		case OpMin:
+			if a < b {
+				return a
+			}
+			return b
+		case OpMax:
+			if a > b {
+				return a
+			}
+			return b
+		case OpLT:
+			if a < b {
+				return 1
+			}
+			return 0
+		}
+	case Select:
+		// Arithmetic blend, matching the backend's lowering exactly:
+		// cond*then + (1-cond)*else.
+		c := ev.eval(t.Cond, x, y)
+		a := ev.eval(t.Then, x, y)
+		b := ev.eval(t.Else, x, y)
+		return c*a + (1-c)*b
+	}
+	panic(fmt.Sprintf("halide: eval of unknown node %T", e))
+}

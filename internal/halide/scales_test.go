@@ -1,0 +1,146 @@
+package halide
+
+import (
+	"testing"
+
+	"ipim/internal/pixel"
+)
+
+func TestStageScalesPyramid(t *testing.T) {
+	// base -> downsampled level -> upsampled output.
+	base := NewFunc("b").Define(In(0, 0)).ComputeRoot()
+	dx := NewFunc("dx").Define(base.AtC(CScale(2, 0, 1), C(0))).ComputeRoot()
+	d := NewFunc("d").Define(dx.AtC(C(0), CScale(2, 0, 1))).ComputeRoot()
+	out := NewFunc("o").Define(d.AtC(CScale(1, 0, 2), CScale(1, 0, 2)))
+	p := NewPipeline("pyr", out)
+	scales, err := p.StageScales()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]Scale{
+		"b":  {{1, 1}, {1, 1}},
+		"dx": {{1, 2}, {1, 2}}, // wait: see below
+		"d":  {{1, 2}, {1, 2}},
+		"o":  {{1, 1}, {1, 1}},
+	}
+	// dx sits between base (1,1) and d (1/2,1/2): its x is halved
+	// relative to d's consumer read... verify the actually-computed
+	// invariants instead of hand-derived constants:
+	if scales[out] != ([2]Scale{{1, 1}, {1, 1}}) {
+		t.Fatalf("output scale %v", scales[out])
+	}
+	if scales[d] != ([2]Scale{{1, 2}, {1, 2}}) {
+		t.Fatalf("d scale %v", scales[d])
+	}
+	if scales[base] != ([2]Scale{{1, 1}, {1, 1}}) {
+		t.Fatalf("base scale %v", scales[base])
+	}
+	// dx: consumed by d at y-scale 2 relative to d's domain:
+	// sigma(dx) = sigma(d) * (x:1, y:2) = (1/2, 1).
+	if scales[dx] != ([2]Scale{{1, 2}, {1, 1}}) {
+		t.Fatalf("dx scale %v", scales[dx])
+	}
+	_ = want
+}
+
+func TestStageScalesMixedError(t *testing.T) {
+	a := NewFunc("a").Define(In(0, 0)).ComputeRoot()
+	// Read a at two different scales from materialized consumers.
+	c1 := NewFunc("c1").Define(a.At(0, 0)).ComputeRoot()
+	out := NewFunc("out").Define(Add(c1.At(0, 0), a.AtC(CScale(2, 0, 1), C(0))))
+	p := NewPipeline("mix", out)
+	if _, err := p.StageScales(); err == nil {
+		t.Fatal("mixed-scale stage graph accepted")
+	}
+}
+
+func TestClampedStagesReferenceDiffersAtEdges(t *testing.T) {
+	// A two-stage chain: pure semantics evaluate stage 1 out of range;
+	// clamped semantics clamp the intermediate read. Interior pixels
+	// agree; edge pixels differ.
+	build := func(clamp bool) *Pipeline {
+		s1 := NewFunc("s1c" + map[bool]string{true: "y", false: "n"}[clamp]).
+			Define(Add(In(-1, 0), In(1, 0))).ComputeRoot()
+		out := NewFunc("s2c" + map[bool]string{true: "y", false: "n"}[clamp]).
+			Define(Add(s1.At(-1, 0), s1.At(1, 0)))
+		p := NewPipeline("chain", out)
+		if clamp {
+			p.ClampStages()
+		}
+		return p
+	}
+	img := pixel.Synth(16, 8, 5)
+	pure, err := build(false).Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clamped, err := build(true).Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior identical.
+	for y := 0; y < 8; y++ {
+		for x := 2; x < 14; x++ {
+			if pure.At(x, y) != clamped.At(x, y) {
+				t.Fatalf("interior (%d,%d) differs: %v vs %v", x, y, pure.At(x, y), clamped.At(x, y))
+			}
+		}
+	}
+	// Left edge differs (s1(-1) clamps to s1(0) under clamped stages).
+	differs := false
+	for y := 0; y < 8; y++ {
+		if pure.At(0, y) != clamped.At(0, y) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("clamped and pure semantics identical at the edge — clamping not applied")
+	}
+}
+
+func TestOpCountSelect(t *testing.T) {
+	e := Sel(LT(In(0, 0), K(0.5)), In(0, 0), K(1))
+	flops, acc := OpCount(e, func(*Func) bool { return false })
+	if acc != 2 {
+		t.Errorf("accesses = %d, want 2", acc)
+	}
+	// LT (1) + blend lowering (4) = 5.
+	if flops != 5 {
+		t.Errorf("flops = %d, want 5", flops)
+	}
+}
+
+func TestWalkAccessesError(t *testing.T) {
+	// A custom Expr type is unknown to the walker.
+	type alien struct{ Expr }
+	bad := NewFunc("bad").Define(Add(K(1), alien{}))
+	p := NewPipeline("bad", bad)
+	if _, err := p.Stages(); err == nil {
+		t.Fatal("alien expression accepted")
+	}
+}
+
+func TestHistogramPipelineRejectsReference(t *testing.T) {
+	out := NewFunc("h").Define(In(0, 0))
+	p := NewPipeline("h", out)
+	p.Histogram = true
+	p.Bins = 16
+	if _, err := p.Reference(pixel.Synth(8, 8, 1)); err == nil {
+		t.Fatal("Reference ran a histogram pipeline")
+	}
+}
+
+func TestReferenceErrorsOnUndefinedOutput(t *testing.T) {
+	p := NewPipeline("u", NewFunc("u"))
+	if _, err := p.Reference(pixel.Synth(8, 8, 1)); err == nil {
+		t.Fatal("undefined output accepted")
+	}
+}
+
+func TestReferenceBadOutScale(t *testing.T) {
+	out := NewFunc("o").Define(In(0, 0))
+	p := NewPipeline("o", out).OutScale(1, 100)
+	if _, err := p.Reference(pixel.Synth(8, 8, 1)); err == nil {
+		t.Fatal("degenerate output size accepted")
+	}
+}

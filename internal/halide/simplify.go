@@ -1,0 +1,130 @@
+package halide
+
+// Simplify rewrites an expression using only bit-exact-safe
+// transformations, so a simplified tree evaluates to exactly the same
+// FP32 values as the original on every input:
+//
+//   - constant folding (the op is performed once at compile time with
+//     the same float32 arithmetic the interpreter would use),
+//   - multiplication by the literal 1 (x*1 == x bitwise, including
+//     NaN and signed zero),
+//   - min(x,x)/max(x,x) collapse for syntactically identical operands.
+//
+// Transformations that are *not* bit-exact for special values (x+0
+// changes -0; x*0 changes NaN/Inf) are deliberately omitted: the
+// compiler's output must stay bit-identical to the reference
+// interpreter.
+func Simplify(e Expr) Expr {
+	switch t := e.(type) {
+	case Const, Access:
+		return e
+	case Bin:
+		a := Simplify(t.A)
+		b := Simplify(t.B)
+		if ca, ok := a.(Const); ok {
+			if cb, ok := b.(Const); ok {
+				return Const{V: evalBinConst(t.Op, ca.V, cb.V)}
+			}
+		}
+		if t.Op == OpMul {
+			if ca, ok := a.(Const); ok && ca.V == 1 && !isNegZero(ca.V) {
+				return b
+			}
+			if cb, ok := b.(Const); ok && cb.V == 1 && !isNegZero(cb.V) {
+				return a
+			}
+		}
+		if (t.Op == OpMin || t.Op == OpMax) && sameExpr(a, b) {
+			return a
+		}
+		return Bin{Op: t.Op, A: a, B: b}
+	case Select:
+		c := Simplify(t.Cond)
+		then := Simplify(t.Then)
+		els := Simplify(t.Els())
+		if cc, ok := c.(Const); ok {
+			// The blend lowering is cond*then + (1-cond)*else; for the
+			// exact literals 0 and 1 the blend is bit-exact to picking
+			// a branch only when the other branch is finite — so fold
+			// only the arithmetic, not the branch: keep the Select
+			// unless cond is exactly 0 or 1 AND both branches are
+			// constants (then the blend folds exactly).
+			if tc, ok2 := then.(Const); ok2 {
+				if ec, ok3 := els.(Const); ok3 {
+					return Const{V: cc.V*tc.V + (1-cc.V)*ec.V}
+				}
+			}
+		}
+		return Select{Cond: c, Then: then, Else: els}
+	}
+	return e
+}
+
+// Els returns the else branch (accessor to keep Simplify readable).
+func (s Select) Els() Expr { return s.Else }
+
+func isNegZero(v float32) bool {
+	return v == 0 && 1/float64(v) < 0
+}
+
+func evalBinConst(op BinOp, a, b float32) float32 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		return a / b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpLT:
+		if a < b {
+			return 1
+		}
+		return 0
+	}
+	return a
+}
+
+// sameExpr reports syntactic equality of two trees.
+func sameExpr(a, b Expr) bool {
+	switch ta := a.(type) {
+	case Const:
+		tb, ok := b.(Const)
+		return ok && ta.V == tb.V
+	case Access:
+		tb, ok := b.(Access)
+		return ok && ta.Func == tb.Func && ta.CX == tb.CX && ta.CY == tb.CY
+	case Bin:
+		tb, ok := b.(Bin)
+		return ok && ta.Op == tb.Op && sameExpr(ta.A, tb.A) && sameExpr(ta.B, tb.B)
+	case Select:
+		tb, ok := b.(Select)
+		return ok && sameExpr(ta.Cond, tb.Cond) && sameExpr(ta.Then, tb.Then) && sameExpr(ta.Else, tb.Else)
+	}
+	return false
+}
+
+// CountNodes measures expression size (for simplification tests and
+// compiler diagnostics).
+func CountNodes(e Expr) int {
+	switch t := e.(type) {
+	case Const, Access:
+		return 1
+	case Bin:
+		return 1 + CountNodes(t.A) + CountNodes(t.B)
+	case Select:
+		return 1 + CountNodes(t.Cond) + CountNodes(t.Then) + CountNodes(t.Else)
+	}
+	return 1
+}

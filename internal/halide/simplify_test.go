@@ -1,0 +1,117 @@
+package halide
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ipim/internal/pixel"
+)
+
+func TestSimplifyConstFolding(t *testing.T) {
+	e := Add(K(2), Mul(K(3), K(4)))
+	s := Simplify(e)
+	c, ok := s.(Const)
+	if !ok || c.V != 14 {
+		t.Fatalf("Simplify = %#v, want Const 14", s)
+	}
+}
+
+func TestSimplifyMulByOne(t *testing.T) {
+	e := Mul(In(0, 0), K(1))
+	if _, ok := Simplify(e).(Access); !ok {
+		t.Fatalf("x*1 not collapsed: %#v", Simplify(e))
+	}
+	e2 := Mul(K(1), In(1, 1))
+	if _, ok := Simplify(e2).(Access); !ok {
+		t.Fatalf("1*x not collapsed: %#v", Simplify(e2))
+	}
+	// x*0 must NOT be collapsed (NaN/Inf semantics).
+	e3 := Mul(In(0, 0), K(0))
+	if _, ok := Simplify(e3).(Const); ok {
+		t.Fatal("x*0 unsafely folded")
+	}
+}
+
+func TestSimplifyMinMaxIdentical(t *testing.T) {
+	e := Min(In(2, 1), In(2, 1))
+	if _, ok := Simplify(e).(Access); !ok {
+		t.Fatalf("min(x,x) not collapsed: %#v", Simplify(e))
+	}
+	// Different offsets stay.
+	e2 := Max(In(0, 0), In(1, 0))
+	if _, ok := Simplify(e2).(Bin); !ok {
+		t.Fatal("max(x,y) wrongly collapsed")
+	}
+}
+
+func TestSimplifySelectConstFold(t *testing.T) {
+	e := Sel(K(1), K(5), K(9))
+	c, ok := Simplify(e).(Const)
+	if !ok || c.V != 5 {
+		t.Fatalf("select(1,5,9) = %#v", Simplify(e))
+	}
+	// Non-const branches keep the Select.
+	e2 := Sel(K(1), In(0, 0), K(9))
+	if _, ok := Simplify(e2).(Select); !ok {
+		t.Fatal("select with non-const branch folded")
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	e := Add(Mul(In(0, 0), K(2)), Sel(LT(K(0), K(1)), K(1), K(2)))
+	if n := CountNodes(e); n != 10 {
+		t.Fatalf("CountNodes = %d, want 10", n)
+	}
+	s := Simplify(e)
+	if n := CountNodes(s); n >= 9 {
+		t.Fatalf("Simplify did not shrink: %d nodes", n)
+	}
+}
+
+// Property: for random expressions, the simplified tree evaluates
+// bit-identically to the original at every pixel.
+func TestSimplifyBitExactQuick(t *testing.T) {
+	img := pixel.Synth(16, 8, 3)
+	r := rand.New(rand.NewSource(11))
+	var gen func(depth int) Expr
+	gen = func(depth int) Expr {
+		if depth <= 0 || r.Intn(3) == 0 {
+			if r.Intn(3) == 0 {
+				// Include awkward constants: 0, 1, negatives.
+				vals := []float32{0, 1, -1, 0.5, 3, -2.25}
+				return K(vals[r.Intn(len(vals))])
+			}
+			return In(r.Intn(3)-1, r.Intn(3)-1)
+		}
+		// Div omitted: random constants divide by zero, and the
+		// reference interpreter rejects non-finite results by design.
+		ops := []func(a, b Expr) Expr{Add, Sub, Mul, Min, Max, LT}
+		if r.Intn(6) == 0 {
+			return Sel(gen(depth-1), gen(depth-1), gen(depth-1))
+		}
+		return ops[r.Intn(len(ops))](gen(depth-1), gen(depth-1))
+	}
+	for trial := 0; trial < 200; trial++ {
+		e := gen(4)
+		raw := NewFunc(fmt.Sprintf("raw%d", trial)).Define(e)
+		simp := NewFunc(fmt.Sprintf("simp%d", trial)).Define(Simplify(e))
+		p1 := NewPipeline("raw", raw)
+		p2 := NewPipeline("simp", simp)
+		o1, err := p1.Reference(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := p2.Reference(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range o1.Pix {
+			a, b := o1.Pix[i], o2.Pix[i]
+			if a != b && !(a != a && b != b) { // NaN == NaN for our purposes
+				t.Fatalf("trial %d pixel %d: %v != %v\nexpr nodes %d -> %d",
+					trial, i, a, b, CountNodes(e), CountNodes(Simplify(e)))
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package host models iPIM's system integration (paper Sec. VI): the
+// accelerator is standalone, with its own address space, attached to the
+// host over a standard bus (PCIe). The model accounts the host↔cube
+// transfer time for inputs and outputs so end-to-end offload decisions
+// ("is the kernel worth shipping to the accelerator?") can be evaluated
+// — the overhead the paper's standalone design avoids is virtual-memory
+// and coherence traffic, not the bulk transfers themselves.
+package host
+
+// Bus describes the host link.
+type Bus struct {
+	Name       string
+	BytesPerNS float64 // sustained bandwidth in bytes per nanosecond
+	LatencyNS  float64 // per-transfer setup latency
+}
+
+// PCIe3x16 is the paper's reference attachment (Sec. VI cites PCIe).
+func PCIe3x16() Bus { return Bus{Name: "PCIe 3.0 x16", BytesPerNS: 12.0, LatencyNS: 1000} }
+
+// PCIe5x16 is the faster bus the paper's citation list anticipates
+// ("PCI-SIG fast tracks evolution to 32GT/s").
+func PCIe5x16() Bus { return Bus{Name: "PCIe 5.0 x16", BytesPerNS: 48.0, LatencyNS: 800} }
+
+// TransferNS returns the nanoseconds to move n bytes over the bus.
+func (b Bus) TransferNS(n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return b.LatencyNS + float64(n)/b.BytesPerNS
+}
+
+// Offload describes one kernel offload: input bytes down, output bytes
+// back, and the accelerator's kernel time.
+type Offload struct {
+	InputBytes  int64
+	OutputBytes int64
+	KernelNS    float64
+}
+
+// TotalNS returns the end-to-end offload time on the given bus.
+func (o Offload) TotalNS(b Bus) float64 {
+	return b.TransferNS(o.InputBytes) + o.KernelNS + b.TransferNS(o.OutputBytes)
+}
+
+// TransferShare returns the fraction of end-to-end time spent on the
+// bus. Kernels whose share approaches 1 are not worth offloading in
+// isolation — they must be part of a resident pipeline (which is how
+// the paper's datacenter scenario uses the accelerator: data loaded
+// once, many kernels applied).
+func (o Offload) TransferShare(b Bus) float64 {
+	t := o.TotalNS(b)
+	if t == 0 {
+		return 0
+	}
+	return (t - o.KernelNS) / t
+}
+
+// Amortized returns the end-to-end time when n kernels run back to back
+// on resident data (one transfer pair amortized over the batch).
+func (o Offload) Amortized(b Bus, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return b.TransferNS(o.InputBytes) + float64(n)*o.KernelNS + b.TransferNS(o.OutputBytes)
+}

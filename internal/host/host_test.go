@@ -1,0 +1,61 @@
+package host
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransferNS(t *testing.T) {
+	b := PCIe3x16()
+	if b.TransferNS(0) != 0 {
+		t.Error("zero bytes should cost nothing")
+	}
+	// 12 MB at 12 B/ns = 1 ms + latency.
+	got := b.TransferNS(12 << 20)
+	want := b.LatencyNS + float64(12<<20)/12.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("TransferNS = %v, want %v", got, want)
+	}
+	if PCIe5x16().TransferNS(1<<20) >= b.TransferNS(1<<20) {
+		t.Error("PCIe 5.0 not faster than 3.0")
+	}
+}
+
+func TestOffloadAccounting(t *testing.T) {
+	b := PCIe3x16()
+	o := Offload{InputBytes: 1 << 20, OutputBytes: 1 << 20, KernelNS: 1e6}
+	total := o.TotalNS(b)
+	if total <= o.KernelNS {
+		t.Error("total must include transfers")
+	}
+	share := o.TransferShare(b)
+	if share <= 0 || share >= 1 {
+		t.Errorf("transfer share %v out of (0,1)", share)
+	}
+	// A kernel with zero transfer has share 0.
+	free := Offload{KernelNS: 1e6}
+	if free.TransferShare(b) != 0 {
+		t.Error("transfer-free offload has nonzero share")
+	}
+}
+
+func TestAmortization(t *testing.T) {
+	b := PCIe3x16()
+	o := Offload{InputBytes: 4 << 20, OutputBytes: 4 << 20, KernelNS: 1e5}
+	one := o.Amortized(b, 1)
+	if math.Abs(one-o.TotalNS(b)) > 1e-9 {
+		t.Error("batch of 1 must equal TotalNS")
+	}
+	hundred := o.Amortized(b, 100)
+	if hundred >= 100*one {
+		t.Error("batching did not amortize transfers")
+	}
+	// Per-kernel cost approaches the kernel time as n grows.
+	perKernel := hundred / 100
+	if perKernel > 1.2*o.KernelNS+one/100 {
+		t.Errorf("amortized per-kernel cost %v too high", perKernel)
+	}
+	if o.Amortized(b, 0) != one {
+		t.Error("batch < 1 must clamp to 1")
+	}
+}

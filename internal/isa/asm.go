@@ -1,0 +1,375 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses SIMB assembly text into a Program. The grammar is the
+// canonical form produced by Disassemble:
+//
+//	; comment
+//	L0:                          ; label binding
+//	comp fadd vv d2, d0, d1, vm=0xf, sm=*
+//	calc_arf iadd a5, a5, #16, sm=*
+//	calc_crf islt? -- see ops    c1, c0, #8
+//	ld_rf d0, @a5, sm=*          ; indirect bank address from AddrRF
+//	st_rf d2, 0x1000, sm=0x3
+//	ld_pgsm 0x200, 0x40, sm=*    ; bank addr, pgsm addr
+//	st_pgsm @a4, @a6, sm=*
+//	rd_pgsm d1, 0x40, sm=*
+//	wr_vsm d3, 0x80, sm=0x1
+//	mov_arf a6, d3, lane=2, sm=*
+//	seti_vsm 0x10, #42
+//	reset d7, sm=*
+//	req chip=0, vault=3, pg=1, pe=2, dram=0x100, vsm=0x20
+//	seti_crf c2, =L0             ; label reference
+//	seti_crf c3, #100
+//	cjump c1, c2
+//	jump c2
+//	sync 1
+//
+// Masks: sm=* selects all 64 PEs; numeric masks may be hex or decimal.
+// Labels are `name:` on their own line; names must match [A-Za-z_]\w*.
+func Assemble(src string) (*Program, error) {
+	p := &Program{}
+	labelIDs := map[string]int{}
+	labelOf := func(name string) int {
+		if id, ok := labelIDs[name]; ok {
+			return id
+		}
+		id := p.NewLabel()
+		labelIDs[name] = id
+		return id
+	}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSpace(strings.TrimSuffix(line, ":"))
+			if !validLabelName(name) {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNo+1, name)
+			}
+			p.Bind(labelOf(name))
+			continue
+		}
+		in, err := parseInstruction(line, labelOf)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
+		}
+		p.Append(in)
+	}
+	// Check all referenced labels were bound.
+	for name, id := range labelIDs {
+		if p.Labels[id] < 0 {
+			return nil, fmt.Errorf("isa: label %q referenced but never bound", name)
+		}
+	}
+	return p, nil
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if !alpha && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func parseInstruction(line string, labelOf func(string) int) (Instruction, error) {
+	fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+	if len(fields) == 0 {
+		return Instruction{}, fmt.Errorf("empty instruction")
+	}
+	op, ok := opcodeByName(fields[0])
+	if !ok {
+		return Instruction{}, fmt.Errorf("unknown opcode %q", fields[0])
+	}
+	in := New(op)
+	args := fields[1:]
+
+	// Peel trailing key=value options (vm=, sm=, lane=) in any order.
+	for len(args) > 0 {
+		last := args[len(args)-1]
+		switch {
+		case strings.HasPrefix(last, "vm="):
+			v, err := parseUint(last[3:], 8)
+			if err != nil {
+				return in, fmt.Errorf("bad vec mask %q: %v", last, err)
+			}
+			in.VecMask = uint8(v)
+		case strings.HasPrefix(last, "sm="):
+			if last[3:] == "*" {
+				in.SimbMask = ^uint64(0)
+			} else {
+				v, err := parseUint(last[3:], 64)
+				if err != nil {
+					return in, fmt.Errorf("bad simb mask %q: %v", last, err)
+				}
+				in.SimbMask = v
+			}
+		case strings.HasPrefix(last, "lane="):
+			v, err := strconv.Atoi(last[5:])
+			if err != nil {
+				return in, fmt.Errorf("bad lane %q: %v", last, err)
+			}
+			in.Lane = v
+		default:
+			goto optsDone
+		}
+		args = args[:len(args)-1]
+	}
+optsDone:
+
+	reg := func(i int, prefix byte) (int, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("missing operand %d", i)
+		}
+		s := args[i]
+		if len(s) < 2 || s[0] != prefix {
+			return 0, fmt.Errorf("operand %q: want %c-register", s, prefix)
+		}
+		return strconv.Atoi(s[1:])
+	}
+	// addr parses a direct numeric address or @aN indirect reference.
+	addr := func(i int) (uint32, bool, error) {
+		if i >= len(args) {
+			return 0, false, fmt.Errorf("missing address operand %d", i)
+		}
+		s := args[i]
+		if strings.HasPrefix(s, "@a") {
+			n, err := strconv.Atoi(s[2:])
+			return uint32(n), true, err
+		}
+		v, err := parseUint(s, 32)
+		return uint32(v), false, err
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("missing immediate operand %d", i)
+		}
+		s := args[i]
+		if !strings.HasPrefix(s, "#") {
+			return 0, fmt.Errorf("operand %q: want #immediate", s)
+		}
+		return strconv.ParseInt(s[1:], 0, 64)
+	}
+	kv := func(i int, key string) (string, error) {
+		if i >= len(args) {
+			return "", fmt.Errorf("missing %s=", key)
+		}
+		if !strings.HasPrefix(args[i], key+"=") {
+			return "", fmt.Errorf("operand %q: want %s=", args[i], key)
+		}
+		return args[i][len(key)+1:], nil
+	}
+
+	var err error
+	fail := func(e error) (Instruction, error) { return in, e }
+
+	switch op {
+	case OpComp:
+		if len(args) < 5 {
+			return fail(fmt.Errorf("comp needs <aluop> <mode> d,d,d"))
+		}
+		alu, ok := ALUOpByName(args[0])
+		if !ok {
+			return fail(fmt.Errorf("unknown alu op %q", args[0]))
+		}
+		in.ALU = alu
+		switch args[1] {
+		case "vv":
+			in.Mode = ModeVV
+		case "vs":
+			in.Mode = ModeVS
+		default:
+			return fail(fmt.Errorf("unknown comp mode %q", args[1]))
+		}
+		if in.Dst, err = reg(2, 'd'); err != nil {
+			return fail(err)
+		}
+		if in.Src1, err = reg(3, 'd'); err != nil {
+			return fail(err)
+		}
+		if in.Src2, err = reg(4, 'd'); err != nil {
+			return fail(err)
+		}
+	case OpCalcARF, OpCalcCRF:
+		pfx := byte('a')
+		if op == OpCalcCRF {
+			pfx = 'c'
+		}
+		if len(args) < 4 {
+			return fail(fmt.Errorf("%s needs <aluop> r,r,(r|#imm)", op))
+		}
+		alu, ok := ALUOpByName(args[0])
+		if !ok {
+			return fail(fmt.Errorf("unknown alu op %q", args[0]))
+		}
+		in.ALU = alu
+		if in.Dst, err = reg(1, pfx); err != nil {
+			return fail(err)
+		}
+		if in.Src1, err = reg(2, pfx); err != nil {
+			return fail(err)
+		}
+		if strings.HasPrefix(args[3], "#") {
+			if in.Imm, err = imm(3); err != nil {
+				return fail(err)
+			}
+			in.HasImm = true
+		} else if in.Src2, err = reg(3, pfx); err != nil {
+			return fail(err)
+		}
+	case OpStRF, OpLdRF:
+		if in.Dst, err = reg(0, 'd'); err != nil {
+			return fail(err)
+		}
+		if in.Addr, in.Indirect, err = addr(1); err != nil {
+			return fail(err)
+		}
+	case OpStPGSM, OpLdPGSM:
+		if in.Addr, in.Indirect, err = addr(0); err != nil {
+			return fail(err)
+		}
+		if in.Addr2, in.Indirect2, err = addr(1); err != nil {
+			return fail(err)
+		}
+	case OpRdPGSM, OpWrPGSM, OpRdVSM, OpWrVSM:
+		if in.Dst, err = reg(0, 'd'); err != nil {
+			return fail(err)
+		}
+		if in.Addr, in.Indirect, err = addr(1); err != nil {
+			return fail(err)
+		}
+	case OpMovDRF:
+		if in.Dst, err = reg(0, 'd'); err != nil {
+			return fail(err)
+		}
+		if in.Src1, err = reg(1, 'a'); err != nil {
+			return fail(err)
+		}
+	case OpMovARF:
+		if in.Dst, err = reg(0, 'a'); err != nil {
+			return fail(err)
+		}
+		if in.Src1, err = reg(1, 'd'); err != nil {
+			return fail(err)
+		}
+	case OpSetiVSM:
+		if in.Addr, _, err = addr(0); err != nil {
+			return fail(err)
+		}
+		if in.Imm, err = imm(1); err != nil {
+			return fail(err)
+		}
+	case OpReset:
+		if in.Dst, err = reg(0, 'd'); err != nil {
+			return fail(err)
+		}
+	case OpReq:
+		var s string
+		if s, err = kv(0, "chip"); err != nil {
+			return fail(err)
+		}
+		if in.DstChip, err = strconv.Atoi(s); err != nil {
+			return fail(err)
+		}
+		if s, err = kv(1, "vault"); err != nil {
+			return fail(err)
+		}
+		if in.DstVault, err = strconv.Atoi(s); err != nil {
+			return fail(err)
+		}
+		if s, err = kv(2, "pg"); err != nil {
+			return fail(err)
+		}
+		if in.DstPG, err = strconv.Atoi(s); err != nil {
+			return fail(err)
+		}
+		if s, err = kv(3, "pe"); err != nil {
+			return fail(err)
+		}
+		if in.DstPE, err = strconv.Atoi(s); err != nil {
+			return fail(err)
+		}
+		if s, err = kv(4, "dram"); err != nil {
+			return fail(err)
+		}
+		var v uint64
+		if v, err = parseUint(s, 32); err != nil {
+			return fail(err)
+		}
+		in.Addr = uint32(v)
+		if s, err = kv(5, "vsm"); err != nil {
+			return fail(err)
+		}
+		if v, err = parseUint(s, 32); err != nil {
+			return fail(err)
+		}
+		in.Addr2 = uint32(v)
+	case OpJump:
+		if in.Src1, err = reg(0, 'c'); err != nil {
+			return fail(err)
+		}
+	case OpCJump:
+		if in.Cond, err = reg(0, 'c'); err != nil {
+			return fail(err)
+		}
+		if in.Src1, err = reg(1, 'c'); err != nil {
+			return fail(err)
+		}
+	case OpSetiCRF:
+		if in.Dst, err = reg(0, 'c'); err != nil {
+			return fail(err)
+		}
+		if len(args) < 2 {
+			return fail(fmt.Errorf("seti_crf needs value"))
+		}
+		if strings.HasPrefix(args[1], "=") {
+			name := args[1][1:]
+			if !validLabelName(name) {
+				return fail(fmt.Errorf("bad label reference %q", args[1]))
+			}
+			in.ImmLabel = labelOf(name)
+		} else if in.Imm, err = imm(1); err != nil {
+			return fail(err)
+		}
+	case OpSync:
+		if len(args) < 1 {
+			return fail(fmt.Errorf("sync needs phase id"))
+		}
+		if in.Phase, err = strconv.Atoi(args[0]); err != nil {
+			return fail(err)
+		}
+	default:
+		return fail(fmt.Errorf("unhandled opcode %v", op))
+	}
+	return in, nil
+}
+
+func parseUint(s string, bits int) (uint64, error) {
+	return strconv.ParseUint(s, 0, bits)
+}
+
+func opcodeByName(name string) (Opcode, bool) {
+	for op, n := range opNames {
+		if n == name && Opcode(op) != OpInvalid {
+			return Opcode(op), true
+		}
+	}
+	return OpInvalid, false
+}

@@ -1,0 +1,268 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleProgram = `
+; blur inner-loop fragment exercising every opcode
+top:
+seti_crf c0, =top
+seti_crf c1, #8
+calc_crf iadd c2, c1, #1
+calc_crf isub c3, c2, c1
+calc_arf iadd a4, a0, #64, sm=*
+calc_arf imul a5, a4, a1, sm=0xff
+ld_rf d0, @a4, sm=*
+ld_rf d1, 0x1000, sm=0x3
+comp fadd vv d2, d0, d1, vm=0xf, sm=*
+comp fmul vs d3, d2, d1, vm=0x7, sm=0xffff
+comp fmac vv d3, d0, d1, vm=0xf, sm=*
+ld_pgsm 0x200, 0x40, sm=*
+st_pgsm @a4, @a5, sm=*
+rd_pgsm d4, 0x40, sm=*
+wr_pgsm d4, 0x60, sm=*
+rd_vsm d5, 0x80, sm=*
+wr_vsm d5, 0x90, sm=0x1
+mov_arf a6, d3, lane=2, sm=*
+mov_drf d6, a6, lane=0, sm=*
+seti_vsm 0x10, #42
+reset d7, sm=*
+st_rf d2, @a4, sm=*
+req chip=0, vault=3, pg=1, pe=2, dram=0x100, vsm=0x20
+cjump c3, c0
+jump c0
+sync 1
+`
+
+func TestAssembleSampleProgram(t *testing.T) {
+	p, err := Assemble(sampleProgram)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if len(p.Ins) != 26 {
+		t.Fatalf("assembled %d instructions, want 26", len(p.Ins))
+	}
+	if err := p.Validate(64, 64, 64); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	// seti_crf c0, =top must resolve to instruction index 0.
+	if p.Ins[0].Imm != 0 {
+		t.Errorf("label target = %d, want 0", p.Ins[0].Imm)
+	}
+	// Spot-check a few parses.
+	if p.Ins[4].Op != OpCalcARF || !p.Ins[4].HasImm || p.Ins[4].Imm != 64 || p.Ins[4].SimbMask != ^uint64(0) {
+		t.Errorf("calc_arf parse wrong: %+v", p.Ins[4])
+	}
+	if p.Ins[6].Op != OpLdRF || !p.Ins[6].Indirect || p.Ins[6].Addr != 4 {
+		t.Errorf("indirect ld_rf parse wrong: %+v", p.Ins[6])
+	}
+	if p.Ins[7].Indirect || p.Ins[7].Addr != 0x1000 || p.Ins[7].SimbMask != 0x3 {
+		t.Errorf("direct ld_rf parse wrong: %+v", p.Ins[7])
+	}
+	if p.Ins[9].Mode != ModeVS || p.Ins[9].VecMask != 0x7 {
+		t.Errorf("comp vs parse wrong: %+v", p.Ins[9])
+	}
+	rq := p.Ins[22]
+	if rq.Op != OpReq || rq.DstChip != 0 || rq.DstVault != 3 || rq.DstPG != 1 || rq.DstPE != 2 ||
+		rq.Addr != 0x100 || rq.Addr2 != 0x20 {
+		t.Errorf("req parse wrong: %+v", rq)
+	}
+	if p.Ins[25].Op != OpSync || p.Ins[25].Phase != 1 {
+		t.Errorf("sync parse wrong: %+v", p.Ins[25])
+	}
+}
+
+func TestDisassembleAssembleFixpoint(t *testing.T) {
+	p, err := Assemble(sampleProgram)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	text1 := Disassemble(p)
+	q, err := Assemble(text1)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text1)
+	}
+	text2 := Disassemble(q)
+	if text1 != text2 {
+		t.Fatalf("disassembly not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+	// Semantic equivalence: finalize both and compare resolved streams.
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Ins) != len(q.Ins) {
+		t.Fatalf("length mismatch %d vs %d", len(p.Ins), len(q.Ins))
+	}
+	for i := range p.Ins {
+		a, b := p.Ins[i], q.Ins[i]
+		a.ImmLabel, b.ImmLabel = -1, -1 // label ids may be renumbered
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("instruction %d differs:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus_op d1, d2",
+		"comp fadd vv d1, d2",            // missing operand
+		"comp nosuch vv d1, d2, d3",      // bad alu op
+		"comp fadd diag d1, d2, d3",      // bad mode
+		"comp fadd vv a1, d2, d3",        // wrong register class
+		"calc_arf fadd a1, a2, a3",       // float op accepted only by comp
+		"ld_rf d1, zzz",                  // unparseable address
+		"mov_arf a1, d2, lane=x",         // bad lane
+		"seti_crf c1, =9bad",             // bad label name
+		"seti_crf c1, =nowhere",          // unbound label
+		"sync many",                      // non-numeric phase
+		"req chip=0, vault=1",            // missing req fields
+		"comp fadd vv d1, d2, d3, sm=zz", // bad mask
+		"1label:",                        // invalid label binding
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			// calc_arf with float op assembles (parse-level) but must fail Validate.
+			if strings.HasPrefix(src, "calc_arf fadd") {
+				p, _ := Assemble(src)
+				if p != nil {
+					if err := p.Validate(64, 64, 64); err != nil {
+						continue
+					}
+				}
+			}
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAssembleCommentsAndBlankLines(t *testing.T) {
+	p, err := Assemble("\n; pure comment\n\n  sync 0 ; trailing comment\n\n")
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if len(p.Ins) != 1 || p.Ins[0].Op != OpSync {
+		t.Fatalf("parsed %+v", p.Ins)
+	}
+}
+
+// randomInstruction builds a structurally valid random instruction for
+// codec property tests.
+func randomInstruction(r *rand.Rand) Instruction {
+	ops := []Opcode{OpComp, OpCalcARF, OpStRF, OpLdRF, OpStPGSM, OpLdPGSM,
+		OpRdPGSM, OpWrPGSM, OpRdVSM, OpWrVSM, OpMovDRF, OpMovARF,
+		OpSetiVSM, OpReset, OpReq, OpJump, OpCJump, OpCalcCRF, OpSetiCRF, OpSync}
+	in := New(ops[r.Intn(len(ops))])
+	in.ALU = ALUOp(1 + r.Intn(NumALUOps))
+	in.Mode = Mode(r.Intn(2))
+	in.Dst = r.Intn(64)
+	in.Src1 = r.Intn(64)
+	in.Src2 = r.Intn(64)
+	in.Imm = int64(int32(r.Uint32()))
+	in.HasImm = r.Intn(2) == 0
+	in.Addr = r.Uint32() >> 8
+	in.Indirect = r.Intn(2) == 0
+	in.Addr2 = r.Uint32() >> 8
+	in.Indirect2 = r.Intn(2) == 0
+	in.Lane = r.Intn(VecLanes)
+	in.VecMask = uint8(r.Intn(16))
+	in.SimbMask = r.Uint64()
+	in.DstChip = r.Intn(8)
+	in.DstVault = r.Intn(16)
+	in.DstPG = r.Intn(8)
+	in.DstPE = r.Intn(4)
+	in.Cond = r.Intn(64)
+	in.Phase = r.Intn(1 << 15)
+	if r.Intn(4) == 0 {
+		in.ImmLabel = r.Intn(16)
+	}
+	return in
+}
+
+func TestEncodeDecodeInstructionQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randomInstruction(r)
+		var buf [InstructionSize]byte
+		EncodeInstruction(&in, buf[:])
+		out, err := DecodeInstruction(buf[:])
+		if err != nil {
+			t.Logf("decode error: %v", err)
+			return false
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Logf("mismatch:\n in=%+v\nout=%+v", in, out)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	p, err := Assemble(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := EncodeProgram(p)
+	q, err := DecodeProgram(data)
+	if err != nil {
+		t.Fatalf("DecodeProgram: %v", err)
+	}
+	if !reflect.DeepEqual(p.Ins, q.Ins) {
+		t.Fatal("instruction streams differ after codec round trip")
+	}
+	if !reflect.DeepEqual(p.Labels, q.Labels) {
+		t.Fatalf("label tables differ: %v vs %v", p.Labels, q.Labels)
+	}
+}
+
+func TestDecodeProgramErrors(t *testing.T) {
+	if _, err := DecodeProgram([]byte{1, 2, 3}); err == nil {
+		t.Error("short header accepted")
+	}
+	p, _ := Assemble("sync 0")
+	data := EncodeProgram(p)
+	data[0] ^= 0xFF
+	if _, err := DecodeProgram(data); err == nil {
+		t.Error("bad magic accepted")
+	}
+	data[0] ^= 0xFF
+	if _, err := DecodeProgram(data[:len(data)-4]); err == nil {
+		t.Error("truncated program accepted")
+	}
+	// Corrupt an opcode byte.
+	data2 := EncodeProgram(p)
+	data2[16] = 0xEE // first instruction record starts after header+labels (no labels here)
+	if _, err := DecodeProgram(data2); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+}
+
+func TestDecodeInstructionShortBuffer(t *testing.T) {
+	if _, err := DecodeInstruction(make([]byte, 10)); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p, _ := Assemble(sampleProgram)
+	q := p.Clone()
+	q.Ins[0].Dst = 63
+	q.Labels[0] = 99
+	if p.Ins[0].Dst == 63 || p.Labels[0] == 99 {
+		t.Fatal("Clone shares storage with original")
+	}
+}

@@ -1,0 +1,102 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a Program as canonical assembly text that
+// Assemble parses back to an equivalent program (labels are renamed to
+// L0, L1, ... in binding order).
+func Disassemble(p *Program) string {
+	// Labels bound at each instruction index (a label may bind at
+	// len(Ins), i.e. program end).
+	labelsAt := make(map[int][]int)
+	for id, idx := range p.Labels {
+		if idx >= 0 {
+			labelsAt[idx] = append(labelsAt[idx], id)
+		}
+	}
+	var b strings.Builder
+	for i := 0; i <= len(p.Ins); i++ {
+		for _, id := range labelsAt[i] {
+			fmt.Fprintf(&b, "L%d:\n", id)
+		}
+		if i < len(p.Ins) {
+			b.WriteString(formatInstruction(&p.Ins[i]))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// FormatInstruction renders one instruction in canonical assembly syntax.
+func FormatInstruction(in *Instruction) string { return formatInstruction(in) }
+
+func formatInstruction(in *Instruction) string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	b.WriteByte(' ')
+	addr := func(a uint32, ind bool) string {
+		if ind {
+			return fmt.Sprintf("@a%d", a)
+		}
+		return fmt.Sprintf("%#x", a)
+	}
+	simb := func() string {
+		if in.SimbMask == ^uint64(0) {
+			return "sm=*"
+		}
+		return fmt.Sprintf("sm=%#x", in.SimbMask)
+	}
+	switch in.Op {
+	case OpComp:
+		fmt.Fprintf(&b, "%s %s d%d, d%d, d%d, vm=%#x, %s",
+			in.ALU, in.Mode, in.Dst, in.Src1, in.Src2, in.VecMask, simb())
+	case OpCalcARF, OpCalcCRF:
+		pfx := "a"
+		if in.Op == OpCalcCRF {
+			pfx = "c"
+		}
+		src2 := fmt.Sprintf("%s%d", pfx, in.Src2)
+		if in.HasImm {
+			src2 = fmt.Sprintf("#%d", in.Imm)
+		}
+		fmt.Fprintf(&b, "%s %s%d, %s%d, %s", in.ALU, pfx, in.Dst, pfx, in.Src1, src2)
+		if in.Op == OpCalcARF {
+			fmt.Fprintf(&b, ", %s", simb())
+		}
+	case OpStRF, OpLdRF:
+		fmt.Fprintf(&b, "d%d, %s, %s", in.Dst, addr(in.Addr, in.Indirect), simb())
+	case OpStPGSM, OpLdPGSM:
+		fmt.Fprintf(&b, "%s, %s, %s", addr(in.Addr, in.Indirect), addr(in.Addr2, in.Indirect2), simb())
+	case OpRdPGSM, OpWrPGSM, OpRdVSM, OpWrVSM:
+		fmt.Fprintf(&b, "d%d, %s, %s", in.Dst, addr(in.Addr, in.Indirect), simb())
+	case OpMovDRF:
+		fmt.Fprintf(&b, "d%d, a%d, lane=%d, %s", in.Dst, in.Src1, in.Lane, simb())
+	case OpMovARF:
+		fmt.Fprintf(&b, "a%d, d%d, lane=%d, %s", in.Dst, in.Src1, in.Lane, simb())
+	case OpSetiVSM:
+		fmt.Fprintf(&b, "%#x, #%d", in.Addr, in.Imm)
+	case OpReset:
+		fmt.Fprintf(&b, "d%d, %s", in.Dst, simb())
+	case OpReq:
+		fmt.Fprintf(&b, "chip=%d, vault=%d, pg=%d, pe=%d, dram=%#x, vsm=%#x",
+			in.DstChip, in.DstVault, in.DstPG, in.DstPE, in.Addr, in.Addr2)
+	case OpJump:
+		fmt.Fprintf(&b, "c%d", in.Src1)
+	case OpCJump:
+		fmt.Fprintf(&b, "c%d, c%d", in.Cond, in.Src1)
+	case OpSetiCRF:
+		if in.ImmLabel >= 0 {
+			fmt.Fprintf(&b, "c%d, =L%d", in.Dst, in.ImmLabel)
+		} else {
+			fmt.Fprintf(&b, "c%d, #%d", in.Dst, in.Imm)
+		}
+	case OpSync:
+		fmt.Fprintf(&b, "%d", in.Phase)
+	default:
+		fmt.Fprintf(&b, "?%d", in.Op)
+	}
+	return b.String()
+}

@@ -1,0 +1,263 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// ALUOp enumerates the operations of the comp SIMD unit and the integer
+// ALUs (calc_arf / calc_crf). Paper Table I lists FP/INT add, subtract,
+// multiply, mac plus logical shift/and/or/xor/crop-lsb/crop-msb; the
+// comparison, min/max, div, abs and conversion ops are the minimal
+// extension needed by the paper's own Table II workloads (see package
+// doc).
+type ALUOp uint8
+
+const (
+	ALUInvalid ALUOp = iota
+
+	// FP32 vector arithmetic (comp).
+	FAdd
+	FSub
+	FMul
+	FMac // dst += src1 * src2 (reads dst)
+	FDiv
+	FMin
+	FMax
+	FAbs   // |src1| (src2 ignored)
+	FCmpLT // 1.0 if src1 < src2 else 0.0
+	FCmpLE // 1.0 if src1 <= src2 else 0.0
+	FFloor // floor(src1) (src2 ignored)
+
+	// INT32 vector arithmetic (comp) and scalar index/control calc.
+	IAdd
+	ISub
+	IMul
+	IMac // dst += src1 * src2 (reads dst)
+	IMin
+	IMax
+	ICmpLT // 1 if src1 < src2 else 0
+	ICmpEQ // 1 if src1 == src2 else 0
+
+	// Logical (comp + scalar).
+	Shl
+	Shr // logical shift right
+	And
+	Or
+	Xor
+	CropLSB // src1 & 0xFFFF (keep least-significant half)
+	CropMSB // (src1 >> 16) & 0xFFFF (keep most-significant half)
+
+	// Conversions (comp).
+	I2F // int32 -> float32
+	F2I // float32 -> int32 (truncate toward zero)
+
+	// Mov copies src1 (scalar calc files; also comp copy).
+	Mov
+
+	aluEnd
+)
+
+// NumALUOps is the count of valid ALU operations.
+const NumALUOps = int(aluEnd) - 1
+
+var aluNames = [...]string{
+	ALUInvalid: "invalid",
+	FAdd:       "fadd",
+	FSub:       "fsub",
+	FMul:       "fmul",
+	FMac:       "fmac",
+	FDiv:       "fdiv",
+	FMin:       "fmin",
+	FMax:       "fmax",
+	FAbs:       "fabs",
+	FCmpLT:     "fcmplt",
+	FCmpLE:     "fcmple",
+	FFloor:     "ffloor",
+	IAdd:       "iadd",
+	ISub:       "isub",
+	IMul:       "imul",
+	IMac:       "imac",
+	IMin:       "imin",
+	IMax:       "imax",
+	ICmpLT:     "icmplt",
+	ICmpEQ:     "icmpeq",
+	Shl:        "shl",
+	Shr:        "shr",
+	And:        "and",
+	Or:         "or",
+	Xor:        "xor",
+	CropLSB:    "croplsb",
+	CropMSB:    "cropmsb",
+	I2F:        "i2f",
+	F2I:        "f2i",
+	Mov:        "mov",
+}
+
+func (a ALUOp) String() string {
+	if int(a) < len(aluNames) {
+		return aluNames[a]
+	}
+	return fmt.Sprintf("alu(%d)", uint8(a))
+}
+
+// ALUOpByName resolves an assembler mnemonic; ok is false for unknown
+// names.
+func ALUOpByName(name string) (ALUOp, bool) {
+	for op, n := range aluNames {
+		if n == name && ALUOp(op) != ALUInvalid {
+			return ALUOp(op), true
+		}
+	}
+	return ALUInvalid, false
+}
+
+// IsFloat reports whether the op interprets its operands as FP32.
+func (a ALUOp) IsFloat() bool {
+	switch a {
+	case FAdd, FSub, FMul, FMac, FDiv, FMin, FMax, FAbs, FCmpLT, FCmpLE, FFloor, I2F:
+		return true
+	}
+	return false
+}
+
+// ReadsDst reports whether the op reads its destination register
+// (multiply-accumulate), which matters for hazard detection and liveness.
+func (a ALUOp) ReadsDst() bool { return a == FMac || a == IMac }
+
+// ValidForComp reports whether a comp instruction may carry this op.
+func (a ALUOp) ValidForComp() bool { return a > ALUInvalid && a < aluEnd }
+
+// ValidForCalc reports whether the scalar integer calc units
+// (calc_arf / calc_crf) support this op. The paper restricts them to INT.
+func (a ALUOp) ValidForCalc() bool {
+	switch a {
+	case IAdd, ISub, IMul, IMin, IMax, ICmpLT, ICmpEQ, Shl, Shr, And, Or, Xor, CropLSB, CropMSB, Mov:
+		return true
+	}
+	return false
+}
+
+// EvalF computes the FP32 result of op for one lane. acc is the current
+// destination value (read only by fmac). Integer-typed ops on float
+// arguments reinterpret via conversion as the hardware conversion ops do.
+func EvalF(op ALUOp, a, b, acc float32) float32 {
+	switch op {
+	case FAdd:
+		return a + b
+	case FSub:
+		return a - b
+	case FMul:
+		return a * b
+	case FMac:
+		return acc + a*b
+	case FDiv:
+		return a / b
+	case FMin:
+		if a < b {
+			return a
+		}
+		return b
+	case FMax:
+		if a > b {
+			return a
+		}
+		return b
+	case FAbs:
+		return float32(math.Abs(float64(a)))
+	case FCmpLT:
+		if a < b {
+			return 1
+		}
+		return 0
+	case FCmpLE:
+		if a <= b {
+			return 1
+		}
+		return 0
+	case FFloor:
+		return float32(math.Floor(float64(a)))
+	case Mov:
+		return a
+	}
+	panic(fmt.Sprintf("isa: EvalF: non-float op %v", op))
+}
+
+// EvalI computes the INT32 result of op for one lane (or for the scalar
+// calc units). acc is the current destination value (read only by imac).
+func EvalI(op ALUOp, a, b, acc int32) int32 {
+	switch op {
+	case IAdd:
+		return a + b
+	case ISub:
+		return a - b
+	case IMul:
+		return a * b
+	case IMac:
+		return acc + a*b
+	case IMin:
+		if a < b {
+			return a
+		}
+		return b
+	case IMax:
+		if a > b {
+			return a
+		}
+		return b
+	case ICmpLT:
+		if a < b {
+			return 1
+		}
+		return 0
+	case ICmpEQ:
+		if a == b {
+			return 1
+		}
+		return 0
+	case Shl:
+		return a << (uint32(b) & 31)
+	case Shr:
+		return int32(uint32(a) >> (uint32(b) & 31))
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case CropLSB:
+		return a & 0xFFFF
+	case CropMSB:
+		return (a >> 16) & 0xFFFF
+	case Mov:
+		return a
+	}
+	panic(fmt.Sprintf("isa: EvalI: non-int op %v", op))
+}
+
+// EvalLane evaluates a comp op for one vector lane holding raw 32-bit
+// data, dispatching on the op's type. Float lanes are reinterpreted as
+// IEEE-754 bit patterns.
+func EvalLane(op ALUOp, a, b, acc uint32) uint32 {
+	switch op {
+	case I2F:
+		return math.Float32bits(float32(int32(a)))
+	case F2I:
+		f := math.Float32frombits(a)
+		switch {
+		case math.IsNaN(float64(f)):
+			return 0
+		case f >= math.MaxInt32:
+			return uint32(int32(math.MaxInt32))
+		case f <= math.MinInt32:
+			minI32 := int32(math.MinInt32)
+			return uint32(minI32)
+		}
+		return uint32(int32(f))
+	}
+	if op.IsFloat() {
+		r := EvalF(op, math.Float32frombits(a), math.Float32frombits(b), math.Float32frombits(acc))
+		return math.Float32bits(r)
+	}
+	return uint32(EvalI(op, int32(a), int32(b), int32(acc)))
+}

@@ -1,0 +1,90 @@
+package isa
+
+import "fmt"
+
+// Program is a sequence of SIMB instructions plus a symbolic label table.
+//
+// Labels decouple control-flow targets from instruction positions so the
+// compiler's instruction-reordering pass can move code without breaking
+// branches: a seti_crf whose ImmLabel >= 0 receives the label's final
+// instruction index when Finalize runs.
+type Program struct {
+	Ins []Instruction
+
+	// Labels maps label id -> instruction index. Label ids are dense
+	// small integers handed out by NewLabel.
+	Labels []int
+
+	// Name is a human-readable program name (workload/stage).
+	Name string
+}
+
+// NewLabel allocates a fresh label id, initially unbound.
+func (p *Program) NewLabel() int {
+	p.Labels = append(p.Labels, -1)
+	return len(p.Labels) - 1
+}
+
+// Bind points label id at the next instruction to be appended.
+func (p *Program) Bind(id int) {
+	p.Labels[id] = len(p.Ins)
+}
+
+// BindAt points label id at an explicit instruction index.
+func (p *Program) BindAt(id, index int) {
+	p.Labels[id] = index
+}
+
+// Append adds an instruction and returns its index.
+func (p *Program) Append(in Instruction) int {
+	p.Ins = append(p.Ins, in)
+	return len(p.Ins) - 1
+}
+
+// Finalize materializes label references: every instruction with
+// ImmLabel >= 0 gets Imm = Labels[ImmLabel]. It errors on unbound or
+// out-of-range labels.
+func (p *Program) Finalize() error {
+	for i := range p.Ins {
+		l := p.Ins[i].ImmLabel
+		if l < 0 {
+			continue
+		}
+		if l >= len(p.Labels) {
+			return fmt.Errorf("isa: instruction %d references unknown label %d", i, l)
+		}
+		tgt := p.Labels[l]
+		if tgt < 0 || tgt > len(p.Ins) {
+			return fmt.Errorf("isa: label %d unbound or out of range (%d)", l, tgt)
+		}
+		p.Ins[i].Imm = int64(tgt)
+	}
+	return nil
+}
+
+// Validate checks every instruction against the given register file sizes.
+func (p *Program) Validate(drfSize, arfSize, crfSize int) error {
+	for i := range p.Ins {
+		if err := p.Ins[i].Validate(drfSize, arfSize, crfSize); err != nil {
+			return fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	q := &Program{Name: p.Name}
+	q.Ins = append([]Instruction(nil), p.Ins...)
+	q.Labels = append([]int(nil), p.Labels...)
+	return q
+}
+
+// CountByCategory tallies instructions per paper Fig. 11 category.
+func (p *Program) CountByCategory() [NumCategories]int {
+	var c [NumCategories]int
+	for i := range p.Ins {
+		c[CategoryOf(p.Ins[i].Op)]++
+	}
+	return c
+}

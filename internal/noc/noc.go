@@ -1,0 +1,166 @@
+// Package noc models iPIM's interconnect (paper Sec. IV-E): a 2D-mesh
+// on-chip network among the vaults of a cube and a 2D-mesh off-chip
+// SERDES network among cubes. Routers are input-queued and use
+// dimension-order (X-Y) routing with simple link-level flow control:
+// each unidirectional link serializes the flits that cross it.
+//
+// X-Y routing on a mesh is minimal and deadlock-free; the model tracks
+// per-link busy time so contended transfers slow down realistically, and
+// counts hops and flits for the energy model.
+package noc
+
+import "fmt"
+
+// Direction indexes a router's four mesh output links.
+type Direction int
+
+const (
+	East Direction = iota
+	West
+	North
+	South
+	numDirs
+)
+
+// Stats aggregates network activity for energy accounting and analysis.
+type Stats struct {
+	Packets    int64
+	Flits      int64 // link traversals x flit (for per-hop energy)
+	Hops       int64
+	MaxLatency int64
+}
+
+// Mesh is a W×H 2D mesh. Node i sits at (i%W, i/W).
+type Mesh struct {
+	W, H int
+
+	// HopLatNum/HopLatDen express per-hop latency in cycles as a
+	// rational so the 0.08 ns SERDES hop is representable at the 1 GHz
+	// clock (latency = ceil(hops*Num/Den)).
+	HopLatNum, HopLatDen int64
+
+	// LinkBytesPerCycle is each link's serialization bandwidth.
+	LinkBytesPerCycle int
+
+	// linkFree[node][dir] is the cycle the output link becomes free.
+	linkFree [][numDirs]int64
+
+	Stats Stats
+}
+
+// NewMesh builds a W×H mesh with per-hop latency hopLatNum/hopLatDen
+// cycles and the given link width in bytes/cycle.
+func NewMesh(w, h int, hopLatNum, hopLatDen int64, linkBytesPerCycle int) *Mesh {
+	if w <= 0 || h <= 0 || linkBytesPerCycle <= 0 || hopLatDen <= 0 {
+		panic(fmt.Sprintf("noc: invalid mesh w=%d h=%d lbpc=%d den=%d", w, h, linkBytesPerCycle, hopLatDen))
+	}
+	return &Mesh{
+		W: w, H: h,
+		HopLatNum: hopLatNum, HopLatDen: hopLatDen,
+		LinkBytesPerCycle: linkBytesPerCycle,
+		linkFree:          make([][numDirs]int64, w*h),
+	}
+}
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.W * m.H }
+
+// XY converts a node id to mesh coordinates.
+func (m *Mesh) XY(node int) (x, y int) { return node % m.W, node / m.W }
+
+// Node converts coordinates to a node id.
+func (m *Mesh) Node(x, y int) int { return y*m.W + x }
+
+// Route returns the X-Y route from src to dst as a sequence of
+// (node, direction) link traversals. An empty route means src == dst.
+func (m *Mesh) Route(src, dst int) []struct {
+	Node int
+	Dir  Direction
+} {
+	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
+		panic(fmt.Sprintf("noc: route %d->%d outside %d-node mesh", src, dst, m.Nodes()))
+	}
+	var route []struct {
+		Node int
+		Dir  Direction
+	}
+	x, y := m.XY(src)
+	dx, dy := m.XY(dst)
+	for x != dx { // X first
+		d := East
+		nx := x + 1
+		if dx < x {
+			d = West
+			nx = x - 1
+		}
+		route = append(route, struct {
+			Node int
+			Dir  Direction
+		}{m.Node(x, y), d})
+		x = nx
+	}
+	for y != dy { // then Y
+		d := South
+		ny := y + 1
+		if dy < y {
+			d = North
+			ny = y - 1
+		}
+		route = append(route, struct {
+			Node int
+			Dir  Direction
+		}{m.Node(x, y), d})
+		y = ny
+	}
+	return route
+}
+
+// HopCount returns the minimal hop distance between two nodes.
+func (m *Mesh) HopCount(src, dst int) int {
+	x, y := m.XY(src)
+	dx, dy := m.XY(dst)
+	return abs(x-dx) + abs(y-dy)
+}
+
+// Send injects a packet of size bytes at time now and returns its
+// delivery time at dst. Each link on the X-Y route serializes the
+// packet's flits; per-hop latency accumulates as a rational.
+func (m *Mesh) Send(now int64, src, dst, bytes int) int64 {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("noc: packet of %d bytes", bytes))
+	}
+	route := m.Route(src, dst)
+	flits := int64((bytes + m.LinkBytesPerCycle - 1) / m.LinkBytesPerCycle)
+	// Wormhole pipelining: the head advances link by link (stalling on
+	// busy links); each link is then held for the packet's flits; the
+	// tail arrives flits-1 cycles after the head; propagation adds the
+	// per-hop latency over the whole route.
+	head := now
+	for _, hop := range route {
+		if free := m.linkFree[hop.Node][hop.Dir]; free > head {
+			head = free
+		}
+		m.linkFree[hop.Node][hop.Dir] = head + flits
+		m.Stats.Flits += flits
+	}
+	hops := int64(len(route))
+	t := now
+	if hops > 0 {
+		t = head + flits - 1 + ceilDiv(hops*m.HopLatNum, m.HopLatDen)
+	}
+	m.Stats.Packets++
+	m.Stats.Hops += hops
+	if lat := t - now; lat > m.Stats.MaxLatency {
+		m.Stats.MaxLatency = lat
+	}
+	return t
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

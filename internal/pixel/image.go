@@ -1,0 +1,91 @@
+// Package pixel provides single-channel floating-point image buffers and a
+// deterministic synthetic high-resolution dataset generator that stands in
+// for the DIV8K dataset used by the iPIM paper (see DESIGN.md §5).
+//
+// All iPIM workloads operate on FP32 grayscale planes; color pipelines in
+// the paper are expressed as independent planes, so a single-channel image
+// is the fundamental unit.
+package pixel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Image is a dense row-major single-channel FP32 image.
+//
+// The zero value is an empty image; use New to allocate.
+type Image struct {
+	W, H int
+	Pix  []float32 // len == W*H, row-major
+}
+
+// New allocates a zeroed W×H image. It panics on non-positive dimensions,
+// which always indicates a programming error in a workload definition.
+func New(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("pixel: invalid image size %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// At returns the pixel at (x, y) with clamp-to-edge semantics for
+// out-of-bounds coordinates. Clamping matches Halide's boundary handling
+// used by the paper's stencil benchmarks.
+func (im *Image) At(x, y int) float32 {
+	if x < 0 {
+		x = 0
+	} else if x >= im.W {
+		x = im.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y). Out-of-bounds writes panic: workloads
+// never produce out-of-range output coordinates.
+func (im *Image) Set(x, y int, v float32) {
+	if x < 0 || x >= im.W || y < 0 || y >= im.H {
+		panic(fmt.Sprintf("pixel: Set(%d,%d) outside %dx%d", x, y, im.W, im.H))
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	out := New(im.W, im.H)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Fill sets every pixel to v.
+func (im *Image) Fill(v float32) {
+	for i := range im.Pix {
+		im.Pix[i] = v
+	}
+}
+
+// MaxAbsDiff returns the maximum absolute per-pixel difference between two
+// equally sized images. It panics if the shapes differ.
+func MaxAbsDiff(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("pixel: shape mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	var m float64
+	for i := range a.Pix {
+		d := math.Abs(float64(a.Pix[i]) - float64(b.Pix[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Equalish reports whether two images agree within tol at every pixel.
+func Equalish(a, b *Image, tol float64) bool {
+	return MaxAbsDiff(a, b) <= tol
+}

@@ -1,0 +1,50 @@
+package pixel
+
+import "math"
+
+// Image-quality metrics for comparing pipeline outputs (used by the
+// examples and by tests that tolerate quantization, e.g. after netpbm
+// round trips).
+
+// MSE returns the mean squared error between two equally sized images.
+func MSE(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("pixel: MSE shape mismatch")
+	}
+	var s float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		s += d * d
+	}
+	return s / float64(len(a.Pix))
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB for [0,1] images.
+// Identical images return +Inf.
+func PSNR(a, b *Image) float64 {
+	mse := MSE(a, b)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(mse)
+}
+
+// Mean returns the average pixel value.
+func (im *Image) Mean() float64 {
+	var s float64
+	for _, v := range im.Pix {
+		s += float64(v)
+	}
+	return s / float64(len(im.Pix))
+}
+
+// Variance returns the pixel variance.
+func (im *Image) Variance() float64 {
+	m := im.Mean()
+	var s float64
+	for _, v := range im.Pix {
+		d := float64(v) - m
+		s += d * d
+	}
+	return s / float64(len(im.Pix))
+}

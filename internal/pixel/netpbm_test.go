@@ -1,0 +1,102 @@
+package pixel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	im := Synth(17, 9, 4)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != im.W || got.H != im.H {
+		t.Fatalf("shape %dx%d", got.W, got.H)
+	}
+	// 8-bit quantization: within 1/255 + rounding.
+	if d := MaxAbsDiff(im, got); d > 1.0/255+1e-6 {
+		t.Fatalf("round trip error %v", d)
+	}
+}
+
+func TestPGMClampsOutOfRange(t *testing.T) {
+	im := New(2, 1)
+	im.Pix[0] = -0.5
+	im.Pix[1] = 2.0
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pix[0] != 0 || got.Pix[1] != 1 {
+		t.Fatalf("clamping lost: %v", got.Pix)
+	}
+}
+
+func TestPGMComments(t *testing.T) {
+	src := "P5 # magic\n# a comment line\n2 1\n# another\n255\nAB"
+	im, err := ReadPGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 2 || im.H != 1 {
+		t.Fatalf("shape %dx%d", im.W, im.H)
+	}
+	if im.Pix[0] != float32('A')/255 {
+		t.Fatalf("pixel 0 = %v", im.Pix[0])
+	}
+}
+
+func TestPGMErrors(t *testing.T) {
+	cases := []string{
+		"",                   // empty
+		"P2\n2 1\n255\n..",   // ascii PGM unsupported
+		"P5\n0 1\n255\n",     // bad dims
+		"P5\n2 1\n99999\nAB", // bad maxval
+		"P5\n2 1\n255\nA",    // short data
+		"P5\nxx 1\n255\nAB",  // bad token
+	}
+	for _, src := range cases {
+		if _, err := ReadPGM(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadPGM(%q) succeeded", src)
+		}
+	}
+}
+
+func TestPPMRoundTrip(t *testing.T) {
+	r := Synth(8, 6, 1)
+	g := Synth(8, 6, 2)
+	b := Synth(8, 6, 3)
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, r, g, b); err != nil {
+		t.Fatal(err)
+	}
+	r2, g2, b2, err := ReadPPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]*Image{{r, r2}, {g, g2}, {b, b2}} {
+		if d := MaxAbsDiff(pair[0], pair[1]); d > 1.0/255+1e-6 {
+			t.Fatalf("PPM plane error %v", d)
+		}
+	}
+}
+
+func TestPPMShapeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, New(2, 2), New(3, 2), New(2, 2)); err == nil {
+		t.Fatal("mismatched planes accepted")
+	}
+	if _, _, _, err := ReadPPM(strings.NewReader("P5\n2 1\n255\nAB")); err == nil {
+		t.Fatal("PGM magic accepted as PPM")
+	}
+}

@@ -1,0 +1,170 @@
+package pixel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndSetAt(t *testing.T) {
+	im := New(4, 3)
+	if im.W != 4 || im.H != 3 || len(im.Pix) != 12 {
+		t.Fatalf("bad image shape: %+v", im)
+	}
+	im.Set(2, 1, 7)
+	if got := im.At(2, 1); got != 7 {
+		t.Fatalf("At(2,1) = %v, want 7", got)
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestAtClampsToEdge(t *testing.T) {
+	im := Ramp(3, 3)
+	cases := []struct {
+		x, y int
+		want float32
+	}{
+		{-1, 0, 0}, // clamp left
+		{5, 0, 2},  // clamp right
+		{0, -2, 0}, // clamp top
+		{0, 9, 6},  // clamp bottom
+		{-3, 9, 6}, // both
+		{1, 1, 4},  // interior
+	}
+	for _, c := range cases {
+		if got := im.At(c.x, c.y); got != c.want {
+			t.Errorf("At(%d,%d) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestSetPanicsOutOfBounds(t *testing.T) {
+	im := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set out of bounds did not panic")
+		}
+	}()
+	im.Set(2, 0, 1)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := Ramp(4, 4)
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) == 99 {
+		t.Fatal("Clone shares backing storage")
+	}
+	if MaxAbsDiff(a, b) != 99 {
+		t.Fatalf("unexpected diff %v", MaxAbsDiff(a, b))
+	}
+}
+
+func TestFill(t *testing.T) {
+	im := New(3, 2)
+	im.Fill(2.5)
+	for i, v := range im.Pix {
+		if v != 2.5 {
+			t.Fatalf("Pix[%d] = %v after Fill(2.5)", i, v)
+		}
+	}
+}
+
+func TestMaxAbsDiffPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	MaxAbsDiff(New(2, 2), New(3, 2))
+}
+
+func TestEqualish(t *testing.T) {
+	a := Ramp(4, 4)
+	b := a.Clone()
+	if !Equalish(a, b, 0) {
+		t.Fatal("identical images not Equalish at tol 0")
+	}
+	b.Pix[5] += 0.5
+	if Equalish(a, b, 0.4) {
+		t.Fatal("diff 0.5 passed tol 0.4")
+	}
+	if !Equalish(a, b, 0.6) {
+		t.Fatal("diff 0.5 failed tol 0.6")
+	}
+}
+
+func TestSynthDeterministicAndBounded(t *testing.T) {
+	a := Synth(64, 48, 42)
+	b := Synth(64, 48, 42)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("Synth not deterministic for equal seeds")
+	}
+	c := Synth(64, 48, 43)
+	if MaxAbsDiff(a, c) == 0 {
+		t.Fatal("Synth identical across different seeds")
+	}
+	for i, v := range a.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("Synth pixel %d = %v outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestSynthHasVariation(t *testing.T) {
+	im := Synth(128, 128, 7)
+	mn, mx := im.Pix[0], im.Pix[0]
+	for _, v := range im.Pix {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx-mn < 0.3 {
+		t.Fatalf("Synth dynamic range too small: [%v, %v]", mn, mx)
+	}
+}
+
+func TestRamp(t *testing.T) {
+	im := Ramp(5, 2)
+	if im.At(3, 1) != 8 {
+		t.Fatalf("Ramp(5,2).At(3,1) = %v, want 8", im.At(3, 1))
+	}
+}
+
+func TestAtClampMatchesManualClampQuick(t *testing.T) {
+	im := Synth(16, 16, 1)
+	f := func(x, y int16) bool {
+		xi, yi := int(x)%64-32, int(y)%64-32
+		cx, cy := xi, yi
+		if cx < 0 {
+			cx = 0
+		}
+		if cx > 15 {
+			cx = 15
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cy > 15 {
+			cy = 15
+		}
+		return im.At(xi, yi) == im.Pix[cy*16+cx]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package pixel
+
+// Synthetic DIV8K stand-in. The paper evaluates on DIV8K (1500+ diverse 8K
+// photographs). We cannot redistribute that dataset, so Synth generates
+// deterministic scene-like images: multi-octave value noise for texture,
+// a large-scale illumination gradient, and hard edges so that
+// edge-preserving pipelines (bilateral grid, local Laplacian) and the
+// value-dependent Histogram benchmark see natural-image-like statistics.
+
+// rng is a small splitmix64 generator: deterministic across platforms,
+// no math/rand dependency in hot paths.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hash2 maps a lattice point and seed to [0,1).
+func hash2(x, y int, seed uint64) float32 {
+	h := rng{s: seed ^ uint64(int64(x))*0x9e3779b97f4a7c15 ^ uint64(int64(y))*0xc2b2ae3d27d4eb4f}
+	return float32(h.next()>>40) / float32(1<<24)
+}
+
+// lerp linearly interpolates between a and b.
+func lerp(a, b, t float32) float32 { return a + (b-a)*t }
+
+// smooth is the classic smoothstep fade for value noise.
+func smooth(t float32) float32 { return t * t * (3 - 2*t) }
+
+// valueNoise samples smoothed lattice noise at (x/scale, y/scale).
+func valueNoise(x, y, scale int, seed uint64) float32 {
+	xi, yi := x/scale, y/scale
+	tx := smooth(float32(x%scale) / float32(scale))
+	ty := smooth(float32(y%scale) / float32(scale))
+	v00 := hash2(xi, yi, seed)
+	v10 := hash2(xi+1, yi, seed)
+	v01 := hash2(xi, yi+1, seed)
+	v11 := hash2(xi+1, yi+1, seed)
+	return lerp(lerp(v00, v10, tx), lerp(v01, v11, tx), ty)
+}
+
+// Synth generates a deterministic scene-like W×H image with values in
+// [0, 1]. Different seeds give different "photographs".
+func Synth(w, h int, seed uint64) *Image {
+	im := New(w, h)
+	// Octave scales adapt to the image size so small test images still
+	// contain low-frequency structure.
+	base := w
+	if h < w {
+		base = h
+	}
+	s1 := max(2, base/4)
+	s2 := max(2, base/16)
+	s3 := max(2, base/64)
+	edgeX := int(uint(seed)%uint(max(1, w/2))) + w/4 // vertical hard edge
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 0.5 * valueNoise(x, y, s1, seed)
+			v += 0.3 * valueNoise(x, y, s2, seed^0xabcd)
+			v += 0.12 * valueNoise(x, y, s3, seed^0x1234)
+			// Illumination gradient.
+			v += 0.08 * float32(x+y) / float32(w+h)
+			// Hard edge to exercise edge-aware pipelines.
+			if x > edgeX {
+				v *= 0.55
+			}
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			im.Pix[y*w+x] = v
+		}
+	}
+	return im
+}
+
+// Ramp returns a W×H image whose pixel (x,y) = x + y*W, useful for
+// data-movement tests where every value must be traceable.
+func Ramp(w, h int) *Image {
+	im := New(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = float32(i)
+	}
+	return im
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"ipim/internal/dram"
+	"ipim/internal/isa"
+	"ipim/internal/noc"
+)
+
+// StallReason classifies why the control core could not issue on a cycle.
+type StallReason uint8
+
+const (
+	StallData      StallReason = iota // true/anti/output hazard in the issued queue
+	StallQueueFull                    // issued-instruction queue at capacity
+	StallDRAMQueue                    // PG memory request queue full
+	StallBranch                       // taken-branch bubble
+	StallSync                         // waiting at a barrier
+	StallIFetch                       // instruction-cache miss refill
+	NumStallReasons
+)
+
+var stallNames = [...]string{
+	StallData:      "data-hazard",
+	StallQueueFull: "inst-queue-full",
+	StallDRAMQueue: "dram-queue-full",
+	StallBranch:    "branch-bubble",
+	StallSync:      "sync-wait",
+	StallIFetch:    "icache-miss",
+}
+
+func (s StallReason) String() string {
+	if int(s) < len(stallNames) {
+		return stallNames[s]
+	}
+	return "stall(?)"
+}
+
+// Stats aggregates everything one vault run produces: cycle counts,
+// per-category instruction counts (Fig. 11), stall breakdown, component
+// busy counters (Fig. 13), event counts for the energy model (Fig. 7/9),
+// and the embedded DRAM/NoC stats.
+type Stats struct {
+	Cycles int64
+	Issued int64 // dynamic instructions issued
+
+	InstByCategory [isa.NumCategories]int64
+	StallCycles    [NumStallReasons]int64
+
+	// Component activity (event counts; each event occupies the unit for
+	// one cycle, so utilization = events / Cycles).
+	SIMDOps    int64 // vector operations executed (per PE per comp)
+	IntALUOps  int64 // per-PE index calculations
+	DataRFAcc  int64 // DataRF read+write accesses
+	AddrRFAcc  int64 // AddrRF read+write accesses
+	PGSMAcc    int64 // PGSM read+write accesses (16 B each)
+	VSMAcc     int64 // VSM read+write accesses (16 B each)
+	TSVBeats   int64 // 128-bit TSV bus beats
+	PEBusBeats int64 // 128-bit PE-local bus beats
+	SerdesBeat int64 // SERDES link beats (LinkBytesPerCycle each)
+
+	// Remote traffic.
+	RemoteReqs int64
+	Syncs      int64
+
+	DRAM dram.Stats
+	NoC  noc.Stats
+}
+
+// Add accumulates other into s (for aggregating vaults or phases).
+func (s *Stats) Add(o *Stats) {
+	if o.Cycles > s.Cycles {
+		s.Cycles = o.Cycles // vaults run concurrently: wall clock is the max
+	}
+	s.Issued += o.Issued
+	for i := range s.InstByCategory {
+		s.InstByCategory[i] += o.InstByCategory[i]
+	}
+	for i := range s.StallCycles {
+		s.StallCycles[i] += o.StallCycles[i]
+	}
+	s.SIMDOps += o.SIMDOps
+	s.IntALUOps += o.IntALUOps
+	s.DataRFAcc += o.DataRFAcc
+	s.AddrRFAcc += o.AddrRFAcc
+	s.PGSMAcc += o.PGSMAcc
+	s.VSMAcc += o.VSMAcc
+	s.TSVBeats += o.TSVBeats
+	s.PEBusBeats += o.PEBusBeats
+	s.SerdesBeat += o.SerdesBeat
+	s.RemoteReqs += o.RemoteReqs
+	s.Syncs += o.Syncs
+	s.DRAM.Reads += o.DRAM.Reads
+	s.DRAM.Writes += o.DRAM.Writes
+	s.DRAM.Activates += o.DRAM.Activates
+	s.DRAM.Precharges += o.DRAM.Precharges
+	s.DRAM.Refreshes += o.DRAM.Refreshes
+	s.DRAM.RowHits += o.DRAM.RowHits
+	s.DRAM.RowMisses += o.DRAM.RowMisses
+	s.DRAM.QueueFullStalls += o.DRAM.QueueFullStalls
+	s.DRAM.BusyCycles += o.DRAM.BusyCycles
+	s.NoC.Packets += o.NoC.Packets
+	s.NoC.Flits += o.NoC.Flits
+	s.NoC.Hops += o.NoC.Hops
+	if o.NoC.MaxLatency > s.NoC.MaxLatency {
+		s.NoC.MaxLatency = o.NoC.MaxLatency
+	}
+}
+
+// IPC returns issued instructions per cycle (paper Fig. 13).
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Issued) / float64(s.Cycles)
+}
+
+// TotalInstructions returns the dynamic instruction count.
+func (s *Stats) TotalInstructions() int64 {
+	var n int64
+	for _, c := range s.InstByCategory {
+		n += c
+	}
+	return n
+}
+
+// CategoryFraction returns category c's share of dynamic instructions.
+func (s *Stats) CategoryFraction(c isa.Category) float64 {
+	total := s.TotalInstructions()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.InstByCategory[c]) / float64(total)
+}
+
+// Utilization describes per-component busy fractions for Fig. 13. nPE is
+// the number of PEs the stats cover (per-PE units are normalized by it).
+func (s *Stats) Utilization(nPE int) map[string]float64 {
+	if s.Cycles == 0 || nPE == 0 {
+		return map[string]float64{}
+	}
+	perPE := float64(s.Cycles) * float64(nPE)
+	return map[string]float64{
+		"simd":   float64(s.SIMDOps) / perPE,
+		"intalu": float64(s.IntALUOps) / perPE,
+		"datarf": float64(s.DataRFAcc) / (2 * perPE), // multi-port: 2 ports
+		"addrrf": float64(s.AddrRFAcc) / (2 * perPE),
+		"dram":   float64(s.DRAM.Reads+s.DRAM.Writes) * float64(dramBurst) / perPE,
+		"tsv":    float64(s.TSVBeats) / float64(s.Cycles),
+	}
+}
+
+// dramBurst is the bank occupancy per access in cycles (tCCD).
+const dramBurst = 2

@@ -1,0 +1,118 @@
+// Package tune is a small schedule auto-tuner: it searches the iPIM
+// schedule space (tile shape, PGSM staging) by compiling and
+// cycle-simulating each candidate on a probe image, the empirical
+// analogue of Halide's auto-scheduler for this backend.
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"ipim/internal/compiler"
+	"ipim/internal/cube"
+	"ipim/internal/halide"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+)
+
+// Candidate is one schedule point.
+type Candidate struct {
+	TileW, TileH int
+	LoadPGSM     bool
+}
+
+func (c Candidate) String() string {
+	s := fmt.Sprintf("tile %dx%d", c.TileW, c.TileH)
+	if c.LoadPGSM {
+		s += " + load_pgsm"
+	}
+	return s
+}
+
+// Builder constructs a pipeline for a candidate schedule.
+type Builder func(c Candidate) *halide.Pipeline
+
+// Result is one evaluated candidate.
+type Result struct {
+	Candidate Candidate
+	Cycles    int64
+	Energy    float64 // joules (0 if not computed)
+	Err       error   // non-nil when the candidate is infeasible
+}
+
+// DefaultGrid returns the standard candidate grid.
+func DefaultGrid() []Candidate {
+	var out []Candidate
+	for _, tw := range []int{8, 16} {
+		for _, th := range []int{4, 8, 16} {
+			for _, pgsm := range []bool{false, true} {
+				out = append(out, Candidate{TileW: tw, TileH: th, LoadPGSM: pgsm})
+			}
+		}
+	}
+	return out
+}
+
+// Search evaluates every candidate on a probe image and returns the
+// results sorted fastest-first (infeasible candidates last).
+func Search(cfg sim.Config, build Builder, imgW, imgH int, cands []Candidate) ([]Result, error) {
+	if len(cands) == 0 {
+		cands = DefaultGrid()
+	}
+	img := pixel.Synth(imgW, imgH, 0x7E57)
+	var results []Result
+	for _, cand := range cands {
+		r := Result{Candidate: cand}
+		pipe := build(cand)
+		art, err := compiler.Compile(&cfg, pipe, imgW, imgH, compiler.Opt)
+		if err != nil {
+			r.Err = err
+			results = append(results, r)
+			continue
+		}
+		m, err := cube.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := compiler.LoadInput(m, art, img); err != nil {
+			r.Err = err
+			results = append(results, r)
+			continue
+		}
+		stats, err := compiler.Execute(m, art)
+		if err != nil {
+			r.Err = err
+			results = append(results, r)
+			continue
+		}
+		// Guard against schedule-dependent miscompiles: the tuner only
+		// ranks candidates whose output matches the reference.
+		out, err := compiler.ReadOutput(m, art)
+		if err != nil {
+			r.Err = err
+			results = append(results, r)
+			continue
+		}
+		want, err := pipe.Reference(img)
+		if err != nil {
+			return nil, err
+		}
+		if pixel.MaxAbsDiff(out, want) != 0 {
+			r.Err = fmt.Errorf("tune: candidate %s diverged from reference", cand)
+			results = append(results, r)
+			continue
+		}
+		r.Cycles = stats.Cycles
+		results = append(results, r)
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		if (results[i].Err == nil) != (results[j].Err == nil) {
+			return results[i].Err == nil
+		}
+		return results[i].Cycles < results[j].Cycles
+	})
+	if results[0].Err != nil {
+		return results, fmt.Errorf("tune: no feasible candidate")
+	}
+	return results, nil
+}

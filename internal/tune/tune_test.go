@@ -1,0 +1,91 @@
+package tune
+
+import (
+	"testing"
+
+	"ipim/internal/halide"
+	"ipim/internal/sim"
+)
+
+func blurBuilder(c Candidate) *halide.Pipeline {
+	blurx := halide.NewFunc("tx").Define(
+		halide.Mul(halide.Add(halide.Add(halide.In(-1, 0), halide.In(0, 0)), halide.In(1, 0)),
+			halide.K(1.0/3)))
+	out := halide.NewFunc("ty").Define(
+		halide.Mul(halide.Add(halide.Add(blurx.At(0, -1), blurx.At(0, 0)), blurx.At(0, 1)),
+			halide.K(1.0/3)))
+	if c.LoadPGSM {
+		out.LoadPGSM()
+	}
+	return halide.NewPipeline("tuneblur", out).IPIMTile(c.TileW, c.TileH)
+}
+
+func TestSearchRanksFeasibleCandidates(t *testing.T) {
+	cfg := sim.TestTiny()
+	results, err := Search(cfg, blurBuilder, 64, 32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(DefaultGrid()) {
+		t.Fatalf("evaluated %d candidates", len(results))
+	}
+	best := results[0]
+	if best.Err != nil || best.Cycles == 0 {
+		t.Fatalf("best candidate invalid: %+v", best)
+	}
+	// Sorted: every feasible result no faster than the best.
+	for _, r := range results[1:] {
+		if r.Err == nil && r.Cycles < best.Cycles {
+			t.Fatalf("ranking broken: %v (%d) beats best (%d)", r.Candidate, r.Cycles, best.Cycles)
+		}
+	}
+	// The probe grid must contain both feasible and varied outcomes.
+	var distinct = map[int64]bool{}
+	for _, r := range results {
+		if r.Err == nil {
+			distinct[r.Cycles] = true
+		}
+	}
+	if len(distinct) < 2 {
+		t.Fatal("all candidates identical: tuner measures nothing")
+	}
+}
+
+func TestSearchReportsInfeasible(t *testing.T) {
+	cfg := sim.TestTiny()
+	// A tile too large for the tiny machine's tile distribution: tiles
+	// not divisible across PEs.
+	cands := []Candidate{{TileW: 32, TileH: 32, LoadPGSM: false}, {TileW: 8, TileH: 8}}
+	results, err := Search(cfg, blurBuilder, 64, 32, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasible first, infeasible flagged.
+	if results[0].Err != nil {
+		t.Fatal("feasible candidate not ranked first")
+	}
+	found := false
+	for _, r := range results {
+		if r.Err != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("infeasible candidate not reported")
+	}
+}
+
+func TestSearchAllInfeasible(t *testing.T) {
+	cfg := sim.TestTiny()
+	cands := []Candidate{{TileW: 32, TileH: 32}}
+	if _, err := Search(cfg, blurBuilder, 64, 32, cands); err == nil {
+		t.Fatal("all-infeasible search succeeded")
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	c := Candidate{TileW: 8, TileH: 4, LoadPGSM: true}
+	if c.String() != "tile 8x4 + load_pgsm" {
+		t.Fatalf("String = %q", c.String())
+	}
+}

@@ -1,0 +1,135 @@
+package vault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ipim/internal/isa"
+	"ipim/internal/sim"
+)
+
+// TraceEntry records one issued instruction for offline analysis.
+type TraceEntry struct {
+	PC    int
+	Op    isa.Opcode
+	Issue int64 // cycle the instruction issued
+	Stall int64 // issue-stall cycles attributed to this instruction
+	// Reason classifies the stall (meaningful when Stall > 0).
+	Reason sim.StallReason
+}
+
+// Tracer collects per-instruction issue records. Attach one to a vault
+// with SetTracer before running; Max bounds memory (0 = 1M entries).
+type Tracer struct {
+	Entries []TraceEntry
+	Max     int
+	dropped int64
+}
+
+func (tr *Tracer) record(e TraceEntry) {
+	max := tr.Max
+	if max == 0 {
+		max = 1 << 20
+	}
+	if len(tr.Entries) >= max {
+		tr.dropped++
+		return
+	}
+	tr.Entries = append(tr.Entries, e)
+}
+
+// Dropped reports how many records were discarded at the Max bound.
+func (tr *Tracer) Dropped() int64 { return tr.dropped }
+
+// SetTracer attaches a tracer to the vault (nil detaches).
+func (v *Vault) SetTracer(tr *Tracer) { v.tracer = tr }
+
+// StallByPC aggregates stall cycles per program counter, descending.
+type StallSite struct {
+	PC     int
+	Op     isa.Opcode
+	Count  int64
+	Stall  int64
+	Reason sim.StallReason
+}
+
+// TopStallSites returns the n program locations losing the most cycles.
+func (tr *Tracer) TopStallSites(n int) []StallSite {
+	agg := map[int]*StallSite{}
+	for _, e := range tr.Entries {
+		s, ok := agg[e.PC]
+		if !ok {
+			s = &StallSite{PC: e.PC, Op: e.Op, Reason: e.Reason}
+			agg[e.PC] = s
+		}
+		s.Count++
+		s.Stall += e.Stall
+		if e.Stall > 0 {
+			s.Reason = e.Reason
+		}
+	}
+	sites := make([]StallSite, 0, len(agg))
+	for _, s := range agg {
+		sites = append(sites, *s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].Stall > sites[j].Stall })
+	if len(sites) > n {
+		sites = sites[:n]
+	}
+	return sites
+}
+
+// StallByOpcode aggregates stall cycles per opcode.
+func (tr *Tracer) StallByOpcode() map[isa.Opcode]int64 {
+	agg := map[isa.Opcode]int64{}
+	for _, e := range tr.Entries {
+		agg[e.Op] += e.Stall
+	}
+	return agg
+}
+
+// Summary renders a human-readable trace digest against the program.
+func (tr *Tracer) Summary(p *isa.Program, topN int) string {
+	var b strings.Builder
+	var total, stall int64
+	for _, e := range tr.Entries {
+		total++
+		stall += e.Stall
+	}
+	fmt.Fprintf(&b, "traced %d issues, %d stall cycles", total, stall)
+	if tr.dropped > 0 {
+		fmt.Fprintf(&b, " (%d records dropped)", tr.dropped)
+	}
+	b.WriteByte('\n')
+	byOp := tr.StallByOpcode()
+	type kv struct {
+		op isa.Opcode
+		st int64
+	}
+	var ops []kv
+	for op, st := range byOp {
+		ops = append(ops, kv{op, st})
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].st > ops[j].st })
+	b.WriteString("stall cycles by opcode:\n")
+	for i, o := range ops {
+		if i >= topN || o.st == 0 {
+			break
+		}
+		fmt.Fprintf(&b, "  %-10s %12d\n", o.op, o.st)
+	}
+	b.WriteString("hottest stall sites:\n")
+	for _, s := range tr.TopStallSites(topN) {
+		if s.Stall == 0 {
+			break
+		}
+		text := s.Op.String()
+		if p != nil && s.PC < len(p.Ins) {
+			text = isa.FormatInstruction(&p.Ins[s.PC])
+		}
+		fmt.Fprintf(&b, "  pc=%-6d %-12s x%-8d %10d cycles  %s\n",
+			s.PC, s.Reason, s.Count, s.Stall, text)
+	}
+	return b.String()
+}

@@ -1,0 +1,747 @@
+// Package vault implements iPIM's control core and the vault-level
+// execution model (paper Sec. IV-B): a pipelined, single-issue, in-order
+// core on the base logic die that checks true/anti/output dependencies
+// against an Issued Instruction Queue at issue time (no forwarding),
+// broadcasts SIMB instructions to the vault's process engines over the
+// shared TSVs, and retires an instruction only when every PE selected by
+// its simb_mask has finished (lock-step execution).
+//
+// Functional execution happens at issue time in program order, which is
+// exact for an in-order core; completion *times* are computed from the
+// Table III latencies, the per-PG DRAM controllers, TSV serialization
+// and the NoC, and drive all stalls (hazards, queue capacity, DRAM
+// request queue back-pressure, branches, barriers).
+package vault
+
+import (
+	"fmt"
+	"math"
+
+	"ipim/internal/dram"
+	"ipim/internal/engine"
+	"ipim/internal/isa"
+	"ipim/internal/sim"
+)
+
+// Remote is the machine-level service a vault uses for inter-vault
+// accesses (the req instruction) — implemented by the cube package.
+type Remote interface {
+	// RemoteRead returns 16 bytes from the addressed remote bank.
+	RemoteRead(chip, vlt, pg, pe int, addr uint32) ([]byte, error)
+	// RemoteRoundTrip returns the local arrival time of the 16-byte
+	// response for a req injected at now by (srcChip, srcVault).
+	RemoteRoundTrip(now int64, srcChip, srcVault, dstChip, dstVault int) int64
+}
+
+// entry is one Issued Instruction Queue slot.
+type entry struct {
+	idx       int
+	defs      []isa.RegRef
+	uses      []isa.RegRef
+	completes int64
+	// Pending bank requests (nil once resolved). pg[i] owns reqs[i].
+	reqs []*dram.Request
+	pgs  []*engine.PG
+	// post-DRAM latency (PE bus + RF/PGSM write) added per request.
+	extra int64
+	// usesTSV marks bank traffic that must serialize on the vault TSVs
+	// (PonB mode).
+	usesTSV bool
+}
+
+// Vault is one vault: control core state plus its process groups.
+type Vault struct {
+	Cfg    *sim.Config
+	CubeID int
+	ID     int
+
+	PGs []*engine.PG
+	VSM []byte
+	CRF []int32
+
+	Stats sim.Stats
+
+	remote Remote
+
+	prog     *isa.Program
+	pc       int
+	now      int64
+	inflight []*entry
+	tsvFree  int64
+	vsmReady map[uint32]int64
+	done     bool
+	tracer   *Tracer
+
+	// Direct-mapped instruction cache tags (line index per set; -1 =
+	// invalid). The VSM backs the I$ (paper Sec. IV-E).
+	icache []int64
+}
+
+// New builds a vault.
+func New(cfg *sim.Config, cubeID, vaultID int, remote Remote) *Vault {
+	v := &Vault{
+		Cfg:      cfg,
+		CubeID:   cubeID,
+		ID:       vaultID,
+		VSM:      make([]byte, cfg.VSMBytes),
+		CRF:      make([]int32, cfg.CtrlRFEntries),
+		remote:   remote,
+		vsmReady: make(map[uint32]int64),
+		done:     true,
+	}
+	for pg := 0; pg < cfg.PGsPerVault; pg++ {
+		v.PGs = append(v.PGs, engine.NewPG(cfg, cubeID, vaultID, pg))
+	}
+	if cfg.ICacheLines > 0 && cfg.ICacheLineInstr > 0 {
+		v.icache = make([]int64, cfg.ICacheLines)
+		for i := range v.icache {
+			v.icache[i] = -1
+		}
+	}
+	return v
+}
+
+// fetch models the instruction fetch: a direct-mapped I$ miss refills
+// the line from the VSM, bubbling the pipeline.
+func (v *Vault) fetch(pc int) {
+	if v.icache == nil {
+		return
+	}
+	line := int64(pc / v.Cfg.ICacheLineInstr)
+	set := int(line) % len(v.icache)
+	if v.icache[set] == line {
+		return
+	}
+	v.icache[set] = line
+	v.Stats.StallCycles[sim.StallIFetch] += int64(v.Cfg.ICacheMissCost)
+	v.now += int64(v.Cfg.ICacheMissCost)
+}
+
+// PE returns the PE at (pg, pe).
+func (v *Vault) PE(pg, pe int) *engine.PE { return v.PGs[pg].PEs[pe] }
+
+// FoldDRAMStats snapshots the per-PG memory controller counters into
+// the vault stats. Controllers accumulate across the vault's lifetime,
+// so this assignment is idempotent.
+func (v *Vault) FoldDRAMStats() {
+	var d dram.Stats
+	for _, pg := range v.PGs {
+		s := pg.Ctrl.Stats
+		d.Reads += s.Reads
+		d.Writes += s.Writes
+		d.Activates += s.Activates
+		d.Precharges += s.Precharges
+		d.Refreshes += s.Refreshes
+		d.RowHits += s.RowHits
+		d.RowMisses += s.RowMisses
+		d.QueueFullStalls += s.QueueFullStalls
+		d.BusyCycles += s.BusyCycles
+	}
+	v.Stats.DRAM = d
+}
+
+// peByIndex returns the PE with vault-wide index i (pg*PEsPerPG + pe)
+// and its process group.
+func (v *Vault) peByIndex(i int) (*engine.PG, *engine.PE) {
+	pg := v.PGs[i/v.Cfg.PEsPerPG]
+	return pg, pg.PEs[i%v.Cfg.PEsPerPG]
+}
+
+// Load installs a finalized program and resets core state. Timing state
+// (DRAM bank state, the clock) is preserved so consecutive kernels model
+// a continuously running machine.
+func (v *Vault) Load(p *isa.Program) error {
+	if err := p.Validate(v.Cfg.DataRFEntries, v.Cfg.AddrRFEntries, v.Cfg.CtrlRFEntries); err != nil {
+		return err
+	}
+	for i := range p.Ins {
+		in := &p.Ins[i]
+		if in.ImmLabel >= 0 && in.Op != isa.OpSetiCRF {
+			return fmt.Errorf("vault: instruction %d: label reference outside seti_crf", i)
+		}
+	}
+	v.prog = p
+	v.pc = 0
+	v.inflight = v.inflight[:0]
+	v.done = false
+	return nil
+}
+
+// Done reports whether the loaded program ran to completion.
+func (v *Vault) Done() bool { return v.done }
+
+// Now returns the vault clock in cycles.
+func (v *Vault) Now() int64 { return v.now }
+
+// AlignTo advances the vault clock to t (a barrier release), charging
+// the wait to sync stall time.
+func (v *Vault) AlignTo(t int64) {
+	if t > v.now {
+		v.Stats.StallCycles[sim.StallSync] += t - v.now
+		v.now = t
+	}
+}
+
+// RunPhase executes instructions until the program ends (done=true) or a
+// sync instruction retires (done=false; the machine aligns vaults and
+// calls RunPhase again).
+func (v *Vault) RunPhase() (bool, error) {
+	if v.prog == nil {
+		return true, fmt.Errorf("vault: no program loaded")
+	}
+	for {
+		if v.pc >= len(v.prog.Ins) {
+			v.drain()
+			v.done = true
+			v.Stats.Cycles = v.now
+			return true, nil
+		}
+		in := &v.prog.Ins[v.pc]
+		if in.Op == isa.OpSync {
+			v.drain()
+			v.Stats.Issued++
+			v.Stats.InstByCategory[isa.CatSync]++
+			v.Stats.Syncs++
+			v.pc++
+			v.now++
+			v.Stats.Cycles = v.now
+			return false, nil
+		}
+		if err := v.issue(in); err != nil {
+			return false, fmt.Errorf("vault %d/%d: pc=%d %s: %w", v.CubeID, v.ID, v.pc, in.Op, err)
+		}
+	}
+}
+
+// drain waits for the issued queue to empty and all remote responses to
+// land, charging the wait to sync stall time.
+func (v *Vault) drain() {
+	t := v.now
+	for _, e := range v.inflight {
+		if c := v.resolve(e); c > t {
+			t = c
+		}
+	}
+	v.inflight = v.inflight[:0]
+	for addr, r := range v.vsmReady {
+		if r > t {
+			t = r
+		}
+		delete(v.vsmReady, addr) // consumed by the barrier
+	}
+	if t > v.now {
+		v.Stats.StallCycles[sim.StallSync] += t - v.now
+		v.now = t
+	}
+}
+
+// resolve returns the completion time of an entry, scheduling any
+// pending DRAM requests it owns.
+func (v *Vault) resolve(e *entry) int64 {
+	if e.reqs == nil {
+		return e.completes
+	}
+	// Drain the involved controllers' queues deterministically.
+	for _, pg := range v.PGs {
+		if pg.Ctrl.QueueLen() > 0 {
+			pg.Ctrl.AdvanceTo(math.MaxInt64 / 2)
+		}
+	}
+	last := int64(0)
+	for _, r := range e.reqs {
+		if !r.Done {
+			panic("vault: request still pending after controller drain")
+		}
+		done := r.Finish
+		if e.usesTSV {
+			// PonB: every 128-bit beat crosses the shared TSV bus.
+			beat := done + int64(v.Cfg.TPEBus)
+			if beat < v.tsvFree {
+				beat = v.tsvFree
+			}
+			v.tsvFree = beat + int64(v.Cfg.TTSV)
+			v.Stats.TSVBeats++
+			done = beat + int64(v.Cfg.TTSV)
+		}
+		done += e.extra
+		if done > last {
+			last = done
+		}
+	}
+	e.reqs = nil
+	e.pgs = nil
+	if last > e.completes {
+		e.completes = last
+	}
+	return e.completes
+}
+
+// retire drops finished entries from the issued queue.
+func (v *Vault) retire() {
+	dst := v.inflight[:0]
+	for _, e := range v.inflight {
+		if e.reqs == nil && e.completes <= v.now {
+			continue
+		}
+		dst = append(dst, e)
+	}
+	v.inflight = dst
+}
+
+// waitOldest advances the clock to the earliest completion among the
+// in-flight instructions, charging the delta to reason.
+func (v *Vault) waitOldest(reason sim.StallReason) {
+	best := int64(math.MaxInt64)
+	for _, e := range v.inflight {
+		if c := v.resolve(e); c < best {
+			best = c
+		}
+	}
+	if best > v.now {
+		v.Stats.StallCycles[reason] += best - v.now
+		v.now = best
+	} else {
+		v.now++ // defensive: guarantee progress
+	}
+	v.retire()
+}
+
+// conflictsWith reports whether issuing an instruction with the given
+// defs/uses against in-flight entry e creates a RAW, WAR or WAW hazard.
+func conflictsWith(e *entry, defs, uses []isa.RegRef) bool {
+	for _, d := range e.defs {
+		for _, u := range uses { // RAW
+			if d == u {
+				return true
+			}
+		}
+		for _, d2 := range defs { // WAW
+			if d == d2 {
+				return true
+			}
+		}
+	}
+	for _, u := range e.uses {
+		for _, d2 := range defs { // WAR
+			if u == d2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// issue executes one instruction: hazard checks, functional execution,
+// completion scheduling, pc update. One issue consumes one cycle.
+func (v *Vault) issue(in *isa.Instruction) error {
+	issuePC := v.pc
+	issueStart := v.now
+	var stallSnap [sim.NumStallReasons]int64
+	if v.tracer != nil {
+		stallSnap = v.Stats.StallCycles
+		defer func() {
+			var reason sim.StallReason
+			var best int64
+			for r := sim.StallReason(0); r < sim.NumStallReasons; r++ {
+				if d := v.Stats.StallCycles[r] - stallSnap[r]; d > best {
+					best, reason = d, r
+				}
+			}
+			stall := v.now - issueStart - 1
+			if stall < 0 {
+				stall = 0
+			}
+			v.tracer.record(TraceEntry{
+				PC: issuePC, Op: in.Op,
+				Issue: v.now, Stall: stall, Reason: reason,
+			})
+		}()
+	}
+	v.fetch(issuePC)
+	v.retire()
+	// Issued queue capacity (Table III: 64 entries).
+	for len(v.inflight) >= v.Cfg.InstQueue {
+		v.waitOldest(sim.StallQueueFull)
+	}
+	defs, uses := in.Defs(), in.Uses()
+	// Issue-time dependency check against the Issued Inst Queue: stall
+	// with pipeline bubbles until the conflicting instructions retire.
+	for {
+		wait := int64(-1)
+		for _, e := range v.inflight {
+			if conflictsWith(e, defs, uses) {
+				if c := v.resolve(e); c > wait {
+					wait = c
+				}
+			}
+		}
+		if wait < 0 {
+			break
+		}
+		if wait > v.now {
+			v.Stats.StallCycles[sim.StallData] += wait - v.now
+			v.now = wait
+		}
+		v.retire()
+		break
+	}
+
+	mask := in.SimbMask
+	nPE := v.Cfg.PEsPerVault()
+	cat := isa.CategoryOf(in.Op)
+	v.Stats.Issued++
+	v.Stats.InstByCategory[cat]++
+
+	completes := v.now + 1 // default single-cycle core-side op
+	var pend *entry
+
+	switch in.Op {
+	case isa.OpComp:
+		lat := int64(v.Cfg.LatencyOf(classOf(in.ALU)))
+		for i := 0; i < nPE; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			_, pe := v.peByIndex(i)
+			pe.Comp(in)
+			v.Stats.SIMDOps++
+			v.Stats.DataRFAcc += 3
+			if in.ALU.ReadsDst() {
+				v.Stats.DataRFAcc++
+			}
+		}
+		completes = v.now + lat
+
+	case isa.OpCalcARF:
+		lat := int64(v.Cfg.LatencyOf(classOf(in.ALU)))
+		for i := 0; i < nPE; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			_, pe := v.peByIndex(i)
+			pe.CalcARF(in)
+			v.Stats.IntALUOps++
+			v.Stats.AddrRFAcc += 3
+		}
+		completes = v.now + lat
+
+	case isa.OpLdRF, isa.OpStRF, isa.OpLdPGSM, isa.OpStPGSM:
+		var err error
+		pend, err = v.issueBank(in, mask, nPE)
+		if err != nil {
+			return err
+		}
+
+	case isa.OpRdPGSM, isa.OpWrPGSM:
+		for i := 0; i < nPE; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			pg, pe := v.peByIndex(i)
+			addr := pe.EffectiveAddr(in.Addr, in.Indirect)
+			var err error
+			if in.Op == isa.OpRdPGSM {
+				err = pg.VectorFromPGSM(pe, addr, in.Dst, in.VecMask)
+			} else {
+				err = pg.VectorToPGSM(pe, addr, in.Dst, in.VecMask)
+			}
+			if err != nil {
+				return err
+			}
+			v.Stats.PGSMAcc++
+			v.Stats.DataRFAcc++
+		}
+		completes = v.now + int64(v.Cfg.TPGSM+v.Cfg.TDataRF)
+
+	case isa.OpRdVSM, isa.OpWrVSM:
+		last := v.now + 1
+		for i := 0; i < nPE; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			_, pe := v.peByIndex(i)
+			addr := pe.EffectiveAddr(in.Addr, in.Indirect)
+			if int(addr)+4*highLane(in.VecMask)+4 > len(v.VSM) {
+				return fmt.Errorf("VSM access at %#x beyond %d bytes", addr, len(v.VSM))
+			}
+			start := v.now + 1
+			// A read of data a req is fetching waits for its arrival.
+			if in.Op == isa.OpRdVSM {
+				if r, ok := v.vsmReady[addr]; ok && r > start {
+					start = r
+				}
+			}
+			beat := start
+			if beat < v.tsvFree {
+				beat = v.tsvFree
+			}
+			v.tsvFree = beat + int64(v.Cfg.TTSV)
+			end := beat + int64(v.Cfg.TTSV+v.Cfg.TVSM+v.Cfg.TDataRF)
+			if end > last {
+				last = end
+			}
+			if in.Op == isa.OpRdVSM {
+				copyVSMToVector(v.VSM, addr, pe, in.Dst, in.VecMask)
+			} else {
+				copyVectorToVSM(pe, in.Dst, v.VSM, addr, in.VecMask)
+			}
+			v.Stats.VSMAcc++
+			v.Stats.TSVBeats++
+			v.Stats.DataRFAcc++
+		}
+		completes = last
+
+	case isa.OpMovDRF:
+		for i := 0; i < nPE; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			_, pe := v.peByIndex(i)
+			pe.MovToDRF(in.Dst, in.Src1, in.Lane)
+			v.Stats.AddrRFAcc++
+			v.Stats.DataRFAcc++
+		}
+		completes = v.now + int64(v.Cfg.TAddrRF+v.Cfg.TDataRF)
+
+	case isa.OpMovARF:
+		for i := 0; i < nPE; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			_, pe := v.peByIndex(i)
+			pe.MovToARF(in.Dst, in.Src1, in.Lane)
+			v.Stats.AddrRFAcc++
+			v.Stats.DataRFAcc++
+		}
+		completes = v.now + int64(v.Cfg.TAddrRF+v.Cfg.TDataRF)
+
+	case isa.OpReset:
+		for i := 0; i < nPE; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			_, pe := v.peByIndex(i)
+			pe.Reset(in.Dst)
+			v.Stats.DataRFAcc++
+		}
+		completes = v.now + int64(v.Cfg.TDataRF)
+
+	case isa.OpSetiVSM:
+		if int(in.Addr)+4 > len(v.VSM) {
+			return fmt.Errorf("seti_vsm at %#x beyond %d bytes", in.Addr, len(v.VSM))
+		}
+		putU32(v.VSM, in.Addr, uint32(int32(in.Imm)))
+		v.Stats.VSMAcc++
+		completes = v.now + int64(v.Cfg.TVSM)
+
+	case isa.OpReq:
+		if v.remote == nil {
+			return fmt.Errorf("req issued but no remote fabric attached")
+		}
+		data, err := v.remote.RemoteRead(in.DstChip, in.DstVault, in.DstPG, in.DstPE, in.Addr)
+		if err != nil {
+			return err
+		}
+		if int(in.Addr2)+len(data) > len(v.VSM) {
+			return fmt.Errorf("req response at VSM %#x beyond %d bytes", in.Addr2, len(v.VSM))
+		}
+		copy(v.VSM[in.Addr2:], data)
+		arrive := v.remote.RemoteRoundTrip(v.now+1, v.CubeID, v.ID, in.DstChip, in.DstVault)
+		if cur, ok := v.vsmReady[in.Addr2]; !ok || arrive > cur {
+			v.vsmReady[in.Addr2] = arrive
+		}
+		v.Stats.RemoteReqs++
+		v.Stats.VSMAcc++
+
+	case isa.OpCalcCRF:
+		a := v.CRF[in.Src1]
+		b := int32(in.Imm)
+		if !in.HasImm {
+			b = v.CRF[in.Src2]
+		}
+		v.CRF[in.Dst] = isa.EvalI(in.ALU, a, b, v.CRF[in.Dst])
+
+	case isa.OpSetiCRF:
+		v.CRF[in.Dst] = int32(in.Imm)
+
+	case isa.OpJump, isa.OpCJump:
+		taken := true
+		if in.Op == isa.OpCJump {
+			taken = v.CRF[in.Cond] != 0
+		}
+		if taken {
+			tgt := int(v.CRF[in.Src1])
+			if tgt < 0 || tgt > len(v.prog.Ins) {
+				return fmt.Errorf("jump target %d outside program of %d instructions", tgt, len(v.prog.Ins))
+			}
+			v.pc = tgt
+			v.now += 1 + int64(v.Cfg.BranchPenalty)
+			v.Stats.StallCycles[sim.StallBranch] += int64(v.Cfg.BranchPenalty)
+			return nil
+		}
+
+	default:
+		return fmt.Errorf("unhandled opcode %v", in.Op)
+	}
+
+	// Multi-cycle instructions occupy the issued queue until they
+	// complete; bank instructions until their DRAM requests finish.
+	if pend != nil {
+		pend.idx = v.pc
+		pend.defs, pend.uses = defs, uses
+		v.inflight = append(v.inflight, pend)
+	} else if completes > v.now+1 {
+		v.inflight = append(v.inflight, &entry{idx: v.pc, defs: defs, uses: uses, completes: completes})
+	}
+	v.pc++
+	v.now++
+	return nil
+}
+
+// issueBank executes a bank-accessing instruction: functional transfer
+// at issue, one DRAM request per masked PE, back-pressure on the PG
+// request queues.
+func (v *Vault) issueBank(in *isa.Instruction, mask uint64, nPE int) (*entry, error) {
+	e := &entry{extra: int64(v.Cfg.TPEBus), usesTSV: v.Cfg.PonB, completes: v.now + 1}
+	switch in.Op {
+	case isa.OpLdRF, isa.OpStRF:
+		e.extra += int64(v.Cfg.TDataRF)
+	default:
+		e.extra += int64(v.Cfg.TPGSM)
+	}
+	for i := 0; i < nPE; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		pg, pe := v.peByIndex(i)
+		bankAddr := pe.EffectiveAddr(in.Addr, in.Indirect)
+		// Byte span touched, from the vector mask.
+		spanLo := bankAddr + uint32(4*lowLane(in.VecMask))
+		spanHi := bankAddr + uint32(4*highLane(in.VecMask)) + 4
+		var err error
+		switch in.Op {
+		case isa.OpLdRF:
+			err = pe.LoadVector(bankAddr, in.Dst, in.VecMask)
+			v.Stats.DataRFAcc++
+		case isa.OpStRF:
+			err = pe.StoreVector(bankAddr, in.Dst, in.VecMask)
+			v.Stats.DataRFAcc++
+		case isa.OpLdPGSM:
+			pgsmAddr := pe.EffectiveAddr(in.Addr2, in.Indirect2)
+			var b []byte
+			if b, err = pe.ReadBank(bankAddr, dram.AccessBytes); err == nil {
+				err = pg.WritePGSM(pgsmAddr, b)
+			}
+			spanLo, spanHi = bankAddr, bankAddr+dram.AccessBytes
+			v.Stats.PGSMAcc++
+		case isa.OpStPGSM:
+			pgsmAddr := pe.EffectiveAddr(in.Addr2, in.Indirect2)
+			var b []byte
+			if b, err = pg.ReadPGSM(pgsmAddr, dram.AccessBytes); err == nil {
+				err = pe.WriteBank(bankAddr, b)
+			}
+			spanLo, spanHi = bankAddr, bankAddr+dram.AccessBytes
+			v.Stats.PGSMAcc++
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Requests that completed by now free their queue slots before
+		// back-pressure is assessed.
+		pg.Ctrl.AdvanceTo(v.now)
+		// One column request per 128-bit column the span touches: an
+		// unaligned vector access costs two column accesses.
+		for col := spanLo &^ (dram.AccessBytes - 1); col < spanHi; col += dram.AccessBytes {
+			req := &dram.Request{
+				Bank:  pe.Index % v.Cfg.PEsPerPG,
+				Addr:  col,
+				Write: in.Op.IsBankStore(),
+			}
+			// DRAM request queue back-pressure stalls the pipeline
+			// (paper Sec. V-C, memory order enforcement rationale).
+			for !pg.Ctrl.Enqueue(v.now, req) {
+				next := pg.Ctrl.NextEvent(v.now)
+				if next <= v.now {
+					next = v.now + 1
+				}
+				v.Stats.StallCycles[sim.StallDRAMQueue] += next - v.now
+				v.now = next
+				pg.Ctrl.AdvanceTo(v.now)
+			}
+			e.reqs = append(e.reqs, req)
+			e.pgs = append(e.pgs, pg)
+			v.Stats.PEBusBeats++
+		}
+	}
+	if e.reqs == nil {
+		// Empty mask: nothing to wait for.
+		return nil, nil
+	}
+	return e, nil
+}
+
+// classOf maps an ALU op to its Table III latency class.
+func classOf(op isa.ALUOp) sim.ALUClass {
+	switch op {
+	case isa.FAdd, isa.FSub, isa.IAdd, isa.ISub, isa.FMin, isa.FMax,
+		isa.IMin, isa.IMax, isa.FCmpLT, isa.FCmpLE, isa.ICmpLT, isa.ICmpEQ,
+		isa.FAbs, isa.FFloor:
+		return sim.ClassAdd
+	case isa.FMul, isa.IMul, isa.FDiv:
+		return sim.ClassMul
+	case isa.FMac, isa.IMac:
+		return sim.ClassMac
+	default:
+		return sim.ClassLogic
+	}
+}
+
+func putU32(b []byte, addr uint32, v uint32) {
+	b[addr] = byte(v)
+	b[addr+1] = byte(v >> 8)
+	b[addr+2] = byte(v >> 16)
+	b[addr+3] = byte(v >> 24)
+}
+
+func getU32(b []byte, addr uint32) uint32 {
+	return uint32(b[addr]) | uint32(b[addr+1])<<8 | uint32(b[addr+2])<<16 | uint32(b[addr+3])<<24
+}
+
+func copyVSMToVector(vsm []byte, addr uint32, pe *engine.PE, reg int, vmask uint8) {
+	for l := 0; l < isa.VecLanes; l++ {
+		if vmask&(1<<uint(l)) == 0 {
+			continue
+		}
+		pe.DataRF[reg][l] = getU32(vsm, addr+uint32(4*l))
+	}
+}
+
+func copyVectorToVSM(pe *engine.PE, reg int, vsm []byte, addr uint32, vmask uint8) {
+	for l := 0; l < isa.VecLanes; l++ {
+		if vmask&(1<<uint(l)) == 0 {
+			continue
+		}
+		putU32(vsm, addr+uint32(4*l), pe.DataRF[reg][l])
+	}
+}
+
+// highLane returns the highest lane index selected by a vector mask
+// (0 when the mask is empty).
+func highLane(vmask uint8) int {
+	for l := isa.VecLanes - 1; l > 0; l-- {
+		if vmask&(1<<uint(l)) != 0 {
+			return l
+		}
+	}
+	return 0
+}
+
+// lowLane returns the lowest selected lane index (0 when empty).
+func lowLane(vmask uint8) int {
+	for l := 0; l < isa.VecLanes-1; l++ {
+		if vmask&(1<<uint(l)) != 0 {
+			return l
+		}
+	}
+	return isa.VecLanes - 1
+}

@@ -1,0 +1,295 @@
+// Package workloads defines the paper's Table II benchmark suite: six
+// single-stage kernels covering elementwise, stencil, reduction,
+// gather, shift and value-dependent patterns, and four heterogeneous
+// multi-stage pipelines (bilateral grid, interpolate, local Laplacian,
+// stencil chain). Every workload is expressed in the halide DSL with
+// its iPIM schedule, so the same definition drives the golden
+// reference, the iPIM compiler, and the GPU baseline model.
+package workloads
+
+import (
+	"fmt"
+
+	"ipim/internal/halide"
+)
+
+// Workload is one Table II benchmark.
+type Workload struct {
+	Name        string
+	Description string
+	MultiStage  bool
+	// Build constructs a fresh pipeline (pipelines carry schedule
+	// state, so each use gets its own instance).
+	Build func() *Workload1
+
+	// BenchW/BenchH are the input dimensions used by the
+	// representative-vault benchmark harness; TestW/TestH by unit
+	// tests on the tiny machine.
+	BenchW, BenchH int
+	TestW, TestH   int
+}
+
+// Workload1 wraps the constructed pipeline.
+type Workload1 struct {
+	Pipe *halide.Pipeline
+}
+
+// abs builds |e| = max(e, -e).
+func abs(e halide.Expr) halide.Expr {
+	return halide.Max(e, halide.Sub(halide.K(0), e))
+}
+
+// Brighten: out(x,y) = alpha * in(x,y) — pure elementwise,
+// bandwidth-bound (the paper's best case, 21x over GPU).
+func buildBrighten() *Workload1 {
+	out := halide.NewFunc("brighten").Define(
+		halide.Mul(halide.K(1.5), halide.In(0, 0))).LoadPGSM()
+	return &Workload1{Pipe: halide.NewPipeline("Brighten", out)}
+}
+
+// GaussianBlur: the Table II separable 3-tap blur, x pass inlined into
+// the y pass (one kernel, as Halide's default schedule produces).
+func buildBlur() *Workload1 {
+	blurx := halide.NewFunc("blur_x").Define(
+		halide.Mul(halide.Add(halide.Add(halide.In(0, 0), halide.In(1, 0)), halide.In(2, 0)), halide.K(1.0/3)))
+	out := halide.NewFunc("blur_y").Define(
+		halide.Mul(halide.Add(halide.Add(blurx.At(0, 0), blurx.At(0, 1)), blurx.At(0, 2)), halide.K(1.0/3))).
+		LoadPGSM()
+	return &Workload1{Pipe: halide.NewPipeline("GaussianBlur", out)}
+}
+
+// Downsample: Table II's separable 2:1 reduction (d inlined).
+func buildDownsample() *Workload1 {
+	d := halide.NewFunc("d").Define(
+		halide.Mul(halide.Add(
+			halide.Add(halide.InC(halide.CScale(2, -1, 1), halide.C(0)),
+				halide.Mul(halide.K(2), halide.InC(halide.CScale(2, 0, 1), halide.C(0)))),
+			halide.InC(halide.CScale(2, 1, 1), halide.C(0))), halide.K(0.25)))
+	out := halide.NewFunc("down").Define(
+		halide.Mul(halide.Add(
+			halide.Add(d.AtC(halide.C(0), halide.CScale(2, -1, 1)),
+				halide.Mul(halide.K(2), d.AtC(halide.C(0), halide.CScale(2, 0, 1)))),
+			d.AtC(halide.C(0), halide.CScale(2, 1, 1))), halide.K(0.25))).LoadPGSM()
+	return &Workload1{Pipe: halide.NewPipeline("Downsample", out).OutScale(1, 2)}
+}
+
+// Upsample: Table II's separable 1:2 expansion (u inlined).
+func buildUpsample() *Workload1 {
+	u := halide.NewFunc("u").Define(
+		halide.Mul(halide.Add(halide.InC(halide.CScale(1, 0, 2), halide.C(0)),
+			halide.InC(halide.CScale(1, 1, 2), halide.C(0))), halide.K(0.5)))
+	out := halide.NewFunc("up").Define(
+		halide.Mul(halide.Add(u.AtC(halide.C(0), halide.CScale(1, 0, 2)),
+			u.AtC(halide.C(0), halide.CScale(1, 1, 2))), halide.K(0.5))).LoadPGSM()
+	return &Workload1{Pipe: halide.NewPipeline("Upsample", out).OutScale(2, 1)}
+}
+
+// Shift: out(x,y) = in(x-4, y-4) — pure data movement.
+func buildShift() *Workload1 {
+	out := halide.NewFunc("shift").Define(halide.In(-4, -4))
+	return &Workload1{Pipe: halide.NewPipeline("Shift", out)}
+}
+
+// Histogram: the value-dependent reduction (256 bins), lowered through
+// the built-in partial-histogram schedule.
+func buildHistogram() *Workload1 {
+	out := halide.NewFunc("hist").Define(halide.In(0, 0))
+	p := halide.NewPipeline("Histogram", out)
+	p.Histogram = true
+	p.Bins = 256
+	return &Workload1{Pipe: p}
+}
+
+// stencil3x3 builds a materialized 3x3 box stencil over f (or the
+// input when f is nil).
+func stencil3x3(name string, f *halide.Func) *halide.Func {
+	at := func(dx, dy int) halide.Expr {
+		if f == nil {
+			return halide.In(dx, dy)
+		}
+		return f.At(dx, dy)
+	}
+	var sum halide.Expr = at(-1, -1)
+	for _, d := range [][2]int{{0, -1}, {1, -1}, {-1, 0}, {0, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1}} {
+		sum = halide.Add(sum, at(d[0], d[1]))
+	}
+	return halide.NewFunc(name).Define(halide.Mul(sum, halide.K(1.0/9))).ComputeRoot().LoadPGSM()
+}
+
+// StencilChain: 32 chained 3x3 stencils (paper: 32 pipeline stages).
+func buildStencilChain() *Workload1 {
+	var prev *halide.Func
+	for i := 0; i < 32; i++ {
+		prev = stencil3x3(fmt.Sprintf("s%02d", i), prev)
+	}
+	return &Workload1{Pipe: halide.NewPipeline("StencilChain", prev).ClampStages()}
+}
+
+// downXY appends a separable 2:1 pyramid reduction (two materialized
+// stages) below f.
+func downXY(name string, f *halide.Func) *halide.Func {
+	dx := halide.NewFunc(name + "_x").Define(
+		halide.Mul(halide.Add(
+			halide.Add(f.AtC(halide.CScale(2, -1, 1), halide.C(0)),
+				halide.Mul(halide.K(2), f.AtC(halide.CScale(2, 0, 1), halide.C(0)))),
+			f.AtC(halide.CScale(2, 1, 1), halide.C(0))), halide.K(0.25))).ComputeRoot().LoadPGSM()
+	dy := halide.NewFunc(name).Define(
+		halide.Mul(halide.Add(
+			halide.Add(dx.AtC(halide.C(0), halide.CScale(2, -1, 1)),
+				halide.Mul(halide.K(2), dx.AtC(halide.C(0), halide.CScale(2, 0, 1)))),
+			dx.AtC(halide.C(0), halide.CScale(2, 1, 1))), halide.K(0.25))).ComputeRoot().LoadPGSM()
+	return dy
+}
+
+// materializeUpX materializes the x half of an expansion (used to hit
+// the paper's stage structure) and returns the y half as an expression.
+func materializeUpX(f *halide.Func) (upx *halide.Func, full func() halide.Expr) {
+	upx = halide.NewFunc(f.Name + "_ux").Define(
+		halide.Mul(halide.Add(f.AtC(halide.CScale(1, 0, 2), halide.C(0)),
+			f.AtC(halide.CScale(1, 1, 2), halide.C(0))), halide.K(0.5))).ComputeRoot().LoadPGSM()
+	full = func() halide.Expr {
+		return halide.Mul(halide.Add(upx.AtC(halide.C(0), halide.CScale(1, 0, 2)),
+			upx.AtC(halide.C(0), halide.CScale(1, 1, 2))), halide.K(0.5))
+	}
+	return upx, full
+}
+
+// Interpolate: a pyramid interpolation in the spirit of the paper's
+// 12-stage benchmark: two pyramid levels down (tile-scale pyramids;
+// DESIGN.md §5), then per-level upsample+blend back to full
+// resolution. 10 materialized stages.
+func buildInterpolate() *Workload1 {
+	base := halide.NewFunc("base").Define(halide.In(0, 0)).ComputeRoot()
+	d1 := downXY("ip_d1", base) // 2 stages
+	d2 := downXY("ip_d2", d1)   // 2 stages
+	// Level 1 blend: d1 with upsampled d2.
+	_, up2 := materializeUpX(d2) // 1 stage
+	b1 := halide.NewFunc("ip_b1").Define(
+		halide.Add(halide.Mul(halide.K(0.5), d1.At(0, 0)),
+			halide.Mul(halide.K(0.5), up2()))).ComputeRoot().LoadPGSM() // 1 stage
+	_, up1 := materializeUpX(b1) // 1 stage
+	out := halide.NewFunc("interpolate").Define(
+		halide.Add(halide.Mul(halide.K(0.5), base.At(0, 0)),
+			halide.Mul(halide.K(0.5), up1()))).LoadPGSM() // 1 stage
+	p := halide.NewPipeline("Interpolate", out).IPIMTile(16, 16).ClampStages()
+	return &Workload1{Pipe: p}
+}
+
+// BilateralGrid: an edge-aware smoothing pipeline in the bilateral-grid
+// family. The paper's scatter-based grid construction is replaced by a
+// dense per-intensity-bin formulation (weights and weighted values per
+// bin, spatially blurred, then sliced by interpolating over the bins) —
+// the same four conceptual phases (construct / blur / blur / slice)
+// with static access patterns; the scatter pattern itself is exercised
+// by Histogram. See DESIGN.md §5.
+func buildBilateralGrid() *Workload1 {
+	const bins = 4
+	centers := [bins]float32{0.125, 0.375, 0.625, 0.875}
+	var wb, vb [bins]*halide.Func
+	for b := 0; b < bins; b++ {
+		// Tent weight around the bin center, evaluated per pixel.
+		w := halide.Max(halide.K(0),
+			halide.Sub(halide.K(1), halide.Mul(halide.K(4), abs(halide.Sub(halide.In(0, 0), halide.K(centers[b]))))))
+		wf := halide.NewFunc(fmt.Sprintf("bg_w%d", b)).Define(w)
+		vf := halide.NewFunc(fmt.Sprintf("bg_v%d", b)).Define(halide.Mul(w, halide.In(0, 0)))
+		// Spatial blur of each bin plane (construct+blur fused per
+		// plane; the blur is the materialized stage).
+		wb[b] = stencil3x3(fmt.Sprintf("bg_wb%d", b), wf)
+		vb[b] = stencil3x3(fmt.Sprintf("bg_vb%d", b), vf)
+	}
+	// Slice: interpolate the blurred planes at each pixel's intensity.
+	var num, den halide.Expr = halide.K(0), halide.K(1e-6)
+	for b := 0; b < bins; b++ {
+		t := halide.Max(halide.K(0),
+			halide.Sub(halide.K(1), halide.Mul(halide.K(4), abs(halide.Sub(halide.In(0, 0), halide.K(centers[b]))))))
+		num = halide.Add(num, halide.Mul(t, vb[b].At(0, 0)))
+		den = halide.Add(den, halide.Mul(t, wb[b].At(0, 0)))
+	}
+	out := halide.NewFunc("bilateral").Define(halide.Div(num, den)).LoadPGSM()
+	return &Workload1{Pipe: halide.NewPipeline("BilateralGrid", out).ClampStages()}
+}
+
+// LocalLaplacian: a multi-scale tone-mapping/contrast pipeline (paper:
+// 23 stages): K remapping curves, a Gaussian pyramid per remapped
+// image plus the guide pyramid, per-level blends by guide intensity,
+// and a collapse back to full resolution.
+func buildLocalLaplacian() *Workload1 {
+	// Guide pyramid (base + 1 level = 1 + 2 stages).
+	guide := halide.NewFunc("ll_g0").Define(halide.In(0, 0)).ComputeRoot()
+	g1 := downXY("ll_g1", guide) // 2
+
+	// K=4 remapped images and their pyramids.
+	const K = 4
+	var r0, r1 [K]*halide.Func
+	for k := 0; k < K; k++ {
+		c := float32(k) / float32(K-1)
+		// Remap: push values toward the curve center (detail boost).
+		e := halide.Add(halide.In(0, 0),
+			halide.Mul(halide.K(0.4), halide.Sub(halide.K(c), halide.In(0, 0))))
+		r0[k] = halide.NewFunc(fmt.Sprintf("ll_r%d", k)).Define(e).ComputeRoot() // 4 stages
+		r1[k] = downXY(fmt.Sprintf("ll_r%d_1", k), r0[k])                        // 8 stages
+	}
+
+	// Per-level blend by guide intensity: tent weights over the K
+	// curves.
+	blend := func(name string, g *halide.Func, planes [K]*halide.Func) *halide.Func {
+		var num halide.Expr = halide.K(0)
+		for k := 0; k < K; k++ {
+			c := float32(k) / float32(K-1)
+			w := halide.Max(halide.K(0),
+				halide.Sub(halide.K(1), halide.Mul(halide.K(float32(K-1)), abs(halide.Sub(g.At(0, 0), halide.K(c))))))
+			num = halide.Add(num, halide.Mul(w, planes[k].At(0, 0)))
+		}
+		return halide.NewFunc(name).Define(num).ComputeRoot().LoadPGSM()
+	}
+	b1 := blend("ll_b1", g1, r1) // 1 stage
+	b0 := blend("ll_b0", guide, r0)
+
+	// Collapse: combine levels with the upsampled coarser blend, then a
+	// final contrast-restore stage against the guide.
+	_, up1 := materializeUpX(b1) // 1 stage
+	c0 := halide.NewFunc("ll_c0").Define(
+		halide.Add(halide.Mul(halide.K(0.6), b0.At(0, 0)),
+			halide.Mul(halide.K(0.4), up1()))).ComputeRoot().LoadPGSM() // 1 stage
+	out := halide.NewFunc("locallaplacian").Define(
+		halide.Clamp(halide.Add(c0.At(0, 0),
+			halide.Mul(halide.K(0.3), halide.Sub(guide.At(0, 0), c0.At(0, 0)))), 0, 1)) // 1 stage
+	p := halide.NewPipeline("LocalLaplacian", out).IPIMTile(16, 16).ClampStages()
+	return &Workload1{Pipe: p}
+}
+
+// All returns the Table II suite in the paper's order.
+func All() []Workload {
+	return []Workload{
+		{Name: "Brighten", Description: "out(x,y) = alpha * in(x,y)", Build: buildBrighten,
+			BenchW: 512, BenchH: 256, TestW: 32, TestH: 16},
+		{Name: "GaussianBlur", Description: "separable 3-tap blur", Build: buildBlur,
+			BenchW: 512, BenchH: 256, TestW: 32, TestH: 16},
+		{Name: "Downsample", Description: "separable 2:1 reduction", Build: buildDownsample,
+			BenchW: 1024, BenchH: 512, TestW: 64, TestH: 32},
+		{Name: "Upsample", Description: "separable 1:2 expansion", Build: buildUpsample,
+			BenchW: 256, BenchH: 128, TestW: 16, TestH: 8},
+		{Name: "Shift", Description: "out(x,y) = in(x-4,y-4)", Build: buildShift,
+			BenchW: 512, BenchH: 256, TestW: 32, TestH: 16},
+		{Name: "Histogram", Description: "256-bin value-dependent reduction", Build: buildHistogram,
+			BenchW: 512, BenchH: 256, TestW: 32, TestH: 16},
+		{Name: "BilateralGrid", Description: "edge-aware smoothing, 9 stages", MultiStage: true, Build: buildBilateralGrid,
+			BenchW: 256, BenchH: 64, TestW: 32, TestH: 16},
+		{Name: "Interpolate", Description: "pyramid interpolation, 9 stages", MultiStage: true, Build: buildInterpolate,
+			BenchW: 512, BenchH: 128, TestW: 64, TestH: 32},
+		{Name: "LocalLaplacian", Description: "multi-scale contrast, ~20 stages", MultiStage: true, Build: buildLocalLaplacian,
+			BenchW: 512, BenchH: 128, TestW: 64, TestH: 32},
+		{Name: "StencilChain", Description: "32 chained 3x3 stencils", MultiStage: true, Build: buildStencilChain,
+			BenchW: 256, BenchH: 64, TestW: 32, TestH: 16},
+	}
+}
+
+// ByName finds a workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}

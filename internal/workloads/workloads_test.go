@@ -1,0 +1,218 @@
+package workloads
+
+import (
+	"testing"
+
+	"ipim/internal/compiler"
+	"ipim/internal/cube"
+	"ipim/internal/halide"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+)
+
+// testConfig picks the machine shape a workload's test runs on:
+// halo-exchange (clamped) pipelines need a single-vault machine.
+func testConfig(w *Workload1) sim.Config {
+	if w.Pipe.ClampedStages {
+		return sim.TestTinyOneVault()
+	}
+	return sim.TestTiny()
+}
+
+func TestAllWorkloadsMatchGolden(t *testing.T) {
+	for _, wl := range All() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			w := wl.Build()
+			cfg := testConfig(w)
+			img := pixel.Synth(wl.TestW, wl.TestH, 0xC0FFEE+uint64(len(wl.Name)))
+			art, err := compiler.Compile(&cfg, w.Pipe, img.W, img.H, compiler.Opt)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			m, err := cube.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := compiler.LoadInput(m, art, img); err != nil {
+				t.Fatal(err)
+			}
+			stats, err := compiler.Execute(m, art)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if stats.Cycles == 0 {
+				t.Fatal("no cycles simulated")
+			}
+			if w.Pipe.Histogram {
+				got, err := compiler.ReadHistogram(m, art)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := w.Pipe.ReferenceHistogram(img)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("bin %d: got %d, want %d", i, got[i], want[i])
+					}
+				}
+				return
+			}
+			got, err := compiler.ReadOutput(m, art)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := w.Pipe.Reference(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := pixel.MaxAbsDiff(got, want); d != 0 {
+				t.Fatalf("output differs from golden by %g", d)
+			}
+		})
+	}
+}
+
+func TestWorkloadStageCounts(t *testing.T) {
+	want := map[string]int{
+		"Brighten":       1,
+		"GaussianBlur":   1,
+		"Downsample":     1,
+		"Upsample":       1,
+		"Shift":          1,
+		"BilateralGrid":  9,
+		"Interpolate":    9,
+		"LocalLaplacian": 20,
+		"StencilChain":   32,
+	}
+	for _, wl := range All() {
+		if wl.Name == "Histogram" {
+			continue
+		}
+		w := wl.Build()
+		stages, err := w.Pipe.Stages()
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		if got := len(stages); got != want[wl.Name] {
+			t.Errorf("%s: %d stages, want %d", wl.Name, got, want[wl.Name])
+		}
+		if wl.MultiStage != (len(stages) > 1) {
+			t.Errorf("%s: MultiStage flag inconsistent with %d stages", wl.Name, len(stages))
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("GaussianBlur")
+	if err != nil || w.Name != "GaussianBlur" {
+		t.Fatalf("ByName: %v %v", w, err)
+	}
+	if _, err := ByName("NoSuch"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestTableIIOrderAndCount(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("suite has %d workloads, want 10 (Table II)", len(all))
+	}
+	wantOrder := []string{"Brighten", "GaussianBlur", "Downsample", "Upsample", "Shift",
+		"Histogram", "BilateralGrid", "Interpolate", "LocalLaplacian", "StencilChain"}
+	for i, w := range all {
+		if w.Name != wantOrder[i] {
+			t.Errorf("position %d = %s, want %s", i, w.Name, wantOrder[i])
+		}
+		if w.TestW%4 != 0 || w.BenchW%4 != 0 {
+			t.Errorf("%s: widths not vector-aligned", w.Name)
+		}
+	}
+}
+
+func TestMultiStageWorkloadsUseClampedStages(t *testing.T) {
+	for _, wl := range All() {
+		w := wl.Build()
+		if wl.MultiStage && !w.Pipe.ClampedStages {
+			t.Errorf("%s: multi-stage without ClampStages (halo recompute blowup)", wl.Name)
+		}
+		if !wl.MultiStage && w.Pipe.ClampedStages {
+			t.Errorf("%s: single-stage with ClampStages", wl.Name)
+		}
+	}
+}
+
+// TestMachineShapeIndependence: the computed image must not depend on
+// how many PEs/vaults the machine has — only the partition changes.
+func TestMachineShapeIndependence(t *testing.T) {
+	for _, name := range []string{"GaussianBlur", "Downsample"} {
+		wl, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := pixel.Synth(wl.TestW*2, wl.TestH*2, 31)
+		var outputs []*pixel.Image
+		for _, cfg := range []sim.Config{sim.TestTinyOneVault(), sim.TestTiny(), sim.OneVault()} {
+			w := wl.Build()
+			art, err := compiler.Compile(&cfg, w.Pipe, img.W, img.H, compiler.Opt)
+			if err != nil {
+				t.Fatalf("%s on %d PEs: %v", name, cfg.TotalPEs(), err)
+			}
+			m, err := cube.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := compiler.LoadInput(m, art, img); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := compiler.Execute(m, art); err != nil {
+				t.Fatal(err)
+			}
+			out, err := compiler.ReadOutput(m, art)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outputs = append(outputs, out)
+		}
+		for i := 1; i < len(outputs); i++ {
+			if d := pixel.MaxAbsDiff(outputs[0], outputs[i]); d != 0 {
+				t.Fatalf("%s: outputs differ across machine shapes by %g", name, d)
+			}
+		}
+	}
+}
+
+func TestGoldenReferencesAreSane(t *testing.T) {
+	// Brighten golden is a pure scale; blur golden preserves the mean
+	// approximately; downsample/upsample goldens have the right shape.
+	img := pixel.Synth(32, 16, 99)
+	br := buildBrighten()
+	out, err := br.Pipe.Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Pix {
+		if out.Pix[i] != 1.5*img.Pix[i] {
+			t.Fatalf("brighten golden wrong at %d", i)
+		}
+	}
+	down := buildDownsample()
+	d, err := down.Pipe.Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.W != 16 || d.H != 8 {
+		t.Fatalf("downsample output %dx%d", d.W, d.H)
+	}
+	up := buildUpsample()
+	u, err := up.Pipe.Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.W != 64 || u.H != 32 {
+		t.Fatalf("upsample output %dx%d", u.W, u.H)
+	}
+	_ = halide.Interval{}
+}

@@ -1,0 +1,187 @@
+// Package ipim is a from-scratch reproduction of "iPIM: Programmable
+// In-Memory Image Processing Accelerator Using Near-Bank Architecture"
+// (ISCA 2020): a cycle-level simulator of the near-bank accelerator, the
+// SIMB ISA, a Halide-style programming frontend with the paper's
+// ipim_tile/load_pgsm schedules, the compiler backend with register
+// allocation, instruction reordering and memory order enforcement, and
+// the full evaluation harness (Figs. 1–13, Tables I–IV).
+//
+// Quick start:
+//
+//	cfg := ipim.OneVaultConfig()
+//	m, _ := ipim.NewMachine(cfg)
+//	wl, _ := ipim.WorkloadByName("GaussianBlur")
+//	pipe := wl.Build().Pipe
+//	img := ipim.Synth(512, 256, 1)
+//	art, _ := ipim.Compile(&cfg, pipe, img.W, img.H, ipim.Opt)
+//	out, stats, _ := ipim.Run(m, art, img)
+//	_ = out
+//	fmt.Println(stats.Cycles, stats.IPC())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results.
+package ipim
+
+import (
+	"io"
+
+	"ipim/internal/compiler"
+	"ipim/internal/cube"
+	"ipim/internal/energy"
+	"ipim/internal/exp"
+	"ipim/internal/gpu"
+	"ipim/internal/halide"
+	"ipim/internal/isa"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+	"ipim/internal/workloads"
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// Config is the machine configuration (paper Table III).
+	Config = sim.Config
+	// Machine is an assembled iPIM accelerator.
+	Machine = cube.Machine
+	// Stats aggregates a run's cycles, instruction mix, stalls and
+	// component activity.
+	Stats = sim.Stats
+	// Pipeline is a Halide-style algorithm plus its iPIM schedule.
+	Pipeline = halide.Pipeline
+	// Func is one pipeline stage definition.
+	Func = halide.Func
+	// Expr is an algorithm expression node.
+	Expr = halide.Expr
+	// Options selects the compiler backend optimizations (Fig. 12).
+	Options = compiler.Options
+	// Artifact is a compiled pipeline plus its data-layout plan.
+	Artifact = compiler.Artifact
+	// Image is a single-channel FP32 image.
+	Image = pixel.Image
+	// Workload is one Table II benchmark.
+	Workload = workloads.Workload
+	// Program is a SIMB instruction sequence.
+	Program = isa.Program
+	// GPUProfile is the analytical V100 baseline result.
+	GPUProfile = gpu.Profile
+	// EnergyBreakdown is the Fig. 9 energy decomposition.
+	EnergyBreakdown = energy.Breakdown
+	// ExperimentTable is one regenerated figure/table.
+	ExperimentTable = exp.Table
+)
+
+// Compiler option presets (paper Sec. VII-E1).
+var (
+	Opt       = compiler.Opt
+	Baseline1 = compiler.Baseline1
+	Baseline2 = compiler.Baseline2
+	Baseline3 = compiler.Baseline3
+	Baseline4 = compiler.Baseline4
+)
+
+// DefaultConfig returns the paper's full Table III machine: 8 cubes of
+// 16 vaults, 8 process groups x 4 process engines per vault.
+func DefaultConfig() Config { return sim.Default() }
+
+// OneVaultConfig returns the representative-vault configuration used by
+// the benchmark harness (one full 32-PE vault; DESIGN.md §2).
+func OneVaultConfig() Config { return sim.OneVault() }
+
+// TinyConfig returns a small two-vault machine for experimentation.
+func TinyConfig() Config { return sim.TestTiny() }
+
+// TinyOneVaultConfig returns a small single-vault machine (required by
+// multi-stage halo-exchange pipelines at tiny scale).
+func TinyOneVaultConfig() Config { return sim.TestTinyOneVault() }
+
+// NewMachine assembles a machine for the configuration.
+func NewMachine(cfg Config) (*Machine, error) { return cube.New(cfg) }
+
+// Compile maps a pipeline onto the machine configuration.
+func Compile(cfg *Config, pipe *Pipeline, imgW, imgH int, opts Options) (*Artifact, error) {
+	return compiler.Compile(cfg, pipe, imgW, imgH, opts)
+}
+
+// Run loads the input, executes the compiled pipeline on every vault,
+// and gathers the output image.
+func Run(m *Machine, art *Artifact, img *Image) (*Image, Stats, error) {
+	if err := compiler.LoadInput(m, art, img); err != nil {
+		return nil, Stats{}, err
+	}
+	stats, err := compiler.Execute(m, art)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out, err := compiler.ReadOutput(m, art)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return out, stats, nil
+}
+
+// RunHistogram is Run for histogram pipelines: it returns the bins.
+func RunHistogram(m *Machine, art *Artifact, img *Image) ([]int32, Stats, error) {
+	if err := compiler.LoadInput(m, art, img); err != nil {
+		return nil, Stats{}, err
+	}
+	stats, err := compiler.Execute(m, art)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	bins, err := compiler.ReadHistogram(m, art)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return bins, stats, nil
+}
+
+// Synth generates a deterministic scene-like test image (the DIV8K
+// stand-in; DESIGN.md §5).
+func Synth(w, h int, seed uint64) *Image { return pixel.Synth(w, h, seed) }
+
+// Workloads returns the Table II benchmark suite.
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName finds a Table II benchmark.
+func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// GPUBaseline models the V100 executing a pipeline on a WxH input.
+func GPUBaseline(pipe *Pipeline, imgW, imgH int) (GPUProfile, error) {
+	return gpu.Model(gpu.Default(), pipe, imgW, imgH)
+}
+
+// EnergyOf converts run statistics to the Fig. 9 energy breakdown.
+// nBanks/nVaults describe the simulated machine portion.
+func EnergyOf(stats *Stats, nBanks, nVaults int) EnergyBreakdown {
+	return energy.DefaultModel().Compute(stats, nBanks, nVaults, 1.0)
+}
+
+// NewExperiments returns the harness that regenerates every paper
+// figure and table. sizeDiv > 1 shrinks images for quick passes.
+func NewExperiments(sizeDiv int) *exp.Context {
+	c := exp.NewContext()
+	c.SizeDiv = sizeDiv
+	return c
+}
+
+// ExperimentNames lists the regenerable experiments.
+func ExperimentNames() []string { return exp.ExperimentNames() }
+
+// ReadPGM / WritePGM move grayscale planes in and out as binary PGM.
+func ReadPGM(r io.Reader) (*Image, error)   { return pixel.ReadPGM(r) }
+func WritePGM(w io.Writer, im *Image) error { return pixel.WritePGM(w, im) }
+
+// ReadPPM / WritePPM move RGB images as three planes in binary PPM.
+func ReadPPM(r io.Reader) (rp, gp, bp *Image, err error) { return pixel.ReadPPM(r) }
+func WritePPM(w io.Writer, rp, gp, bp *Image) error      { return pixel.WritePPM(w, rp, gp, bp) }
+
+// SaveArtifact / LoadArtifact serialize compiled kernels in the
+// shippable host-offload format (run-only; no recompilation).
+func SaveArtifact(w io.Writer, art *Artifact) error { return compiler.SaveArtifact(w, art) }
+func LoadArtifact(r io.Reader) (*Artifact, error)   { return compiler.LoadArtifact(r) }
+
+// Assemble parses SIMB assembly text.
+func Assemble(src string) (*Program, error) { return isa.Assemble(src) }
+
+// Disassemble renders a program as canonical SIMB assembly.
+func Disassemble(p *Program) string { return isa.Disassemble(p) }

@@ -1,0 +1,114 @@
+package ipim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := TinyConfig()
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := WorkloadByName("Brighten")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := Synth(wl.TestW, wl.TestH, 7)
+	pipe := wl.Build().Pipe
+	art, err := Compile(&cfg, pipe, img.W, img.H, Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := Run(m, art, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.W != img.W || out.H != img.H {
+		t.Fatalf("output %dx%d", out.W, out.H)
+	}
+	if stats.Cycles == 0 || stats.IPC() <= 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	want, err := pipe.Reference(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Pix {
+		if out.Pix[i] != want.Pix[i] {
+			t.Fatalf("pixel %d: %v != %v", i, out.Pix[i], want.Pix[i])
+		}
+	}
+}
+
+func TestFacadeHistogram(t *testing.T) {
+	cfg := TinyConfig()
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, _ := WorkloadByName("Histogram")
+	img := Synth(wl.TestW, wl.TestH, 8)
+	pipe := wl.Build().Pipe
+	art, err := Compile(&cfg, pipe, img.W, img.H, Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins, _, err := RunHistogram(m, art, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int32
+	for _, b := range bins {
+		total += b
+	}
+	if total != int32(img.W*img.H) {
+		t.Fatalf("histogram total %d != %d pixels", total, img.W*img.H)
+	}
+}
+
+func TestFacadeGPUAndEnergy(t *testing.T) {
+	wl, _ := WorkloadByName("GaussianBlur")
+	p, err := GPUBaseline(wl.Build().Pipe, 512, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TimeSec <= 0 {
+		t.Fatal("degenerate GPU profile")
+	}
+	var s Stats
+	s.Cycles = 1000
+	s.SIMDOps = 100
+	b := EnergyOf(&s, 32, 1)
+	if b.Total() <= 0 {
+		t.Fatal("degenerate energy breakdown")
+	}
+}
+
+func TestFacadeAssembler(t *testing.T) {
+	p, err := Assemble("sync 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Disassemble(p), "sync 0") {
+		t.Fatal("round trip lost the instruction")
+	}
+}
+
+func TestFacadeConfigsValid(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), OneVaultConfig(), TinyConfig(), TinyOneVaultConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config invalid: %v", err)
+		}
+	}
+	if len(Workloads()) != 10 {
+		t.Error("workload suite incomplete")
+	}
+	if len(ExperimentNames()) == 0 {
+		t.Error("no experiments registered")
+	}
+	if NewExperiments(4) == nil {
+		t.Error("nil experiment context")
+	}
+}

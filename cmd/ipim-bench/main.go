@@ -6,6 +6,9 @@
 //	ipim-bench                 # run everything at full bench sizes
 //	ipim-bench -exp fig6       # one experiment
 //	ipim-bench -div 4          # shrink images 4x for a quick pass
+//	ipim-bench -json results.json   # machine-readable suite results
+//	                                # (workload, config, cycles, ns,
+//	                                # energy) for BENCH_*.json tracking
 package main
 
 import (
@@ -21,10 +24,36 @@ import (
 func main() {
 	expName := flag.String("exp", "all", "experiment to run: all, "+strings.Join(exp.ExperimentNames(), ", "))
 	div := flag.Int("div", 1, "divide bench image sizes by this factor (faster, same shapes)")
+	jsonPath := flag.String("json", "", "write machine-readable Table II suite results to this file ('-' = stdout) and exit")
 	flag.Parse()
 
 	c := exp.NewContext()
 	c.SizeDiv = *div
+
+	if *jsonPath != "" {
+		// Open the output before the ~15 s suite run so a bad path
+		// fails immediately.
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ipim-bench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		recs, err := c.BenchRecords()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipim-bench:", err)
+			os.Exit(1)
+		}
+		if err := exp.WriteBenchJSON(out, recs); err != nil {
+			fmt.Fprintln(os.Stderr, "ipim-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string) error {
 		t0 := time.Now()

@@ -1,0 +1,111 @@
+// Command ipim-serve runs the iPIM simulator as a long-lived image
+// processing service: POST a binary PGM/PPM image to /v1/process and
+// get the processed image back, with the simulated cycle, energy and
+// host-transfer accounting in the response headers.
+//
+// Usage:
+//
+//	ipim-serve                                # :8080, one-vault machine
+//	ipim-serve -addr :9000 -workers 4 -config tiny
+//	curl -s --data-binary @in.pgm -o out.pgm \
+//	  'localhost:8080/v1/process?workload=GaussianBlur&opts=opt'
+//
+// Observability: GET /healthz, GET /metrics (Prometheus text format),
+// GET /v1/workloads. SIGINT/SIGTERM drains in-flight requests before
+// exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ipim"
+	"ipim/internal/host"
+	"ipim/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("ipim-serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	cfgName := flag.String("config", "onevault", "machine config: default, onevault, tiny, tiny-onevault")
+	workers := flag.Int("workers", max(2, runtime.GOMAXPROCS(0)/2), "pooled simulated machines")
+	queueCap := flag.Int("queue", 64, "dispatch queue capacity (full queue returns 429)")
+	cacheCap := flag.Int("cache", 32, "compiled-artifact LRU capacity")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
+	maxBody := flag.Int64("max-body", 64<<20, "request body size limit in bytes")
+	busName := flag.String("bus", "pcie3", "modeled host bus: pcie3, pcie5")
+	drainWait := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	mcfg, err := ipim.ConfigByName(*cfgName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var bus host.Bus
+	switch *busName {
+	case "pcie3":
+		bus = host.PCIe3x16()
+	case "pcie5":
+		bus = host.PCIe5x16()
+	default:
+		log.Fatalf("unknown bus %q (want pcie3 or pcie5)", *busName)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Machine:        mcfg,
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		CacheCap:       *cacheCap,
+		DefaultTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		Bus:            bus,
+		Logger:         log.Default(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %s machine on %s (%d workers, queue %d, cache %d)",
+		*cfgName, *addr, *workers, *queueCap, *cacheCap)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: draining for up to %s", *drainWait)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("pool drain: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("listener: %v", err)
+	}
+	log.Print("drained, bye")
+}

@@ -79,7 +79,116 @@ func SaveArtifact(w io.Writer, art *Artifact) error {
 	return enc.Encode(&sa)
 }
 
-// LoadArtifact reads a saved artifact back into runnable form.
+// Sanity caps for loaded artifacts. Artifacts arrive from outside the
+// process (shipped kernels, network-facing tooling), so every quantity
+// the runtime indexes or allocates with must be bounded and mutually
+// consistent before the artifact is allowed near a machine.
+const (
+	maxArtifactDim    = 1 << 20 // image / output dimension cap
+	maxArtifactPixels = 1 << 26 // matches the netpbm reader's cap
+	maxArtifactSlot   = 1 << 28 // per-tile buffer slot bytes
+	maxArtifactBins   = 1 << 16
+	maxArtifactConsts = 1 << 16
+	maxArtifactVaults = 1 << 16
+)
+
+// validateBuf checks the geometric invariants LoadInput/ReadOutput
+// index with: sane intervals, positive domain scales (they divide),
+// and a slot large enough for the stored region.
+func validateBuf(b *BufPlan, tilesPerPE int, what string) error {
+	if b == nil {
+		return fmt.Errorf("compiler: artifact has no %s buffer", what)
+	}
+	if b.X.Lo > b.X.Hi || b.Y.Lo > b.Y.Hi {
+		return fmt.Errorf("compiler: artifact %s buffer has empty region x%v y%v", what, b.X, b.Y)
+	}
+	if b.SigmaX.Num < 1 || b.SigmaX.Den < 1 || b.SigmaY.Num < 1 || b.SigmaY.Den < 1 {
+		return fmt.Errorf("compiler: artifact %s buffer has invalid scales %v %v", what, b.SigmaX, b.SigmaY)
+	}
+	w, h := int64(b.X.Len()), int64(b.Y.Len())
+	need := w * h * 4
+	if need > maxArtifactSlot || int64(b.Slot) > maxArtifactSlot {
+		return fmt.Errorf("compiler: artifact %s buffer region %dx%d too large", what, w, h)
+	}
+	if int64(b.Slot) < need {
+		return fmt.Errorf("compiler: artifact %s buffer slot %d smaller than its %dx%d region (%d bytes)",
+			what, b.Slot, w, h, need)
+	}
+	if int64(b.Base)+int64(tilesPerPE)*int64(b.Slot) > int64(maxArtifactSlot)*4 {
+		return fmt.Errorf("compiler: artifact %s buffer layout exceeds the bank address space", what)
+	}
+	return nil
+}
+
+// validate rejects corrupt or hostile saved artifacts before any of
+// their fields reach allocation sizes or slice indices.
+func (sa *savedArtifact) validate() error {
+	if err := sa.Cfg.Validate(); err != nil {
+		return fmt.Errorf("compiler: artifact config: %w", err)
+	}
+	if sa.Cfg.TotalVaults() > maxArtifactVaults {
+		return fmt.Errorf("compiler: artifact config has %d vaults (cap %d)", sa.Cfg.TotalVaults(), maxArtifactVaults)
+	}
+	dims := []struct {
+		v    int
+		name string
+	}{
+		{sa.ImgW, "ImgW"}, {sa.ImgH, "ImgH"}, {sa.OutW, "OutW"}, {sa.OutH, "OutH"},
+		{sa.TileW, "TileW"}, {sa.TileH, "TileH"},
+		{sa.TilesX, "TilesX"}, {sa.TilesY, "TilesY"}, {sa.TilesPerPE, "TilesPerPE"},
+		{sa.NumPEs, "NumPEs"}, {sa.OutNum, "OutNum"}, {sa.OutDen, "OutDen"},
+	}
+	for _, d := range dims {
+		if d.v < 1 || d.v > maxArtifactDim {
+			return fmt.Errorf("compiler: artifact %s = %d out of range [1, %d]", d.name, d.v, maxArtifactDim)
+		}
+	}
+	if int64(sa.ImgW)*int64(sa.ImgH) > maxArtifactPixels || int64(sa.OutW)*int64(sa.OutH) > maxArtifactPixels {
+		return fmt.Errorf("compiler: artifact image %dx%d → %dx%d exceeds the %d-pixel limit",
+			sa.ImgW, sa.ImgH, sa.OutW, sa.OutH, maxArtifactPixels)
+	}
+	if sa.NumPEs > sa.Cfg.TotalPEs() {
+		return fmt.Errorf("compiler: artifact wants %d PEs but its config has %d", sa.NumPEs, sa.Cfg.TotalPEs())
+	}
+	if int64(sa.TilesX)*int64(sa.TilesY) != int64(sa.TilesPerPE)*int64(sa.NumPEs) {
+		return fmt.Errorf("compiler: artifact tile distribution inconsistent: %dx%d tiles vs %d PEs x %d tiles",
+			sa.TilesX, sa.TilesY, sa.NumPEs, sa.TilesPerPE)
+	}
+	// ReadOutput writes every tile at TileOrigin + [0,TileW)x[0,TileH):
+	// the tile grid must cover the output exactly.
+	if int64(sa.TilesX)*int64(sa.TileW) != int64(sa.OutW) || int64(sa.TilesY)*int64(sa.TileH) != int64(sa.OutH) {
+		return fmt.Errorf("compiler: artifact tile grid %dx%d of %dx%d tiles does not cover output %dx%d",
+			sa.TilesX, sa.TilesY, sa.TileW, sa.TileH, sa.OutW, sa.OutH)
+	}
+	if len(sa.Consts) > maxArtifactConsts {
+		return fmt.Errorf("compiler: artifact constant pool too large (%d)", len(sa.Consts))
+	}
+	if err := validateBuf(sa.Input, sa.TilesPerPE, "input"); err != nil {
+		return err
+	}
+	if sa.Histogram {
+		if sa.Bins < 1 || sa.Bins > maxArtifactBins {
+			return fmt.Errorf("compiler: artifact histogram bins %d out of range [1, %d]", sa.Bins, maxArtifactBins)
+		}
+		return nil
+	}
+	if err := validateBuf(sa.OutBuf, sa.TilesPerPE, "output"); err != nil {
+		return err
+	}
+	// ReadOutput indexes the output slot at tile-local [0,TileW)x
+	// [0,TileH); the stored region must cover it.
+	ob := sa.OutBuf
+	if ob.X.Lo > 0 || ob.X.Hi < sa.TileW-1 || ob.Y.Lo > 0 || ob.Y.Hi < sa.TileH-1 {
+		return fmt.Errorf("compiler: artifact output region x%v y%v does not cover the %dx%d tile",
+			ob.X, ob.Y, sa.TileW, sa.TileH)
+	}
+	return nil
+}
+
+// LoadArtifact reads a saved artifact back into runnable form,
+// validating it first: artifacts are the shippable offload format and
+// may arrive truncated or hostile, so no field reaches an allocation
+// size or slice index unchecked.
 func LoadArtifact(r io.Reader) (*Artifact, error) {
 	var sa savedArtifact
 	if err := json.NewDecoder(r).Decode(&sa); err != nil {
@@ -87,6 +196,9 @@ func LoadArtifact(r io.Reader) (*Artifact, error) {
 	}
 	if sa.Magic != artifactMagic {
 		return nil, fmt.Errorf("compiler: not an ipim artifact (magic %q)", sa.Magic)
+	}
+	if err := sa.validate(); err != nil {
+		return nil, err
 	}
 	prog, err := isa.DecodeProgram(sa.Prog)
 	if err != nil {

@@ -2,12 +2,14 @@ package compiler
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"ipim/internal/cube"
 	"ipim/internal/pixel"
 	"ipim/internal/sim"
+	"ipim/internal/workloads"
 )
 
 func TestArtifactSaveLoadRun(t *testing.T) {
@@ -96,7 +98,129 @@ func TestLoadArtifactErrors(t *testing.T) {
 	if _, err := LoadArtifact(strings.NewReader(`{"Magic":"wrong"}`)); err == nil {
 		t.Error("bad magic accepted")
 	}
-	if _, err := LoadArtifact(strings.NewReader(`{"Magic":"ipim-artifact-v1","Prog":"AAAA"}`)); err == nil {
-		t.Error("corrupt program accepted")
+	if _, err := LoadArtifact(strings.NewReader(`{"Magic":"ipim-artifact-v1"}`)); err == nil {
+		t.Error("empty artifact accepted")
+	}
+}
+
+// savedJSON serializes a freshly compiled artifact and returns it as a
+// mutable JSON object.
+func savedJSON(t *testing.T, histogram bool) []byte {
+	t.Helper()
+	cfg := sim.TestTiny()
+	pipe := blurPipe(true)
+	if histogram {
+		pipe = histPipe(64)
+	}
+	art, err := Compile(&cfg, pipe, 32, 16, Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadArtifactRejectsHostileFields corrupts a valid artifact one
+// field at a time: every mutation must be rejected with an error at
+// load time — never a panic or a runaway allocation — because loaded
+// artifacts are the network-shippable offload format whose fields
+// otherwise flow straight into allocation sizes and slice indices in
+// LoadInput/ReadOutput/ReadHistogram.
+func TestLoadArtifactRejectsHostileFields(t *testing.T) {
+	base := savedJSON(t, false)
+	histBase := savedJSON(t, true)
+
+	mutate := func(src []byte, f func(m map[string]any)) string {
+		var m map[string]any
+		if err := json.Unmarshal(src, &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	sub := func(m map[string]any, key string) map[string]any { return m[key].(map[string]any) }
+
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"zero ImgW", mutate(base, func(m map[string]any) { m["ImgW"] = 0 })},
+		{"negative ImgH", mutate(base, func(m map[string]any) { m["ImgH"] = -16 })},
+		{"huge OutW", mutate(base, func(m map[string]any) { m["OutW"] = 1 << 30 })},
+		{"giant image area", mutate(base, func(m map[string]any) { m["ImgW"] = 1 << 20; m["ImgH"] = 1 << 20 })},
+		{"zero TilesPerPE", mutate(base, func(m map[string]any) { m["TilesPerPE"] = 0 })},
+		{"PE overcommit", mutate(base, func(m map[string]any) { m["NumPEs"] = 100000 })},
+		{"tile distribution mismatch", mutate(base, func(m map[string]any) { m["TilesX"] = 7 })},
+		{"tile grid does not cover output", mutate(base, func(m map[string]any) { m["TileW"] = 16 })},
+		{"bad machine config", mutate(base, func(m map[string]any) { sub(m, "Cfg")["Cubes"] = 0 })},
+		{"absurd vault count", mutate(base, func(m map[string]any) {
+			sub(m, "Cfg")["Cubes"] = 1 << 10
+			sub(m, "Cfg")["VaultsPerCube"] = 1 << 10
+		})},
+		{"missing input buffer", mutate(base, func(m map[string]any) { m["Input"] = nil })},
+		{"input slot too small", mutate(base, func(m map[string]any) { sub(m, "Input")["Slot"] = 4 })},
+		{"input region inverted", mutate(base, func(m map[string]any) {
+			sub(sub(m, "Input"), "X")["Lo"] = 9
+			sub(sub(m, "Input"), "X")["Hi"] = 1
+		})},
+		{"zero domain scale", mutate(base, func(m map[string]any) {
+			sub(sub(m, "Input"), "SigmaX")["Den"] = 0
+		})},
+		{"missing output buffer", mutate(base, func(m map[string]any) { m["OutBuf"] = nil })},
+		{"output region misses tile", mutate(base, func(m map[string]any) {
+			sub(sub(m, "OutBuf"), "Y")["Hi"] = 2
+		})},
+		{"oversized constant pool", mutate(base, func(m map[string]any) {
+			m["Consts"] = make([]float64, maxArtifactConsts+1)
+		})},
+		{"histogram zero bins", mutate(histBase, func(m map[string]any) { m["Bins"] = 0 })},
+		{"histogram negative bins", mutate(histBase, func(m map[string]any) { m["Bins"] = -4 })},
+		{"histogram absurd bins", mutate(histBase, func(m map[string]any) { m["Bins"] = 1 << 30 })},
+		{"corrupt program bytes", mutate(base, func(m map[string]any) { m["Prog"] = "AAAA" })},
+		{"corrupt leader program", mutate(histBase, func(m map[string]any) { m["LeaderProg"] = "AAAA" })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadArtifact(strings.NewReader(tc.doc)); err == nil {
+				t.Error("hostile artifact accepted")
+			}
+		})
+	}
+}
+
+// TestLoadArtifactAcceptsAllWorkloadShapes guards the validator
+// against over-strictness: every Table II workload shape (elementwise,
+// scaled resampling, histogram, halo-exchange multi-stage) must
+// round-trip through Save/Load.
+func TestLoadArtifactAcceptsAllWorkloadShapes(t *testing.T) {
+	for _, name := range []string{"Brighten", "Downsample", "Upsample", "Histogram", "StencilChain", "Interpolate"} {
+		t.Run(name, func(t *testing.T) {
+			wl, err := workloads.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := sim.TestTiny()
+			if wl.MultiStage {
+				cfg = sim.TestTinyOneVault() // halo exchange needs one vault
+			}
+			art, err := Compile(&cfg, wl.Build().Pipe, wl.TestW, wl.TestH, Opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := SaveArtifact(&buf, art); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadArtifact(&buf); err != nil {
+				t.Fatalf("valid %s artifact rejected: %v", name, err)
+			}
+		})
 	}
 }

@@ -154,6 +154,10 @@ func (m *Machine) Run(programs map[[2]int]*isa.Program) (sim.Stats, error) {
 	if len(active) == 0 {
 		return sim.Stats{}, fmt.Errorf("cube: no programs to run")
 	}
+	// Vault counters accumulate across the machine's lifetime; snapshot
+	// them so a reused Machine (e.g. a pooled worker in internal/serve)
+	// reports only what THIS run contributed.
+	before := m.collectStats(active)
 	for {
 		allDone := true
 		anyPhase := false
@@ -190,6 +194,16 @@ func (m *Machine) Run(programs map[[2]int]*isa.Program) (sim.Stats, error) {
 			}
 		}
 	}
+	total := m.collectStats(active)
+	total.Sub(&before)
+	return total, nil
+}
+
+// collectStats folds and sums the cumulative counters of the given
+// vaults plus the machine-global NoC/SERDES links. Callers diff two
+// collections to get per-run stats (FoldDRAMStats is idempotent, so
+// collecting twice is safe).
+func (m *Machine) collectStats(active []*vault.Vault) sim.Stats {
 	var total sim.Stats
 	for _, v := range active {
 		v.FoldDRAMStats()
@@ -201,7 +215,7 @@ func (m *Machine) Run(programs map[[2]int]*isa.Program) (sim.Stats, error) {
 		total.NoC.Hops += mesh.Stats.Hops
 	}
 	total.SerdesBeat += m.serdes.Stats.Flits
-	return total, nil
+	return total
 }
 
 // RunSame loads the same program into every vault and runs the machine.

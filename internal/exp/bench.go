@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+
+	"ipim/internal/compiler"
+)
+
+// BenchRecord is one machine-readable benchmark result, the unit of
+// the BENCH_*.json perf trajectory tracked across PRs: enough to
+// recompute throughput (cycles at 1 GHz → ns) and efficiency without
+// re-running the simulator.
+type BenchRecord struct {
+	Workload string  `json:"workload"`
+	Config   string  `json:"config"` // compiler preset name
+	ImgW     int     `json:"img_w"`
+	ImgH     int     `json:"img_h"`
+	Cycles   int64   `json:"cycles"`   // bench-vault kernel cycles
+	KernelNS int64   `json:"ns"`       // bench-vault kernel time (1 GHz)
+	EnergyJ  float64 `json:"energy_j"` // simulated energy of the run
+	IPC      float64 `json:"ipc"`
+	Issued   int64   `json:"issued"`
+	Spills   int     `json:"spills"`
+}
+
+// BenchRecords runs the Table II suite under the fully optimized
+// compiler configuration on the bench machine and returns one record
+// per workload (sharing the context's run cache with the figure
+// generators).
+func (c *Context) BenchRecords() ([]BenchRecord, error) {
+	var recs []BenchRecord
+	for _, wl := range suite() {
+		r, err := c.run(wl, compiler.Opt, c.BenchCfg, "bench")
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, BenchRecord{
+			Workload: wl.Name,
+			Config:   compiler.Opt.Name(),
+			ImgW:     r.imgW,
+			ImgH:     r.imgH,
+			Cycles:   r.stats.Cycles,
+			KernelNS: r.stats.Cycles, // 1 cycle = 1 ns at the 1 GHz clock
+			EnergyJ:  c.ipimEnergy(r).Total(),
+			IPC:      r.stats.IPC(),
+			Issued:   r.stats.Issued,
+			Spills:   r.art.Spills,
+		})
+	}
+	return recs, nil
+}
+
+// WriteBenchJSON renders records as indented JSON (one stable
+// top-level object, so diffs across PRs stay readable).
+func WriteBenchJSON(w io.Writer, recs []BenchRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"results": recs})
+}

@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ipim/internal/workloads"
+)
+
+func TestBenchRecordsAndJSON(t *testing.T) {
+	c := NewContext()
+	c.SizeDiv = 16 // shrink for a fast pass; shapes are unchanged
+	recs, err := c.BenchRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(workloads.All()) {
+		t.Fatalf("got %d records, want %d", len(recs), len(workloads.All()))
+	}
+	for _, r := range recs {
+		if r.Workload == "" || r.Config != "opt" {
+			t.Errorf("record %+v missing identity", r)
+		}
+		if r.Cycles <= 0 || r.KernelNS != r.Cycles || r.EnergyJ <= 0 || r.IPC <= 0 {
+			t.Errorf("%s: implausible accounting %+v", r.Workload, r)
+		}
+		if r.ImgW <= 0 || r.ImgH <= 0 {
+			t.Errorf("%s: missing image dims", r.Workload)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var round struct {
+		Results []BenchRecord `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(round.Results) != len(recs) || round.Results[0] != recs[0] {
+		t.Error("JSON round-trip lost data")
+	}
+}

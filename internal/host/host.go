@@ -7,6 +7,8 @@
 // and coherence traffic, not the bulk transfers themselves.
 package host
 
+import "sync/atomic"
+
 // Bus describes the host link.
 type Bus struct {
 	Name       string
@@ -62,4 +64,55 @@ func (o Offload) Amortized(b Bus, n int) float64 {
 		n = 1
 	}
 	return b.TransferNS(o.InputBytes) + float64(n)*o.KernelNS + b.TransferNS(o.OutputBytes)
+}
+
+// Meter accumulates per-request host↔accelerator transfer accounting
+// for a serving process: each offloaded request records its input and
+// output payload sizes, and the meter keeps running totals of bytes
+// moved and simulated bus time. All methods are safe for concurrent
+// use (the serving daemon records from many request goroutines).
+type Meter struct {
+	bus        Bus
+	requests   atomic.Int64
+	bytesIn    atomic.Int64
+	bytesOut   atomic.Int64
+	transferNS atomic.Int64 // accumulated simulated ns, rounded per request
+}
+
+// NewMeter returns a meter accounting transfers over the given bus.
+func NewMeter(b Bus) *Meter { return &Meter{bus: b} }
+
+// Bus returns the modeled host link.
+func (m *Meter) Bus() Bus { return m.bus }
+
+// Record accounts one request moving inBytes down to the accelerator
+// and outBytes back, and returns that request's simulated transfer
+// time in nanoseconds (two bus crossings, each paying setup latency).
+func (m *Meter) Record(inBytes, outBytes int64) float64 {
+	ns := m.bus.TransferNS(inBytes) + m.bus.TransferNS(outBytes)
+	m.requests.Add(1)
+	m.bytesIn.Add(inBytes)
+	m.bytesOut.Add(outBytes)
+	m.transferNS.Add(int64(ns + 0.5))
+	return ns
+}
+
+// MeterSnapshot is a point-in-time copy of a meter's totals.
+type MeterSnapshot struct {
+	Requests   int64
+	BytesIn    int64
+	BytesOut   int64
+	TransferNS int64
+}
+
+// Snapshot returns the current totals. The fields are read
+// individually, so a snapshot taken during concurrent Records is a
+// consistent-enough view for metrics export, not a linearizable one.
+func (m *Meter) Snapshot() MeterSnapshot {
+	return MeterSnapshot{
+		Requests:   m.requests.Load(),
+		BytesIn:    m.bytesIn.Load(),
+		BytesOut:   m.bytesOut.Load(),
+		TransferNS: m.transferNS.Load(),
+	}
 }

@@ -2,6 +2,7 @@ package host
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -57,5 +58,38 @@ func TestAmortization(t *testing.T) {
 	}
 	if o.Amortized(b, 0) != one {
 		t.Error("batch < 1 must clamp to 1")
+	}
+}
+
+func TestMeterConcurrentRecords(t *testing.T) {
+	m := NewMeter(PCIe3x16())
+	if m.Bus().Name != PCIe3x16().Name {
+		t.Fatal("meter lost its bus")
+	}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if ns := m.Record(1<<10, 2<<10); ns <= 0 {
+					t.Error("per-request transfer time must be positive")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Requests != workers*per {
+		t.Errorf("Requests = %d, want %d", s.Requests, workers*per)
+	}
+	if s.BytesIn != workers*per*(1<<10) || s.BytesOut != workers*per*(2<<10) {
+		t.Errorf("byte totals wrong: in=%d out=%d", s.BytesIn, s.BytesOut)
+	}
+	perReq := m.Bus().TransferNS(1<<10) + m.Bus().TransferNS(2<<10)
+	want := float64(workers*per) * perReq
+	if math.Abs(float64(s.TransferNS)-want) > float64(workers*per) {
+		t.Errorf("TransferNS = %d, want ~%v", s.TransferNS, want)
 	}
 }

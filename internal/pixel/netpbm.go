@@ -9,6 +9,17 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
+)
+
+// Header limits. The readers are network-facing through the serving
+// daemon (internal/serve), so a hostile header must not be able to
+// request an enormous allocation: dimensions are capped well above any
+// real workload (the paper's DIV8K frames are 8192×5464 ≈ 45 MPix)
+// but far below anything that could exhaust memory.
+const (
+	maxPBMDim    = 1 << 16 // per-dimension cap
+	maxPBMPixels = 1 << 26 // ≈ 67 MPix → 256 MB of float32 per plane
 )
 
 // ReadPGM decodes a binary (P5) PGM image into a [0,1] float plane.
@@ -136,8 +147,10 @@ func pbmHeader(br *bufio.Reader) (w, h, maxv int, err error) {
 		if err != nil {
 			return 0, err
 		}
-		var v int
-		if _, err := fmt.Sscanf(tok, "%d", &v); err != nil {
+		// strconv.Atoi is strict: "12abc", "+3", "1e3" are rejected
+		// (Sscanf would silently accept a numeric prefix).
+		v, err := strconv.Atoi(tok)
+		if err != nil {
 			return 0, fmt.Errorf("pixel: bad netpbm header token %q", tok)
 		}
 		return v, nil
@@ -153,6 +166,11 @@ func pbmHeader(br *bufio.Reader) (w, h, maxv int, err error) {
 	}
 	if w <= 0 || h <= 0 {
 		err = fmt.Errorf("pixel: bad netpbm dimensions %dx%d", w, h)
+		return
+	}
+	// Division instead of w*h keeps the check overflow-proof.
+	if w > maxPBMDim || h > maxPBMDim || w > maxPBMPixels/h {
+		err = fmt.Errorf("pixel: netpbm image %dx%d exceeds the %d-pixel limit", w, h, maxPBMPixels)
 		return
 	}
 	if maxv <= 0 || maxv > 255 {

@@ -57,18 +57,71 @@ func TestPGMComments(t *testing.T) {
 }
 
 func TestPGMErrors(t *testing.T) {
-	cases := []string{
-		"",                   // empty
-		"P2\n2 1\n255\n..",   // ascii PGM unsupported
-		"P5\n0 1\n255\n",     // bad dims
-		"P5\n2 1\n99999\nAB", // bad maxval
-		"P5\n2 1\n255\nA",    // short data
-		"P5\nxx 1\n255\nAB",  // bad token
+	// The readers face the network through the serving daemon, so
+	// hostile headers must fail with an error — never a panic or an
+	// attempted giant allocation.
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"ascii pgm", "P2\n2 1\n255\n.."},
+		{"zero width", "P5\n0 1\n255\n"},
+		{"zero height", "P5\n2 0\n255\n"},
+		{"negative width", "P5\n-2 1\n255\nAB"},
+		{"negative height", "P5\n2 -1\n255\nAB"},
+		{"bad maxval", "P5\n2 1\n99999\nAB"},
+		{"zero maxval", "P5\n2 1\n0\nAB"},
+		{"negative maxval", "P5\n2 1\n-255\nAB"},
+		{"short data", "P5\n2 1\n255\nA"},
+		{"no data", "P5\n2 1\n255\n"},
+		{"bad token", "P5\nxx 1\n255\nAB"},
+		{"trailing junk token", "P5\n2a 1\n255\nAB"},
+		{"exponent token", "P5\n1e3 1\n255\nAB"},
+		{"truncated header", "P5\n2"},
+		{"huge width", "P5\n99999999 1\n255\nAB"},
+		{"huge height", "P5\n1 99999999\n255\nAB"},
+		{"huge area", "P5\n65536 65536\n255\nAB"},
+		{"overflow-bait dims", "P5\n46341 46341\n255\nAB"}, // ~2^31 pixels
+		{"unterminated comment", "P5\n2 1\n255 #"},
 	}
-	for _, src := range cases {
-		if _, err := ReadPGM(strings.NewReader(src)); err == nil {
-			t.Errorf("ReadPGM(%q) succeeded", src)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadPGM(strings.NewReader(tc.src)); err == nil {
+				t.Errorf("ReadPGM(%q) succeeded", tc.src)
+			}
+		})
+	}
+}
+
+func TestPPMErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"pgm magic", "P5\n2 1\n255\nAB"},
+		{"zero dims", "P6\n0 0\n255\n"},
+		{"huge dims", "P6\n99999999 99999999\n255\n"},
+		{"bad maxval", "P6\n2 1\n70000\n" + strings.Repeat("A", 6)},
+		{"short data", "P6\n2 1\n255\nABCD"},
+		{"bad token", "P6\n2 one\n255\n" + strings.Repeat("A", 6)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, _, err := ReadPPM(strings.NewReader(tc.src)); err == nil {
+				t.Errorf("ReadPPM(%q) succeeded", tc.src)
+			}
+		})
+	}
+}
+
+func TestPGMAcceptsLargestAllowedHeader(t *testing.T) {
+	// Just under the per-dimension cap with a tiny area: the header is
+	// fine, only the (missing) pixel data fails — proving the limits
+	// don't reject legitimate large-but-sane headers outright.
+	src := "P5\n65536 1\n255\n"
+	_, err := ReadPGM(strings.NewReader(src + strings.Repeat("A", 65536)))
+	if err != nil {
+		t.Fatalf("64Ki-wide image rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"ipim"
+)
+
+// cacheKey identifies one compiled artifact: the workload, the input
+// geometry and the compiler configuration. The machine configuration is
+// fixed per server, so it is not part of the key.
+type cacheKey struct {
+	Workload string
+	W, H     int
+	Opts     ipim.Options
+}
+
+// cacheEntry is one cache slot. ready is closed when the compile
+// finishes; until then art/err must not be read. Waiters that find an
+// in-flight entry block on ready instead of compiling again, which is
+// the duplicate-suppression guarantee: N concurrent requests for an
+// uncached key trigger exactly one Compile.
+type cacheEntry struct {
+	key   cacheKey
+	elem  *list.Element
+	ready chan struct{}
+	art   *ipim.Artifact
+	err   error
+}
+
+// artifactCache is an LRU cache of compiled artifacts with
+// single-flight compilation. Failed compiles are not cached: the
+// failing entry is removed before its waiters wake, so the next
+// request retries.
+type artifactCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[cacheKey]*cacheEntry
+
+	hits, misses, evictions int64
+}
+
+func newArtifactCache(capacity int) *artifactCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &artifactCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: map[cacheKey]*cacheEntry{},
+	}
+}
+
+// get returns the artifact for key, compiling it at most once per
+// cache residency. hit reports whether the caller was served without
+// initiating a compile (including waiting on another request's
+// in-flight compile).
+func (c *artifactCache) get(key cacheKey, compile func() (*ipim.Artifact, error)) (art *ipim.Artifact, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(e.elem)
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.art, true, e.err
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	e.elem = c.ll.PushFront(e)
+	c.entries[key] = e
+	c.misses++
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		victim := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.entries, victim.key)
+		c.evictions++
+	}
+	c.mu.Unlock()
+
+	e.art, e.err = compile()
+	if e.err != nil {
+		c.mu.Lock()
+		// Only remove if this entry still owns the slot (it may have
+		// been evicted while compiling).
+		if cur, ok := c.entries[key]; ok && cur == e {
+			c.ll.Remove(e.elem)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.art, false, e.err
+}
+
+// cacheStats is a point-in-time counter snapshot.
+type cacheStats struct {
+	Entries, Hits, Misses, Evictions int64
+}
+
+func (c *artifactCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries:   int64(c.ll.Len()),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// metrics is a small hand-rolled Prometheus registry: the handful of
+// counters, gauges and one histogram the daemon exposes, rendered in
+// the text exposition format. Stdlib-only by design (the repo takes no
+// dependencies); the shapes follow the Prometheus conventions so a
+// real scraper ingests them unchanged.
+type metrics struct {
+	mu sync.Mutex
+
+	start time.Time
+
+	// requests[route][status] = count
+	requests map[string]map[int]int64
+
+	// Request latency histogram (seconds), cumulative per bucket.
+	bucketBounds []float64
+	bucketCounts []int64
+	latencySum   float64
+	latencyCount int64
+
+	// Simulator accounting.
+	simCycles   int64
+	simEnergyPJ float64
+
+	// Live gauges, sampled at render time.
+	queueDepth   func() int64
+	cacheStats   func() cacheStats
+	hostSnapshot func() (requests, bytesIn, bytesOut, transferNS int64)
+	panicCount   func() int64
+}
+
+// defaultBuckets spans sub-millisecond cache hits to multi-second
+// full-machine simulations.
+var defaultBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 1, 2.5, 10, 30}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:        time.Now(),
+		requests:     map[string]map[int]int64{},
+		bucketBounds: defaultBuckets,
+		bucketCounts: make([]int64, len(defaultBuckets)+1), // +Inf
+	}
+}
+
+// observeRequest records one finished HTTP request.
+func (mt *metrics) observeRequest(route string, status int, dur time.Duration) {
+	sec := dur.Seconds()
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	byStatus, ok := mt.requests[route]
+	if !ok {
+		byStatus = map[int]int64{}
+		mt.requests[route] = byStatus
+	}
+	byStatus[status]++
+	i := sort.SearchFloat64s(mt.bucketBounds, sec)
+	mt.bucketCounts[i]++
+	mt.latencySum += sec
+	mt.latencyCount++
+}
+
+// observeRun records one simulated accelerator run.
+func (mt *metrics) observeRun(cycles int64, energyJ float64) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.simCycles += cycles
+	mt.simEnergyPJ += energyJ * 1e12
+}
+
+// write renders the registry in Prometheus text format. Series are
+// emitted in deterministic order so the output is testable.
+func (mt *metrics) write(w io.Writer) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP ipim_requests_total HTTP requests served, by route and status.\n")
+	fmt.Fprintf(w, "# TYPE ipim_requests_total counter\n")
+	routes := make([]string, 0, len(mt.requests))
+	for r := range mt.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		statuses := make([]int, 0, len(mt.requests[r]))
+		for s := range mt.requests[r] {
+			statuses = append(statuses, s)
+		}
+		sort.Ints(statuses)
+		for _, s := range statuses {
+			fmt.Fprintf(w, "ipim_requests_total{route=%q,status=\"%d\"} %d\n", r, s, mt.requests[r][s])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP ipim_request_seconds End-to-end request latency.\n")
+	fmt.Fprintf(w, "# TYPE ipim_request_seconds histogram\n")
+	var cum int64
+	for i, bound := range mt.bucketBounds {
+		cum += mt.bucketCounts[i]
+		fmt.Fprintf(w, "ipim_request_seconds_bucket{le=%q} %d\n", formatBound(bound), cum)
+	}
+	cum += mt.bucketCounts[len(mt.bucketBounds)]
+	fmt.Fprintf(w, "ipim_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "ipim_request_seconds_sum %g\n", mt.latencySum)
+	fmt.Fprintf(w, "ipim_request_seconds_count %d\n", mt.latencyCount)
+
+	if mt.queueDepth != nil {
+		fmt.Fprintf(w, "# HELP ipim_queue_depth Jobs queued or running in the machine pool.\n")
+		fmt.Fprintf(w, "# TYPE ipim_queue_depth gauge\n")
+		fmt.Fprintf(w, "ipim_queue_depth %d\n", mt.queueDepth())
+	}
+	if mt.panicCount != nil {
+		fmt.Fprintf(w, "# HELP ipim_worker_panics_total Recovered worker panics.\n")
+		fmt.Fprintf(w, "# TYPE ipim_worker_panics_total counter\n")
+		fmt.Fprintf(w, "ipim_worker_panics_total %d\n", mt.panicCount())
+	}
+	if mt.cacheStats != nil {
+		cs := mt.cacheStats()
+		fmt.Fprintf(w, "# HELP ipim_artifact_cache_entries Compiled artifacts resident in the cache.\n")
+		fmt.Fprintf(w, "# TYPE ipim_artifact_cache_entries gauge\n")
+		fmt.Fprintf(w, "ipim_artifact_cache_entries %d\n", cs.Entries)
+		fmt.Fprintf(w, "# HELP ipim_artifact_cache_hits_total Requests served from the artifact cache.\n")
+		fmt.Fprintf(w, "# TYPE ipim_artifact_cache_hits_total counter\n")
+		fmt.Fprintf(w, "ipim_artifact_cache_hits_total %d\n", cs.Hits)
+		fmt.Fprintf(w, "# HELP ipim_artifact_cache_misses_total Requests that initiated a compile.\n")
+		fmt.Fprintf(w, "# TYPE ipim_artifact_cache_misses_total counter\n")
+		fmt.Fprintf(w, "ipim_artifact_cache_misses_total %d\n", cs.Misses)
+		fmt.Fprintf(w, "# HELP ipim_artifact_cache_evictions_total LRU evictions.\n")
+		fmt.Fprintf(w, "# TYPE ipim_artifact_cache_evictions_total counter\n")
+		fmt.Fprintf(w, "ipim_artifact_cache_evictions_total %d\n", cs.Evictions)
+	}
+
+	fmt.Fprintf(w, "# HELP ipim_simulated_cycles_total Accelerator cycles simulated for served requests.\n")
+	fmt.Fprintf(w, "# TYPE ipim_simulated_cycles_total counter\n")
+	fmt.Fprintf(w, "ipim_simulated_cycles_total %d\n", mt.simCycles)
+	fmt.Fprintf(w, "# HELP ipim_simulated_energy_picojoules_total Simulated accelerator energy for served requests.\n")
+	fmt.Fprintf(w, "# TYPE ipim_simulated_energy_picojoules_total counter\n")
+	fmt.Fprintf(w, "ipim_simulated_energy_picojoules_total %g\n", mt.simEnergyPJ)
+
+	if mt.hostSnapshot != nil {
+		reqs, in, out, ns := mt.hostSnapshot()
+		fmt.Fprintf(w, "# HELP ipim_host_offloads_total Requests offloaded over the modeled host bus.\n")
+		fmt.Fprintf(w, "# TYPE ipim_host_offloads_total counter\n")
+		fmt.Fprintf(w, "ipim_host_offloads_total %d\n", reqs)
+		fmt.Fprintf(w, "# HELP ipim_host_bytes_total Payload bytes over the modeled host bus, by direction.\n")
+		fmt.Fprintf(w, "# TYPE ipim_host_bytes_total counter\n")
+		fmt.Fprintf(w, "ipim_host_bytes_total{direction=\"in\"} %d\n", in)
+		fmt.Fprintf(w, "ipim_host_bytes_total{direction=\"out\"} %d\n", out)
+		fmt.Fprintf(w, "# HELP ipim_host_transfer_nanoseconds_total Simulated host bus time.\n")
+		fmt.Fprintf(w, "# TYPE ipim_host_transfer_nanoseconds_total counter\n")
+		fmt.Fprintf(w, "ipim_host_transfer_nanoseconds_total %d\n", ns)
+	}
+
+	fmt.Fprintf(w, "# HELP ipim_process_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE ipim_process_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "ipim_process_uptime_seconds %g\n", time.Since(mt.start).Seconds())
+}
+
+// formatBound renders a histogram bound the way Prometheus clients do
+// (shortest exact decimal).
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

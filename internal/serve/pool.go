@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ipim"
+)
+
+// Errors the pool reports to the HTTP layer (mapped to 429/503 there).
+var (
+	// errQueueFull means the bounded dispatch queue rejected the job:
+	// the client should back off and retry (HTTP 429).
+	errQueueFull = errors.New("serve: dispatch queue full")
+	// errDraining means the pool no longer accepts work because the
+	// process is shutting down (HTTP 503).
+	errDraining = errors.New("serve: pool draining")
+)
+
+// job is one unit of simulator work: run fn on a pooled machine.
+type job struct {
+	ctx  context.Context
+	fn   func(m *ipim.Machine) error
+	done chan error // buffered; the worker never blocks on it
+}
+
+// pool is a fixed set of ipim.Machine workers fed by a bounded queue.
+// Each worker goroutine owns exactly one Machine, which upholds the
+// machine concurrency contract (a Machine is single-run-at-a-time;
+// distinct Machines run concurrently — see ipim.NewMachine). The
+// bounded queue gives backpressure: submit never blocks the caller on
+// a full queue, it fails fast with errQueueFull.
+type pool struct {
+	queue chan *job
+
+	// mu serializes submits against close(queue): senders hold the
+	// read side, drain takes the write side before closing.
+	mu     sync.RWMutex
+	closed bool
+
+	workers int
+	wg      sync.WaitGroup
+
+	depth  atomic.Int64 // jobs queued or running
+	panics atomic.Int64 // recovered worker panics
+}
+
+// newPool builds the machines and starts the workers.
+func newPool(cfg ipim.Config, workers, queueCap int) (*pool, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("serve: pool needs at least one worker, got %d", workers)
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	p := &pool{queue: make(chan *job, queueCap), workers: workers}
+	for i := 0; i < workers; i++ {
+		m, err := ipim.NewMachine(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: build machine %d: %w", i, err)
+		}
+		p.wg.Add(1)
+		go p.worker(m)
+	}
+	return p, nil
+}
+
+// submit enqueues fn and waits for its result or the context. If the
+// queue is full it fails immediately with errQueueFull; if the context
+// expires while the job is queued the job is skipped by the worker and
+// the caller gets the context error (the machine is never occupied by
+// a request nobody is waiting for).
+func (p *pool) submit(ctx context.Context, fn func(m *ipim.Machine) error) error {
+	j := &job{ctx: ctx, fn: fn, done: make(chan error, 1)}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return errDraining
+	}
+	select {
+	case p.queue <- j:
+		p.depth.Add(1)
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		return errQueueFull
+	}
+	select {
+	case err := <-j.done:
+		return err
+	case <-ctx.Done():
+		// The worker will observe the expired context and drop the
+		// job without running it (or its result, if it already ran).
+		return ctx.Err()
+	}
+}
+
+// worker owns one machine for the life of the pool and drains the
+// queue until drain closes it.
+func (p *pool) worker(m *ipim.Machine) {
+	defer p.wg.Done()
+	for j := range p.queue {
+		j.done <- p.runJob(m, j)
+		p.depth.Add(-1)
+	}
+}
+
+// runJob executes one job with panic isolation: a panicking workload
+// is converted into an error for that request only, and the worker
+// (and its machine) stays in service.
+func (p *pool) runJob(m *ipim.Machine, j *job) (err error) {
+	if err := j.ctx.Err(); err != nil {
+		return err // expired while queued: don't occupy the machine
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			err = fmt.Errorf("serve: worker recovered from panic: %v", r)
+		}
+	}()
+	return j.fn(m)
+}
+
+// queueDepth returns the number of jobs queued or running.
+func (p *pool) queueDepth() int64 { return p.depth.Load() }
+
+// panicCount returns the number of recovered worker panics.
+func (p *pool) panicCount() int64 { return p.panics.Load() }
+
+// drain stops accepting work, lets queued jobs finish, and waits for
+// every worker to exit or the context to expire. It is idempotent.
+func (p *pool) drain(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain timed out: %w", ctx.Err())
+	}
+}

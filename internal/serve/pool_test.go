@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ipim"
+)
+
+func newTestPool(t *testing.T, workers, queueCap int) *pool {
+	t.Helper()
+	p, err := newPool(ipim.TinyConfig(), workers, queueCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		p.drain(ctx)
+	})
+	return p
+}
+
+// blockWorker occupies one pool worker and returns once the worker is
+// inside the job, plus a release function.
+func blockWorker(t *testing.T, p *pool) (release func(), done chan error) {
+	t.Helper()
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	done = make(chan error, 1)
+	go func() {
+		done <- p.submit(context.Background(), func(m *ipim.Machine) error {
+			close(started)
+			<-gate
+			return nil
+		})
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never picked up the blocking job")
+	}
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			close(gate)
+		}
+	}, done
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := newTestPool(t, 1, 1)
+	release, done := blockWorker(t, p)
+	defer release()
+
+	// Fill the single queue slot.
+	queued := make(chan error, 1)
+	go func() {
+		queued <- p.submit(context.Background(), func(m *ipim.Machine) error { return nil })
+	}()
+	// Wait for the queued job to land in the channel.
+	deadline := time.Now().Add(10 * time.Second)
+	for p.queueDepth() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := p.submit(context.Background(), func(m *ipim.Machine) error { return nil }); !errors.Is(err, errQueueFull) {
+		t.Fatalf("submit on full queue = %v, want errQueueFull", err)
+	}
+
+	release()
+	if err := <-done; err != nil {
+		t.Errorf("blocked job: %v", err)
+	}
+	if err := <-queued; err != nil {
+		t.Errorf("queued job: %v", err)
+	}
+}
+
+func TestPoolQueuedJobHonorsDeadline(t *testing.T) {
+	p := newTestPool(t, 1, 4)
+	release, _ := blockWorker(t, p)
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	ran := atomic.Bool{}
+	err := p.submit(ctx, func(m *ipim.Machine) error {
+		ran.Store(true)
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("submit = %v, want DeadlineExceeded", err)
+	}
+	release()
+	// Give the worker a moment to drain the dead job, then confirm it
+	// was skipped, not executed.
+	deadline := time.Now().Add(10 * time.Second)
+	for p.queueDepth() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ran.Load() {
+		t.Error("expired job must not run")
+	}
+}
+
+func TestPoolPanicIsolation(t *testing.T) {
+	p := newTestPool(t, 1, 4)
+	err := p.submit(context.Background(), func(m *ipim.Machine) error {
+		panic("workload went sideways")
+	})
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("submit = %v, want recovered panic error", err)
+	}
+	if p.panicCount() != 1 {
+		t.Errorf("panicCount = %d, want 1", p.panicCount())
+	}
+	// The worker (and its machine) must still be in service.
+	if err := p.submit(context.Background(), func(m *ipim.Machine) error { return nil }); err != nil {
+		t.Fatalf("pool dead after panic: %v", err)
+	}
+}
+
+func TestPoolDrain(t *testing.T) {
+	p, err := newPool(ipim.TinyConfig(), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, done := blockWorker(t, p)
+	finished := atomic.Bool{}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		finished.Store(true)
+		release()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !finished.Load() {
+		t.Error("drain returned before the in-flight job finished")
+	}
+	if err := <-done; err != nil {
+		t.Errorf("in-flight job during drain: %v", err)
+	}
+	// After drain, new work is refused.
+	if err := p.submit(context.Background(), func(m *ipim.Machine) error { return nil }); !errors.Is(err, errDraining) {
+		t.Fatalf("submit after drain = %v, want errDraining", err)
+	}
+	// Drain is idempotent.
+	if err := p.drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}

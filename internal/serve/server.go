@@ -1,0 +1,459 @@
+// Package serve wraps the iPIM simulator in a production-style image
+// processing service: a stdlib-only HTTP daemon that accepts netpbm
+// images, runs them through a Table II workload on a pool of simulated
+// accelerators, and returns the processed image together with the
+// simulated cycle/energy/host-transfer accounting.
+//
+// The subsystem has three layers:
+//
+//   - a compiled-artifact LRU cache with single-flight compilation
+//     (N concurrent requests for an uncached key trigger one Compile);
+//   - a machine pool — fixed ipim.Machine workers behind a bounded
+//     dispatch queue, giving backpressure (429/503 + Retry-After),
+//     per-request deadlines, panic isolation and graceful drain;
+//   - an observability surface — /healthz, Prometheus-format /metrics
+//     and structured access logs.
+//
+// This is the paper's datacenter deployment scenario (Sec. VI): a
+// standalone accelerator behind a host that amortizes PCIe transfers
+// across a stream of offloaded kernels.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ipim"
+	"ipim/internal/host"
+)
+
+// Config configures a Server. The zero value is usable: it serves the
+// representative one-vault machine with modest pool and cache sizes.
+type Config struct {
+	// Machine is the simulated accelerator configuration. Zero value:
+	// ipim.OneVaultConfig().
+	Machine ipim.Config
+	// Workers is the number of pooled machines (default 2).
+	Workers int
+	// QueueCap bounds the dispatch queue (default 64). A full queue
+	// rejects with 429.
+	QueueCap int
+	// CacheCap bounds the compiled-artifact LRU (default 32 entries).
+	CacheCap int
+	// DefaultTimeout applies when the request has no timeout query
+	// parameter (default 60s); MaxTimeout caps client-requested
+	// timeouts (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes bounds the request body (default 64 MiB).
+	MaxBodyBytes int64
+	// Bus is the modeled host attachment (default PCIe 3.0 x16).
+	Bus host.Bus
+	// Logger receives structured access logs (default: discard).
+	Logger *log.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.Machine.Cubes == 0 {
+		c.Machine = ipim.OneVaultConfig()
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 32
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Bus.BytesPerNS == 0 {
+		c.Bus = host.PCIe3x16()
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+}
+
+// Server is the HTTP image-processing service. Create with New, mount
+// it (it implements http.Handler), and call Shutdown on SIGTERM.
+type Server struct {
+	cfg     Config
+	pool    *pool
+	cache   *artifactCache
+	metrics *metrics
+	meter   *host.Meter
+	mux     *http.ServeMux
+
+	draining chan struct{} // closed when Shutdown begins
+}
+
+// New builds the pool, cache and routes.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := newPool(cfg.Machine, cfg.Workers, cfg.QueueCap)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		pool:     p,
+		cache:    newArtifactCache(cfg.CacheCap),
+		metrics:  newMetrics(),
+		meter:    host.NewMeter(cfg.Bus),
+		mux:      http.NewServeMux(),
+		draining: make(chan struct{}),
+	}
+	s.metrics.queueDepth = p.queueDepth
+	s.metrics.panicCount = p.panicCount
+	s.metrics.cacheStats = s.cache.stats
+	s.metrics.hostSnapshot = func() (int64, int64, int64, int64) {
+		ms := s.meter.Snapshot()
+		return ms.Requests, ms.BytesIn, ms.BytesOut, ms.TransferNS
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/v1/process", s.handleProcess)
+	return s, nil
+}
+
+// Shutdown stops accepting new work and drains the machine pool:
+// queued requests finish, later ones get 503 + Retry-After. Safe to
+// call once; the HTTP listener should be shut down around it (see
+// cmd/ipim-serve).
+func (s *Server) Shutdown(ctx context.Context) error {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+	return s.pool.drain(ctx)
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// ServeHTTP wraps the routes with access logging and per-route/status
+// metrics.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	dur := time.Since(t0)
+	route := metricsRoute(r.URL.Path)
+	s.metrics.observeRequest(route, rec.status, dur)
+	s.cfg.Logger.Printf("method=%s path=%s status=%d bytes=%d dur=%s remote=%s",
+		r.Method, r.URL.Path, rec.status, rec.bytes, dur.Round(time.Microsecond), r.RemoteAddr)
+}
+
+// metricsRoute maps a request path onto a bounded route label set
+// (unknown paths collapse into one label so cardinality stays fixed).
+func metricsRoute(path string) string {
+	switch path {
+	case "/healthz", "/metrics", "/v1/workloads", "/v1/process":
+		return path
+	}
+	return "other"
+}
+
+// statusRecorder captures the response status and size for logs and
+// metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.status = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	sr.wrote = true
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w)
+}
+
+// workloadInfo is one entry of the /v1/workloads listing.
+type workloadInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	MultiStage  bool   `json:"multi_stage"`
+	Histogram   bool   `json:"histogram"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var wls []workloadInfo
+	for _, wl := range ipim.Workloads() {
+		wls = append(wls, workloadInfo{
+			Name:        wl.Name,
+			Description: wl.Description,
+			MultiStage:  wl.MultiStage,
+			Histogram:   wl.Build().Pipe.Histogram,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"workloads": wls,
+		"configs":   ipim.OptionNames(),
+	})
+}
+
+// runResult carries what a pooled run produced back to the handler.
+type runResult struct {
+	planes  []*ipim.Image // 1 (PGM) or 3 (PPM)
+	bins    []int32       // histogram pipelines
+	cycles  int64         // summed across plane runs
+	issued  int64
+	energyJ float64
+}
+
+func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.isDraining() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	q := r.URL.Query()
+	wlName := q.Get("workload")
+	if wlName == "" {
+		http.Error(w, "missing required query parameter: workload", http.StatusBadRequest)
+		return
+	}
+	wl, err := ipim.WorkloadByName(wlName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	optName := q.Get("opts")
+	if optName == "" {
+		optName = "opt"
+	}
+	opts, err := ipim.OptionsByName(optName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if tq := q.Get("timeout"); tq != "" {
+		d, err := time.ParseDuration(tq)
+		if err != nil || d <= 0 {
+			http.Error(w, fmt.Sprintf("bad timeout %q", tq), http.StatusBadRequest)
+			return
+		}
+		timeout = d
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Decode the input: binary PGM (one plane) or PPM (three planes).
+	var planes []*ipim.Image
+	var ppm bool
+	switch {
+	case bytes.HasPrefix(body, []byte("P5")):
+		im, err := ipim.ReadPGM(bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		planes = []*ipim.Image{im}
+	case bytes.HasPrefix(body, []byte("P6")):
+		rp, gp, bp, err := ipim.ReadPPM(bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		planes = []*ipim.Image{rp, gp, bp}
+		ppm = true
+	default:
+		http.Error(w, "body must be a binary PGM (P5) or PPM (P6) image", http.StatusBadRequest)
+		return
+	}
+	imgW, imgH := planes[0].W, planes[0].H
+
+	// Compile (or fetch) the artifact. Compilation happens on the
+	// request goroutine — it is host-side work; only simulator runs
+	// occupy pooled machines.
+	key := cacheKey{Workload: wl.Name, W: imgW, H: imgH, Opts: opts}
+	art, hit, err := s.cache.get(key, func() (*ipim.Artifact, error) {
+		cfg := s.cfg.Machine
+		return ipim.Compile(&cfg, wl.Build().Pipe, imgW, imgH, opts)
+	})
+	if err != nil {
+		http.Error(w, "compile: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Run on a pooled machine.
+	res := &runResult{}
+	err = s.pool.submit(ctx, func(m *ipim.Machine) error {
+		return s.runOn(m, art, planes, res)
+	})
+	if err != nil {
+		s.failProcess(w, err)
+		return
+	}
+	s.metrics.observeRun(res.cycles, res.energyJ)
+
+	// Encode the response body first so the transfer accounting and
+	// Content-Length cover the real payload.
+	var buf bytes.Buffer
+	contentType := ""
+	switch {
+	case res.bins != nil:
+		contentType = "application/json"
+		if err := json.NewEncoder(&buf).Encode(map[string]any{
+			"workload": wl.Name, "bins": res.bins,
+		}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	case ppm:
+		contentType = "image/x-portable-pixmap"
+		if err := ipim.WritePPM(&buf, res.planes[0], res.planes[1], res.planes[2]); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	default:
+		contentType = "image/x-portable-graymap"
+		if err := ipim.WritePGM(&buf, res.planes[0]); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	transferNS := s.meter.Record(int64(len(body)), int64(buf.Len()))
+
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	h.Set("X-Ipim-Workload", wl.Name)
+	h.Set("X-Ipim-Config", optName)
+	h.Set("X-Ipim-Image", fmt.Sprintf("%dx%d", imgW, imgH))
+	h.Set("X-Ipim-Cache", cacheLabel(hit))
+	h.Set("X-Ipim-Cycles", strconv.FormatInt(res.cycles, 10))
+	h.Set("X-Ipim-Instructions", strconv.FormatInt(res.issued, 10))
+	h.Set("X-Ipim-Kernel-Ns", strconv.FormatInt(res.cycles, 10)) // 1 GHz: 1 cycle = 1 ns
+	h.Set("X-Ipim-Energy-Pj", strconv.FormatFloat(res.energyJ*1e12, 'g', -1, 64))
+	h.Set("X-Ipim-Transfer-Ns", strconv.FormatFloat(transferNS, 'f', 0, 64))
+	w.Write(buf.Bytes())
+}
+
+// runOn executes every plane of a request on one pooled machine,
+// accumulating the simulated accounting into res.
+func (s *Server) runOn(m *ipim.Machine, art *ipim.Artifact, planes []*ipim.Image, res *runResult) error {
+	nPEs, nVaults := s.cfg.Machine.TotalPEs(), s.cfg.Machine.TotalVaults()
+	if art.Plan.Pipe.Histogram {
+		bins, stats, err := ipim.RunHistogram(m, art, planes[0])
+		if err != nil {
+			return err
+		}
+		res.bins = bins
+		res.cycles += stats.Cycles
+		res.issued += stats.Issued
+		res.energyJ += ipim.EnergyOf(&stats, nPEs, nVaults).Total()
+		return nil
+	}
+	for _, p := range planes {
+		out, stats, err := ipim.Run(m, art, p)
+		if err != nil {
+			return err
+		}
+		res.planes = append(res.planes, out)
+		res.cycles += stats.Cycles
+		res.issued += stats.Issued
+		res.energyJ += ipim.EnergyOf(&stats, nPEs, nVaults).Total()
+	}
+	return nil
+}
+
+// failProcess maps a pool/run error onto the HTTP status contract:
+// 429 queue full, 503 draining (both with Retry-After), 504 deadline,
+// 500 anything else (including recovered worker panics).
+func (s *Server) failProcess(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}

@@ -106,6 +106,45 @@ func (s *Stats) Add(o *Stats) {
 	}
 }
 
+// Sub subtracts a previously captured snapshot from s, leaving the
+// delta — what one run contributed on a long-lived machine whose
+// vaults accumulate stats across runs. Cycles subtracts like the
+// counters (the wall clock advanced by that much); NoC.MaxLatency is a
+// watermark and keeps its current value.
+func (s *Stats) Sub(o *Stats) {
+	s.Cycles -= o.Cycles
+	s.Issued -= o.Issued
+	for i := range s.InstByCategory {
+		s.InstByCategory[i] -= o.InstByCategory[i]
+	}
+	for i := range s.StallCycles {
+		s.StallCycles[i] -= o.StallCycles[i]
+	}
+	s.SIMDOps -= o.SIMDOps
+	s.IntALUOps -= o.IntALUOps
+	s.DataRFAcc -= o.DataRFAcc
+	s.AddrRFAcc -= o.AddrRFAcc
+	s.PGSMAcc -= o.PGSMAcc
+	s.VSMAcc -= o.VSMAcc
+	s.TSVBeats -= o.TSVBeats
+	s.PEBusBeats -= o.PEBusBeats
+	s.SerdesBeat -= o.SerdesBeat
+	s.RemoteReqs -= o.RemoteReqs
+	s.Syncs -= o.Syncs
+	s.DRAM.Reads -= o.DRAM.Reads
+	s.DRAM.Writes -= o.DRAM.Writes
+	s.DRAM.Activates -= o.DRAM.Activates
+	s.DRAM.Precharges -= o.DRAM.Precharges
+	s.DRAM.Refreshes -= o.DRAM.Refreshes
+	s.DRAM.RowHits -= o.DRAM.RowHits
+	s.DRAM.RowMisses -= o.DRAM.RowMisses
+	s.DRAM.QueueFullStalls -= o.DRAM.QueueFullStalls
+	s.DRAM.BusyCycles -= o.DRAM.BusyCycles
+	s.NoC.Packets -= o.NoC.Packets
+	s.NoC.Flits -= o.NoC.Flits
+	s.NoC.Hops -= o.NoC.Hops
+}
+
 // IPC returns issued instructions per cycle (paper Fig. 13).
 func (s *Stats) IPC() float64 {
 	if s.Cycles == 0 {

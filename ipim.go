@@ -23,7 +23,9 @@
 package ipim
 
 import (
+	"fmt"
 	"io"
+	"strings"
 
 	"ipim/internal/compiler"
 	"ipim/internal/cube"
@@ -94,7 +96,62 @@ func TinyConfig() Config { return sim.TestTiny() }
 // multi-stage halo-exchange pipelines at tiny scale).
 func TinyOneVaultConfig() Config { return sim.TestTinyOneVault() }
 
+// ConfigNames lists the named machine configurations accepted by
+// ConfigByName, in display order.
+func ConfigNames() []string {
+	return []string{"default", "onevault", "tiny", "tiny-onevault"}
+}
+
+// ConfigByName resolves a named machine configuration ("default",
+// "onevault", "tiny", "tiny-onevault"). CLI tools and the serving
+// daemon use it so every entry point speaks the same config names.
+func ConfigByName(name string) (Config, error) {
+	switch name {
+	case "default":
+		return DefaultConfig(), nil
+	case "onevault":
+		return OneVaultConfig(), nil
+	case "tiny":
+		return TinyConfig(), nil
+	case "tiny-onevault":
+		return TinyOneVaultConfig(), nil
+	}
+	return Config{}, fmt.Errorf("ipim: unknown machine config %q (want one of %s)",
+		name, strings.Join(ConfigNames(), ", "))
+}
+
+// OptionNames lists the compiler configurations accepted by
+// OptionsByName (the paper's Sec. VII-E1 presets).
+func OptionNames() []string {
+	return []string{"opt", "baseline1", "baseline2", "baseline3", "baseline4"}
+}
+
+// OptionsByName resolves a compiler configuration preset by its paper
+// label.
+func OptionsByName(name string) (Options, error) {
+	switch name {
+	case "opt":
+		return Opt, nil
+	case "baseline1":
+		return Baseline1, nil
+	case "baseline2":
+		return Baseline2, nil
+	case "baseline3":
+		return Baseline3, nil
+	case "baseline4":
+		return Baseline4, nil
+	}
+	return Options{}, fmt.Errorf("ipim: unknown compiler config %q (want one of %s)",
+		name, strings.Join(OptionNames(), ", "))
+}
+
 // NewMachine assembles a machine for the configuration.
+//
+// Concurrency contract: a Machine executes one Run/RunHistogram at a
+// time (its banks, queues and NoC state are mutated in place), but
+// distinct Machines are fully independent — running the same Artifact
+// on several Machines concurrently is safe and is how the serving
+// daemon scales (see internal/serve and TestMachinesRunConcurrently).
 func NewMachine(cfg Config) (*Machine, error) { return cube.New(cfg) }
 
 // Compile maps a pipeline onto the machine configuration.
@@ -103,7 +160,10 @@ func Compile(cfg *Config, pipe *Pipeline, imgW, imgH int, opts Options) (*Artifa
 }
 
 // Run loads the input, executes the compiled pipeline on every vault,
-// and gathers the output image.
+// and gathers the output image. Run mutates the machine (banks, queue
+// and interconnect state), so a given Machine must not execute two
+// runs concurrently; the Artifact and input image are only read and
+// may be shared freely across Machines running in parallel.
 func Run(m *Machine, art *Artifact, img *Image) (*Image, Stats, error) {
 	if err := compiler.LoadInput(m, art, img); err != nil {
 		return nil, Stats{}, err

@@ -1,0 +1,17 @@
+#!/bin/sh
+# The canonical repository check: formatting, vet, build, and the full
+# test suite under the race detector. Run from the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+echo "ci: all checks passed"

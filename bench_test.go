@@ -268,6 +268,48 @@ func BenchmarkSimulatorVault(b *testing.B) {
 	b.ReportMetric(float64(issued)/b.Elapsed().Seconds(), "sim-instrs/s")
 }
 
+// BenchmarkFullMachineRunSame measures wall-clock simulation time for
+// the full 128-vault Table III machine running the same single-vault
+// program on every vault, serial vs parallel (Machine.SetParallelism).
+// The two runs produce bit-identical sim.Stats (pinned by
+// determinism_test.go); this benchmark exists to quantify the speedup,
+// which scales with physical cores — on a single-core host the two
+// configurations time alike.
+func BenchmarkFullMachineRunSame(b *testing.B) {
+	one := OneVaultConfig()
+	wl, err := WorkloadByName("Brighten")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := wl.Build()
+	art, err := Compile(&one, w.Pipe, 2*wl.TestW, 2*wl.TestH, Opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	for _, bc := range []struct {
+		name string
+		par  int // 0 = GOMAXPROCS
+	}{{"Serial", 1}, {"Parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := NewMachine(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.SetParallelism(bc.par)
+				stats, err := m.RunSame(art.Prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(stats.Cycles), "sim-cycles")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCompiler measures compilation speed of the heaviest pipeline
 // (LocalLaplacian, ~20 stages).
 func BenchmarkCompiler(b *testing.B) {

@@ -39,6 +39,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cfgName := flag.String("config", "onevault", "machine config: default, onevault, tiny, tiny-onevault")
 	workers := flag.Int("workers", max(2, runtime.GOMAXPROCS(0)/2), "pooled simulated machines")
+	machinePar := flag.Int("machine-parallelism", 1,
+		"per-phase simulation goroutines per machine (0 = GOMAXPROCS, 1 = serial; results identical either way)")
 	queueCap := flag.Int("queue", 64, "dispatch queue capacity (full queue returns 429)")
 	cacheCap := flag.Int("cache", 32, "compiled-artifact LRU capacity")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
@@ -62,14 +64,15 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Machine:        mcfg,
-		Workers:        *workers,
-		QueueCap:       *queueCap,
-		CacheCap:       *cacheCap,
-		DefaultTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		Bus:            bus,
-		Logger:         log.Default(),
+		Machine:            mcfg,
+		Workers:            *workers,
+		MachineParallelism: *machinePar,
+		QueueCap:           *queueCap,
+		CacheCap:           *cacheCap,
+		DefaultTimeout:     *timeout,
+		MaxBodyBytes:       *maxBody,
+		Bus:                bus,
+		Logger:             log.Default(),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,41 @@
+package ipim
+
+// Smoke test for the example binaries: every examples/* main must `go
+// run` to completion with exit status 0. The examples are the public
+// face of the repo and have no other coverage — without this they rot
+// silently (an API rename breaks them and nothing notices).
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full simulations; skipped with -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("examples/%s produced no output", name)
+			}
+		})
+	}
+}

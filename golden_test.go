@@ -1,0 +1,83 @@
+package ipim
+
+// Golden-model differential sweep: every Table II workload, compiled
+// and executed on the cycle-level simulator, must agree bit for bit
+// with the internal/halide reference interpreter — at more than one
+// image size, because layout planning, bound inference and tile
+// distribution all change shape with the input. Single-stage pipelines
+// run on the two-vault tiny machine; multi-stage (halo-exchange)
+// pipelines require a single-vault machine (DESIGN.md §2).
+
+import (
+	"fmt"
+	"testing"
+
+	"ipim/internal/pixel"
+)
+
+func TestGoldenModelSweep(t *testing.T) {
+	for _, wl := range Workloads() {
+		// Two sizes per workload: the unit-test size and a larger,
+		// deliberately non-square multiple that shifts tile counts and
+		// halo layout.
+		sizes := [][2]int{
+			{wl.TestW, wl.TestH},
+			{2 * wl.TestW, 4 * wl.TestH},
+		}
+		for _, sz := range sizes {
+			wl, w, h := wl, sz[0], sz[1]
+			t.Run(fmt.Sprintf("%s/%dx%d", wl.Name, w, h), func(t *testing.T) {
+				cfg := TinyConfig()
+				if wl.MultiStage {
+					cfg = TinyOneVaultConfig()
+				}
+				pipe := wl.Build().Pipe
+				img := Synth(w, h, uint64(w)*1_000_003+uint64(h))
+				art, err := Compile(&cfg, pipe, img.W, img.H, Opt)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				m, err := NewMachine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wl.Name == "Histogram" {
+					bins, stats, err := RunHistogram(m, art, img)
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					want, err := pipe.ReferenceHistogram(img)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(bins) != len(want) {
+						t.Fatalf("%d bins, want %d", len(bins), len(want))
+					}
+					for i := range bins {
+						if bins[i] != want[i] {
+							t.Fatalf("bin %d: %d != %d", i, bins[i], want[i])
+						}
+					}
+					if stats.Cycles <= 0 {
+						t.Errorf("degenerate stats: %+v", stats)
+					}
+					return
+				}
+				out, stats, err := Run(m, art, img)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				want, err := pipe.Reference(img)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := pixel.MaxAbsDiff(out, want); d != 0 {
+					t.Errorf("simulated output deviates from the golden model by %g", d)
+				}
+				if stats.Cycles <= 0 || stats.Issued <= 0 {
+					t.Errorf("degenerate stats: %+v", stats)
+				}
+			})
+		}
+	}
+}

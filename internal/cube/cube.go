@@ -4,10 +4,25 @@
 // synchronization protocol (Sec. IV-D), and the host-side data loading
 // interface. It also provides the process-on-base-die (PonB) baseline
 // by flipping the config's PonB switch (Sec. VII-C1).
+//
+// Between two master–slave barriers the vaults are architecturally
+// independent, so Machine.Run executes each inter-barrier phase on a
+// bounded pool of worker goroutines (one vault per task, up to the
+// configured parallelism). The schedule is provably irrelevant to the
+// result: every piece of state a vault touches during a phase is either
+// owned by that vault, immutable, sharded per source vault (the
+// NoC/SERDES link-contention state and counters), or read through a
+// published snapshot (remote bank reads). Serial and parallel runs
+// therefore produce bit-identical sim.Stats — pinned by the determinism
+// tests at the repository root.
 package cube
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
 
 	"ipim/internal/dram"
 	"ipim/internal/isa"
@@ -15,6 +30,17 @@ import (
 	"ipim/internal/sim"
 	"ipim/internal/vault"
 )
+
+// port is one vault's private interconnect shard: its view of link
+// occupancy (and its share of traffic counters) on every mesh a packet
+// from this vault can traverse — its own cube mesh, the SERDES mesh,
+// and any destination cube's mesh. Sharding makes RemoteRoundTrip a
+// pure function of the source vault's own history, independent of how
+// vault goroutines interleave.
+type port struct {
+	mesh   []*noc.LinkState // indexed like Machine.meshes
+	serdes *noc.LinkState
+}
 
 // Machine is a complete iPIM accelerator.
 type Machine struct {
@@ -26,9 +52,18 @@ type Machine struct {
 	meshes []*noc.Mesh // per-cube on-chip mesh
 	serdes *noc.Mesh   // inter-cube SERDES mesh
 
+	// ports[cube][vault] is the per-source-vault interconnect shard.
+	ports [][]*port
+
 	// remoteServiceLat is the remote-end bank service latency applied to
 	// req round trips: tRCD + tCL + data + queueing margin.
 	remoteServiceLat int64
+
+	// parallelism caps the worker goroutines running vault phases
+	// concurrently: 0 = GOMAXPROCS, 1 = serial. Set via SetParallelism;
+	// forced to 1 when IPIM_SERIAL=1 is set in the environment.
+	parallelism int
+	forceSerial bool
 }
 
 // New builds a machine for the configuration.
@@ -36,7 +71,7 @@ func New(cfg sim.Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{Cfg: cfg}
+	m := &Machine{Cfg: cfg, forceSerial: os.Getenv("IPIM_SERIAL") == "1"}
 	t := cfg.Timing
 	m.remoteServiceLat = int64(t.TRCD + t.TCL + 1 + 8)
 	mw, mh := meshDims(cfg.VaultsPerCube)
@@ -50,7 +85,53 @@ func New(cfg sim.Config) (*Machine, error) {
 		}
 		m.Vaults = append(m.Vaults, vs)
 	}
+	for c := 0; c < cfg.Cubes; c++ {
+		var ps []*port
+		for vid := 0; vid < cfg.VaultsPerCube; vid++ {
+			p := &port{serdes: m.serdes.NewLinkState()}
+			for _, mesh := range m.meshes {
+				p.mesh = append(p.mesh, mesh.NewLinkState())
+			}
+			ps = append(ps, p)
+		}
+		m.ports = append(m.ports, ps)
+	}
 	return m, nil
+}
+
+// SetParallelism bounds the worker goroutines Run uses per barrier
+// phase: 0 (the default) means GOMAXPROCS, 1 forces the serial
+// schedule, n>1 caps the pool at n. Parallel and serial schedules
+// produce bit-identical results; the knob exists for benchmarking and
+// for capping the simulator's CPU footprint (e.g. one machine of many
+// in a serving pool). Not safe to call during an active Run.
+func (m *Machine) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.parallelism = n
+}
+
+// Parallelism reports the configured worker bound (0 = GOMAXPROCS).
+func (m *Machine) Parallelism() int { return m.parallelism }
+
+// phaseWorkers resolves the worker count for a phase over n active
+// vaults.
+func (m *Machine) phaseWorkers(n int) int {
+	if m.forceSerial {
+		return 1
+	}
+	w := m.parallelism
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // meshDims picks near-square 2D mesh dimensions for n nodes.
@@ -68,7 +149,12 @@ func meshDims(n int) (w, h int) {
 // Vault returns the vault at (cube, vault).
 func (m *Machine) Vault(cube, vlt int) *vault.Vault { return m.Vaults[cube][vlt] }
 
-// RemoteRead implements vault.Remote.
+// RemoteRead implements vault.Remote. It reads through the target
+// bank's published snapshot (never growing the bank), so it is safe to
+// call while the target vault executes on another goroutine; the SIMB
+// memory model guarantees the addressed bytes were written before the
+// last barrier, hence are identical in every snapshot any schedule can
+// observe.
 func (m *Machine) RemoteRead(chip, vlt, pg, pe int, addr uint32) ([]byte, error) {
 	if chip < 0 || chip >= len(m.Vaults) || vlt < 0 || vlt >= len(m.Vaults[chip]) {
 		return nil, fmt.Errorf("cube: remote read target chip=%d vault=%d out of range", chip, vlt)
@@ -77,35 +163,33 @@ func (m *Machine) RemoteRead(chip, vlt, pg, pe int, addr uint32) ([]byte, error)
 	if pg < 0 || pg >= len(v.PGs) || pe < 0 || pe >= m.Cfg.PEsPerPG {
 		return nil, fmt.Errorf("cube: remote read target pg=%d pe=%d out of range", pg, pe)
 	}
-	b, err := v.PE(pg, pe).ReadBank(addr, dram.AccessBytes)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]byte, dram.AccessBytes)
-	copy(out, b)
-	return out, nil
+	return v.PE(pg, pe).SnapshotRead(addr, dram.AccessBytes)
 }
 
 // RemoteRoundTrip implements vault.Remote: request packet to the remote
 // vault, bank service there, 16-byte response back, all over the mesh
-// (and the SERDES links for cross-cube requests).
+// (and the SERDES links for cross-cube requests). Timing is computed
+// against the source vault's private link shard, so it depends only on
+// that vault's own traffic history.
 func (m *Machine) RemoteRoundTrip(now int64, srcChip, srcVault, dstChip, dstVault int) int64 {
 	const reqBytes = 16 // address + routing header
-	t := m.sendVaultToVault(now, srcChip, srcVault, dstChip, dstVault, reqBytes)
+	p := m.ports[srcChip][srcVault]
+	t := m.sendVaultToVault(p, now, srcChip, srcVault, dstChip, dstVault, reqBytes)
 	t += m.remoteServiceLat
-	return m.sendVaultToVault(t, dstChip, dstVault, srcChip, srcVault, dram.AccessBytes)
+	return m.sendVaultToVault(p, t, dstChip, dstVault, srcChip, srcVault, dram.AccessBytes)
 }
 
-// sendVaultToVault models one direction of inter-vault traffic.
-func (m *Machine) sendVaultToVault(now int64, srcChip, srcVault, dstChip, dstVault int, bytes int) int64 {
+// sendVaultToVault models one direction of inter-vault traffic on the
+// given source port.
+func (m *Machine) sendVaultToVault(p *port, now int64, srcChip, srcVault, dstChip, dstVault int, bytes int) int64 {
 	if srcChip == dstChip {
-		return m.meshes[srcChip].Send(now, srcVault, dstVault, bytes)
+		return m.meshes[srcChip].SendOn(p.mesh[srcChip], now, srcVault, dstVault, bytes)
 	}
 	// Egress to the cube's SERDES port (vault 0 by convention), cross
 	// the cube mesh, then ingress to the destination vault.
-	t := m.meshes[srcChip].Send(now, srcVault, 0, bytes)
-	t = m.serdes.Send(t, srcChip, dstChip, bytes)
-	return m.meshes[dstChip].Send(t, 0, dstVault, bytes)
+	t := m.meshes[srcChip].SendOn(p.mesh[srcChip], now, srcVault, 0, bytes)
+	t = m.serdes.SendOn(p.serdes, t, srcChip, dstChip, bytes)
+	return m.meshes[dstChip].SendOn(p.mesh[dstChip], t, 0, dstVault, bytes)
 }
 
 // barrierCost returns the master–slave sync overhead: every slave
@@ -137,16 +221,30 @@ func (m *Machine) barrierCost() int64 {
 // Vaults run phase by phase: every vault executes to its next sync,
 // then the machine aligns clocks with the barrier cost and proceeds —
 // exactly the lock-step phase semantics the sync instruction provides.
-// It returns aggregated statistics (Cycles = wall clock of the slowest
-// vault).
+// Within a phase the active vaults run concurrently on up to
+// phaseWorkers goroutines; results are schedule-independent (see the
+// package comment). It returns aggregated statistics (Cycles = wall
+// clock of the slowest vault).
 func (m *Machine) Run(programs map[[2]int]*isa.Program) (sim.Stats, error) {
-	var active []*vault.Vault
+	// Fix the vault order up front: loading, stepping, error selection
+	// and stats folding all walk vaults in ascending (cube, vault)
+	// order, so nothing depends on Go's randomized map iteration.
+	keys := make([][2]int, 0, len(programs))
 	for key, p := range programs {
-		if p == nil {
-			continue
+		if p != nil {
+			keys = append(keys, key)
 		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var active []*vault.Vault
+	for _, key := range keys {
 		v := m.Vaults[key[0]][key[1]]
-		if err := v.Load(p); err != nil {
+		if err := v.Load(programs[key]); err != nil {
 			return sim.Stats{}, fmt.Errorf("cube: vault %v: %w", key, err)
 		}
 		active = append(active, v)
@@ -158,21 +256,25 @@ func (m *Machine) Run(programs map[[2]int]*isa.Program) (sim.Stats, error) {
 	// them so a reused Machine (e.g. a pooled worker in internal/serve)
 	// reports only what THIS run contributed.
 	before := m.collectStats(active)
+	workers := m.phaseWorkers(len(active))
+	phased := make([]bool, len(active))
 	for {
+		var err error
+		if workers <= 1 {
+			err = m.runPhaseSerial(active, phased)
+		} else {
+			err = m.runPhaseParallel(active, phased, workers)
+		}
+		if err != nil {
+			return sim.Stats{}, err
+		}
 		allDone := true
 		anyPhase := false
-		for _, v := range active {
-			if v.Done() {
-				continue
-			}
-			done, err := v.RunPhase()
-			if err != nil {
-				return sim.Stats{}, err
-			}
-			if !done {
+		for i, v := range active {
+			if phased[i] {
 				anyPhase = true
-				allDone = false
-			} else if !v.Done() {
+			}
+			if !v.Done() {
 				allDone = false
 			}
 		}
@@ -199,16 +301,85 @@ func (m *Machine) Run(programs map[[2]int]*isa.Program) (sim.Stats, error) {
 	return total, nil
 }
 
+// runPhaseSerial steps every unfinished vault to its next sync on the
+// calling goroutine. phased[i] records whether vault i stopped at a
+// sync (as opposed to running to completion).
+func (m *Machine) runPhaseSerial(active []*vault.Vault, phased []bool) error {
+	for i, v := range active {
+		phased[i] = false
+		if v.Done() {
+			continue
+		}
+		done, err := v.RunPhase()
+		if err != nil {
+			return err
+		}
+		phased[i] = !done
+	}
+	return nil
+}
+
+// runPhaseParallel is runPhaseSerial on a bounded worker pool. Vault i
+// only ever runs on one goroutine at a time, and the pool joins before
+// returning, so each vault's state is handed between goroutines with
+// proper happens-before edges. Errors are collected per vault and the
+// lowest-(cube,vault) one is returned, matching what a serial schedule
+// blames first.
+func (m *Machine) runPhaseParallel(active []*vault.Vault, phased []bool, workers int) error {
+	errs := make([]error, len(active))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v := active[i]
+				done, err := v.RunPhase()
+				phased[i] = !done
+				errs[i] = err
+			}
+		}()
+	}
+	for i, v := range active {
+		phased[i] = false
+		if v.Done() {
+			continue
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // collectStats folds and sums the cumulative counters of the given
-// vaults plus the machine-global NoC/SERDES links. Callers diff two
-// collections to get per-run stats (FoldDRAMStats is idempotent, so
-// collecting twice is safe).
+// vaults plus the machine-global NoC/SERDES links, walking vaults and
+// port shards in ascending (cube, vault) order so the fold is a fixed
+// reduction tree. Callers diff two collections to get per-run stats
+// (FoldDRAMStats is idempotent, so collecting twice is safe).
 func (m *Machine) collectStats(active []*vault.Vault) sim.Stats {
 	var total sim.Stats
 	for _, v := range active {
 		v.FoldDRAMStats()
 		total.Add(&v.Stats)
 	}
+	for _, ps := range m.ports {
+		for _, p := range ps {
+			for _, st := range p.mesh {
+				total.NoC.Packets += st.Stats.Packets
+				total.NoC.Flits += st.Stats.Flits
+				total.NoC.Hops += st.Stats.Hops
+			}
+			total.SerdesBeat += p.serdes.Stats.Flits
+		}
+	}
+	// Direct (unsharded) mesh traffic, if any future caller injects it.
 	for _, mesh := range m.meshes {
 		total.NoC.Packets += mesh.Stats.Packets
 		total.NoC.Flits += mesh.Stats.Flits

@@ -12,6 +12,7 @@ package engine
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"ipim/internal/dram"
 	"ipim/internal/isa"
@@ -24,6 +25,15 @@ type Vector [isa.VecLanes]uint32
 
 // PE is one process engine: compute logic and buffers attached to one
 // DRAM bank.
+//
+// Concurrency: a PE is owned by its vault — register files, scratchpads
+// and all bank *writes* happen only on the goroutine currently running
+// that vault (or on the host thread outside a run). The bank storage
+// itself is additionally readable from other vaults' goroutines through
+// SnapshotRead (the req instruction's remote-read path), which is why
+// the backing slice is published through an atomic pointer: lazy growth
+// swaps in a larger array without invalidating a concurrent reader's
+// view of everything written before the swap.
 type PE struct {
 	// Index identifies the PE within its vault: pgID*PEsPerPG + peID.
 	Index int
@@ -31,7 +41,7 @@ type PE struct {
 	DataRF []Vector
 	AddrRF []int32
 
-	bank      []byte // lazily grown up to bankBytes
+	bank      atomic.Pointer[[]byte] // lazily grown up to bankBytes
 	bankBytes int
 }
 
@@ -51,39 +61,75 @@ func NewPE(cfg *sim.Config, cubeID, vaultID, pgID, peID int) *PE {
 	return pe
 }
 
-// ensure grows the lazily allocated bank storage to cover [0, end).
-func (pe *PE) ensure(end int) error {
-	if end > pe.bankBytes {
-		return fmt.Errorf("engine: bank access at %#x beyond %d-byte bank", end, pe.bankBytes)
+// bankSlice returns the current backing array (nil before first use).
+func (pe *PE) bankSlice() []byte {
+	if p := pe.bank.Load(); p != nil {
+		return *p
 	}
-	if end > len(pe.bank) {
+	return nil
+}
+
+// ensure grows the lazily allocated bank storage to cover [0, end) and
+// returns the (possibly freshly published) backing slice. Owner-only:
+// growth is a single-writer publish; concurrent SnapshotRead callers
+// keep a consistent older view.
+func (pe *PE) ensure(end int) ([]byte, error) {
+	if end > pe.bankBytes {
+		return nil, fmt.Errorf("engine: bank access at %#x beyond %d-byte bank", end, pe.bankBytes)
+	}
+	bank := pe.bankSlice()
+	if end > len(bank) {
 		// Grow in 64 KB steps to amortize.
 		sz := (end + 0xFFFF) &^ 0xFFFF
 		if sz > pe.bankBytes {
 			sz = pe.bankBytes
 		}
 		nb := make([]byte, sz)
-		copy(nb, pe.bank)
-		pe.bank = nb
+		copy(nb, bank)
+		pe.bank.Store(&nb)
+		bank = nb
 	}
-	return nil
+	return bank, nil
 }
 
-// ReadBank copies n bytes at addr out of the bank.
+// ReadBank copies n bytes at addr out of the bank. Owner-only (it may
+// grow the bank); remote vaults use SnapshotRead.
 func (pe *PE) ReadBank(addr uint32, n int) ([]byte, error) {
-	if err := pe.ensure(int(addr) + n); err != nil {
+	bank, err := pe.ensure(int(addr) + n)
+	if err != nil {
 		return nil, err
 	}
-	return pe.bank[addr : int(addr)+n], nil
+	return bank[addr : int(addr)+n], nil
 }
 
-// WriteBank copies b into the bank at addr.
+// WriteBank copies b into the bank at addr. Owner-only.
 func (pe *PE) WriteBank(addr uint32, b []byte) error {
-	if err := pe.ensure(int(addr) + len(b)); err != nil {
+	bank, err := pe.ensure(int(addr) + len(b))
+	if err != nil {
 		return err
 	}
-	copy(pe.bank[addr:], b)
+	copy(bank[addr:], b)
 	return nil
+}
+
+// SnapshotRead returns a copy of n bytes at addr as of the most
+// recently published bank array, zero-filling any tail the bank has not
+// materialized yet (untouched DRAM reads as zero, exactly like the
+// owner's ReadBank of never-written bytes). It never grows the bank, so
+// it is safe to call from another vault's goroutine while the owner
+// executes — provided the program itself does not write the addressed
+// bytes in the same barrier phase (the SIMB memory model; see
+// DESIGN.md).
+func (pe *PE) SnapshotRead(addr uint32, n int) ([]byte, error) {
+	if int(addr)+n > pe.bankBytes {
+		return nil, fmt.Errorf("engine: bank access at %#x beyond %d-byte bank", int(addr)+n, pe.bankBytes)
+	}
+	out := make([]byte, n)
+	bank := pe.bankSlice()
+	if int(addr) < len(bank) {
+		copy(out, bank[addr:])
+	}
+	return out, nil
 }
 
 // LoadVector reads vector lanes from the bank into DataRF[reg]. Only

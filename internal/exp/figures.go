@@ -404,6 +404,8 @@ func (c *Context) ByName(name string) (*Table, error) {
 		return c.Exchange()
 	case "frames":
 		return c.Frames()
+	case "simspeed":
+		return c.Simspeed()
 	}
 	return nil, fmt.Errorf("exp: unknown experiment %q (try fig1..fig13, table4)", name)
 }
@@ -412,5 +414,5 @@ func (c *Context) ByName(name string) (*Table, error) {
 func ExperimentNames() []string {
 	return []string{"fig1", "table4", "fig6", "fig7", "fig8", "fig9",
 		"fig10a", "fig10b", "fig11", "fig12", "fig13", "thermal", "dram",
-		"scaling", "offload", "exchange", "frames"}
+		"scaling", "offload", "exchange", "frames", "simspeed"}
 }

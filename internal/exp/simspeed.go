@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ipim/internal/compiler"
+	"ipim/internal/cube"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+)
+
+// Simspeed measures the simulator's own host wall-clock for a
+// multi-vault machine, serial vs parallel (Machine.SetParallelism; see
+// DESIGN.md, "Parallel vault simulation"). It is a diagnostic of the
+// harness rather than of the modeled hardware: the simulated results
+// are bit-identical between the two columns — the experiment asserts
+// that — and only the host time differs. The speedup column scales with
+// physical cores, so on a single-core host it sits near 1.0.
+func (c *Context) Simspeed() (*Table, error) {
+	t := &Table{
+		Name: "simspeed", Title: "simulator host throughput, serial vs parallel",
+		Columns: []string{"vaults", "Mcyc", "serial(ms)", "parallel(ms)", "speedup"},
+		Notes: []string{
+			"speedup = serial/parallel host wall-clock; scales with physical cores (1.0 on one core)",
+			"both columns produce bit-identical sim.Stats (asserted here; pinned by determinism_test.go)",
+		},
+	}
+	wl, err := wlByName("Brighten")
+	if err != nil {
+		return nil, err
+	}
+	w := wl.Build()
+	vaultCounts := []int{4, 16}
+	// Size the image for the largest machine in the sweep: the tile
+	// distribution needs TilesX divisible by the total PE count, and the
+	// smaller counts divide the larger.
+	maxCfg := sim.OneVault()
+	maxCfg.VaultsPerCube = vaultCounts[len(vaultCounts)-1]
+	imgW := w.Pipe.TileW * maxCfg.TotalPEs() * w.Pipe.OutDen / w.Pipe.OutNum
+	imgH := 4 * w.Pipe.TileH * w.Pipe.OutDen / w.Pipe.OutNum
+	img := pixel.Synth(imgW, imgH, 0x51A5)
+	for _, vaults := range vaultCounts {
+		cfg := sim.OneVault()
+		cfg.VaultsPerCube = vaults
+		art, err := compiler.Compile(&cfg, w.Pipe, imgW, imgH, compiler.Opt)
+		if err != nil {
+			return nil, fmt.Errorf("exp: simspeed compile: %w", err)
+		}
+		var elapsed [2]time.Duration
+		var stats [2]sim.Stats
+		for i, par := range []int{1, 0} { // serial, then GOMAXPROCS
+			m, err := cube.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			m.SetParallelism(par)
+			if err := compiler.LoadInput(m, art, img); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			stats[i], err = compiler.Execute(m, art)
+			if err != nil {
+				return nil, fmt.Errorf("exp: simspeed run (%d vaults): %w", vaults, err)
+			}
+			elapsed[i] = time.Since(start)
+		}
+		if stats[0] != stats[1] {
+			return nil, fmt.Errorf("exp: simspeed: serial and parallel stats diverged at %d vaults", vaults)
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%s/%dv", wl.Name, vaults),
+			Values: []float64{
+				float64(vaults),
+				float64(stats[0].Cycles) / 1e6,
+				float64(elapsed[0]) / float64(time.Millisecond),
+				float64(elapsed[1]) / float64(time.Millisecond),
+				float64(elapsed[0]) / float64(elapsed[1]),
+			},
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,53 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble fuzzes the assemble → disassemble → assemble round trip:
+// any source the assembler accepts must disassemble to canonical text
+// that (a) reassembles without error and (b) is a fixpoint — its own
+// disassembly — with the same instruction count. This is the property
+// TestDisassembleAssembleFixpoint pins for the hand-written fixture,
+// extended to arbitrary inputs; `go test` exercises the seed corpus,
+// `go test -fuzz=FuzzAssemble ./internal/isa` explores beyond it.
+func FuzzAssemble(f *testing.F) {
+	// Seed with the every-opcode fixture as a whole and line by line,
+	// so the fuzzer starts from each instruction form individually.
+	f.Add(sampleProgram)
+	for _, line := range strings.Split(sampleProgram, "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			f.Add(line + "\n")
+		}
+	}
+	// Syntax corners from the hand-written tests: comments, blank
+	// lines, labels, and near-miss errors for coverage of the reject
+	// paths.
+	f.Add("\n; pure comment\n\n  sync 0 ; trailing comment\n\n")
+	f.Add("top:\nseti_crf c0, =top\njump c0\n")
+	f.Add("comp fadd vv d1, d2, d3, sm=zz\n")
+	f.Add("req chip=0, vault=1\n")
+	f.Add("ld_rf d1, @a4, sm=*\nld_rf d1, 0x1000, sm=0x3\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		text1 := Disassemble(p)
+		q, err := Assemble(text1)
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n--- source ---\n%s\n--- disassembly ---\n%s",
+				err, src, text1)
+		}
+		if len(q.Ins) != len(p.Ins) {
+			t.Fatalf("round trip changed instruction count: %d -> %d\n--- disassembly ---\n%s",
+				len(p.Ins), len(q.Ins), text1)
+		}
+		text2 := Disassemble(q)
+		if text1 != text2 {
+			t.Fatalf("disassembly is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+		}
+	})
+}

@@ -31,6 +31,13 @@ type Stats struct {
 }
 
 // Mesh is a W×H 2D mesh. Node i sits at (i%W, i/W).
+//
+// Topology and latency parameters are immutable after NewMesh, so a
+// Mesh may be consulted (Route, HopCount) from many goroutines. Link
+// occupancy and traffic counters are mutable: they live either in the
+// mesh's own default LinkState (used by Send, single-caller only) or in
+// caller-private LinkStates (NewLinkState/SendOn), which let concurrent
+// traffic sources each model their own contention deterministically.
 type Mesh struct {
 	W, H int
 
@@ -42,6 +49,22 @@ type Mesh struct {
 	// LinkBytesPerCycle is each link's serialization bandwidth.
 	LinkBytesPerCycle int
 
+	// linkFree[node][dir] is the cycle the output link becomes free
+	// (the mesh's own link state, backing Send for single-caller uses).
+	linkFree [][numDirs]int64
+
+	Stats Stats
+}
+
+// LinkState is one traffic source's private view of the mesh: its link
+// occupancy ("when does this output link free up for MY stream") and
+// its share of the traffic counters. Sharding link state per source
+// makes transfer latency a pure function of that source's own send
+// history — independent of how concurrently simulated sources
+// interleave — which is what makes parallel vault simulation
+// bit-reproducible. The price is that cross-source link contention
+// inside one barrier phase is not modeled; see DESIGN.md.
+type LinkState struct {
 	// linkFree[node][dir] is the cycle the output link becomes free.
 	linkFree [][numDirs]int64
 
@@ -122,10 +145,33 @@ func (m *Mesh) HopCount(src, dst int) int {
 	return abs(x-dx) + abs(y-dy)
 }
 
+// NewLinkState allocates a private link-state shard for one traffic
+// source on this mesh.
+func (m *Mesh) NewLinkState() *LinkState {
+	return &LinkState{linkFree: make([][numDirs]int64, m.Nodes())}
+}
+
 // Send injects a packet of size bytes at time now and returns its
-// delivery time at dst. Each link on the X-Y route serializes the
-// packet's flits; per-hop latency accumulates as a rational.
+// delivery time at dst, using the mesh's own link state and counters.
+// All Send callers share one contention timeline, so Send must not be
+// called concurrently; concurrent sources use SendOn with private
+// LinkStates instead.
 func (m *Mesh) Send(now int64, src, dst, bytes int) int64 {
+	return m.send(m.linkFree, &m.Stats, now, src, dst, bytes)
+}
+
+// SendOn is Send against a caller-private LinkState: contention is
+// modeled only against the caller's own earlier sends, and counters
+// accumulate into the shard. Distinct LinkStates may be driven from
+// distinct goroutines concurrently.
+func (m *Mesh) SendOn(st *LinkState, now int64, src, dst, bytes int) int64 {
+	return m.send(st.linkFree, &st.Stats, now, src, dst, bytes)
+}
+
+// send models one packet over the given link-occupancy state. Each link
+// on the X-Y route serializes the packet's flits; per-hop latency
+// accumulates as a rational.
+func (m *Mesh) send(linkFree [][numDirs]int64, stats *Stats, now int64, src, dst, bytes int) int64 {
 	if bytes <= 0 {
 		panic(fmt.Sprintf("noc: packet of %d bytes", bytes))
 	}
@@ -137,21 +183,21 @@ func (m *Mesh) Send(now int64, src, dst, bytes int) int64 {
 	// per-hop latency over the whole route.
 	head := now
 	for _, hop := range route {
-		if free := m.linkFree[hop.Node][hop.Dir]; free > head {
+		if free := linkFree[hop.Node][hop.Dir]; free > head {
 			head = free
 		}
-		m.linkFree[hop.Node][hop.Dir] = head + flits
-		m.Stats.Flits += flits
+		linkFree[hop.Node][hop.Dir] = head + flits
+		stats.Flits += flits
 	}
 	hops := int64(len(route))
 	t := now
 	if hops > 0 {
 		t = head + flits - 1 + ceilDiv(hops*m.HopLatNum, m.HopLatDen)
 	}
-	m.Stats.Packets++
-	m.Stats.Hops += hops
-	if lat := t - now; lat > m.Stats.MaxLatency {
-		m.Stats.MaxLatency = lat
+	stats.Packets++
+	stats.Hops += hops
+	if lat := t - now; lat > stats.MaxLatency {
+		stats.MaxLatency = lat
 	}
 	return t
 }

@@ -48,8 +48,12 @@ type pool struct {
 	panics atomic.Int64 // recovered worker panics
 }
 
-// newPool builds the machines and starts the workers.
-func newPool(cfg ipim.Config, workers, queueCap int) (*pool, error) {
+// newPool builds the machines and starts the workers. parallelism is
+// each machine's per-phase simulation worker bound (0 = GOMAXPROCS,
+// 1 = serial); results are identical either way, the knob only trades
+// single-request latency against cross-request throughput when several
+// pooled machines compete for cores.
+func newPool(cfg ipim.Config, workers, queueCap, parallelism int) (*pool, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("serve: pool needs at least one worker, got %d", workers)
 	}
@@ -62,6 +66,7 @@ func newPool(cfg ipim.Config, workers, queueCap int) (*pool, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: build machine %d: %w", i, err)
 		}
+		m.SetParallelism(parallelism)
 		p.wg.Add(1)
 		go p.worker(m)
 	}

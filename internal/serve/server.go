@@ -43,6 +43,14 @@ type Config struct {
 	Machine ipim.Config
 	// Workers is the number of pooled machines (default 2).
 	Workers int
+	// MachineParallelism bounds each pooled machine's per-phase
+	// simulation goroutines (ipim Machine.SetParallelism). Results are
+	// bit-identical at any setting (see DESIGN.md, "Parallel vault
+	// simulation"). Default (0) keeps machines serial — with several
+	// pooled machines sharing the host that maximizes aggregate
+	// throughput; raise it (e.g. to runtime.GOMAXPROCS(0)) to trade
+	// throughput for lower single-request latency on an idle server.
+	MachineParallelism int
 	// QueueCap bounds the dispatch queue (default 64). A full queue
 	// rejects with 429.
 	QueueCap int
@@ -67,6 +75,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Workers == 0 {
 		c.Workers = 2
+	}
+	if c.MachineParallelism == 0 {
+		c.MachineParallelism = 1
 	}
 	if c.QueueCap == 0 {
 		c.QueueCap = 64
@@ -110,7 +121,7 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Machine.Validate(); err != nil {
 		return nil, err
 	}
-	p, err := newPool(cfg.Machine, cfg.Workers, cfg.QueueCap)
+	p, err := newPool(cfg.Machine, cfg.Workers, cfg.QueueCap, cfg.MachineParallelism)
 	if err != nil {
 		return nil, err
 	}

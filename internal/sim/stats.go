@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"fmt"
+	"reflect"
+
 	"ipim/internal/dram"
 	"ipim/internal/isa"
 	"ipim/internal/noc"
@@ -66,83 +69,76 @@ type Stats struct {
 	NoC  noc.Stats
 }
 
+// Two Stats fields are not plain event counters and fold specially:
+//
+//   - Cycles is a wall clock: concurrent vaults overlap, so Add takes
+//     the max; Sub subtracts (the clock advanced by that much during
+//     the run being diffed out).
+//   - NoC.MaxLatency is a watermark: Add takes the max; Sub keeps the
+//     current value (a watermark cannot be un-observed).
+//
+// Every other int64 leaf — including array elements and the embedded
+// DRAM/NoC structs — sums under Add and subtracts under Sub. Add and
+// Sub discover those leaves by reflection (walkCounters), so a counter
+// added to Stats, dram.Stats or noc.Stats can never be silently left
+// out of the fold; sim.TestStatsFoldCoversEveryField pins the semantics
+// field by field.
+
 // Add accumulates other into s (for aggregating vaults or phases).
 func (s *Stats) Add(o *Stats) {
 	if o.Cycles > s.Cycles {
-		s.Cycles = o.Cycles // vaults run concurrently: wall clock is the max
+		s.Cycles = o.Cycles
 	}
-	s.Issued += o.Issued
-	for i := range s.InstByCategory {
-		s.InstByCategory[i] += o.InstByCategory[i]
-	}
-	for i := range s.StallCycles {
-		s.StallCycles[i] += o.StallCycles[i]
-	}
-	s.SIMDOps += o.SIMDOps
-	s.IntALUOps += o.IntALUOps
-	s.DataRFAcc += o.DataRFAcc
-	s.AddrRFAcc += o.AddrRFAcc
-	s.PGSMAcc += o.PGSMAcc
-	s.VSMAcc += o.VSMAcc
-	s.TSVBeats += o.TSVBeats
-	s.PEBusBeats += o.PEBusBeats
-	s.SerdesBeat += o.SerdesBeat
-	s.RemoteReqs += o.RemoteReqs
-	s.Syncs += o.Syncs
-	s.DRAM.Reads += o.DRAM.Reads
-	s.DRAM.Writes += o.DRAM.Writes
-	s.DRAM.Activates += o.DRAM.Activates
-	s.DRAM.Precharges += o.DRAM.Precharges
-	s.DRAM.Refreshes += o.DRAM.Refreshes
-	s.DRAM.RowHits += o.DRAM.RowHits
-	s.DRAM.RowMisses += o.DRAM.RowMisses
-	s.DRAM.QueueFullStalls += o.DRAM.QueueFullStalls
-	s.DRAM.BusyCycles += o.DRAM.BusyCycles
-	s.NoC.Packets += o.NoC.Packets
-	s.NoC.Flits += o.NoC.Flits
-	s.NoC.Hops += o.NoC.Hops
 	if o.NoC.MaxLatency > s.NoC.MaxLatency {
 		s.NoC.MaxLatency = o.NoC.MaxLatency
 	}
+	walkCounters(s, o, func(d *int64, src int64) { *d += src })
 }
 
 // Sub subtracts a previously captured snapshot from s, leaving the
 // delta — what one run contributed on a long-lived machine whose
-// vaults accumulate stats across runs. Cycles subtracts like the
-// counters (the wall clock advanced by that much); NoC.MaxLatency is a
-// watermark and keeps its current value.
+// vaults accumulate stats across runs.
 func (s *Stats) Sub(o *Stats) {
 	s.Cycles -= o.Cycles
-	s.Issued -= o.Issued
-	for i := range s.InstByCategory {
-		s.InstByCategory[i] -= o.InstByCategory[i]
+	walkCounters(s, o, func(d *int64, src int64) { *d -= src })
+}
+
+// foldSpecial names the field paths Add/Sub handle explicitly (see the
+// comment above); walkCounters skips them.
+var foldSpecial = map[string]bool{
+	"Cycles":         true,
+	"NoC.MaxLatency": true,
+}
+
+// walkCounters invokes fn on every plain-counter int64 leaf of the two
+// Stats in lockstep, recursing into embedded structs and arrays.
+func walkCounters(dst, src *Stats, fn func(d *int64, s int64)) {
+	walkValue(reflect.ValueOf(dst).Elem(), reflect.ValueOf(src).Elem(), "", fn)
+}
+
+func walkValue(dst, src reflect.Value, path string, fn func(d *int64, s int64)) {
+	switch dst.Kind() {
+	case reflect.Int64:
+		if foldSpecial[path] {
+			return
+		}
+		fn(dst.Addr().Interface().(*int64), src.Int())
+	case reflect.Array:
+		for i := 0; i < dst.Len(); i++ {
+			walkValue(dst.Index(i), src.Index(i), path, fn)
+		}
+	case reflect.Struct:
+		t := dst.Type()
+		for i := 0; i < dst.NumField(); i++ {
+			p := t.Field(i).Name
+			if path != "" {
+				p = path + "." + p
+			}
+			walkValue(dst.Field(i), src.Field(i), p, fn)
+		}
+	default:
+		panic(fmt.Sprintf("sim: Stats field %s has unfoldable kind %s — teach walkValue about it", path, dst.Kind()))
 	}
-	for i := range s.StallCycles {
-		s.StallCycles[i] -= o.StallCycles[i]
-	}
-	s.SIMDOps -= o.SIMDOps
-	s.IntALUOps -= o.IntALUOps
-	s.DataRFAcc -= o.DataRFAcc
-	s.AddrRFAcc -= o.AddrRFAcc
-	s.PGSMAcc -= o.PGSMAcc
-	s.VSMAcc -= o.VSMAcc
-	s.TSVBeats -= o.TSVBeats
-	s.PEBusBeats -= o.PEBusBeats
-	s.SerdesBeat -= o.SerdesBeat
-	s.RemoteReqs -= o.RemoteReqs
-	s.Syncs -= o.Syncs
-	s.DRAM.Reads -= o.DRAM.Reads
-	s.DRAM.Writes -= o.DRAM.Writes
-	s.DRAM.Activates -= o.DRAM.Activates
-	s.DRAM.Precharges -= o.DRAM.Precharges
-	s.DRAM.Refreshes -= o.DRAM.Refreshes
-	s.DRAM.RowHits -= o.DRAM.RowHits
-	s.DRAM.RowMisses -= o.DRAM.RowMisses
-	s.DRAM.QueueFullStalls -= o.DRAM.QueueFullStalls
-	s.DRAM.BusyCycles -= o.DRAM.BusyCycles
-	s.NoC.Packets -= o.NoC.Packets
-	s.NoC.Flits -= o.NoC.Flits
-	s.NoC.Hops -= o.NoC.Hops
 }
 
 // IPC returns issued instructions per cycle (paper Fig. 13).

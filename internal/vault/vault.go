@@ -25,6 +25,15 @@ import (
 
 // Remote is the machine-level service a vault uses for inter-vault
 // accesses (the req instruction) — implemented by the cube package.
+//
+// Concurrency: RunPhase may execute on a different goroutine each
+// phase (the machine's phase worker pool), so both methods must be
+// safe to call concurrently from many vaults' goroutines AND return
+// schedule-independent results. Everything else a vault touches during
+// RunPhase is vault-owned (PGs, controllers, VSM, register files,
+// in-flight queue, clock) or immutable (*sim.Config, the loaded
+// *isa.Program, which may be shared read-only across vaults); these
+// Remote calls are the only cross-vault edges in the timed path.
 type Remote interface {
 	// RemoteRead returns 16 bytes from the addressed remote bank.
 	RemoteRead(chip, vlt, pg, pe int, addr uint32) ([]byte, error)

@@ -18,6 +18,8 @@ import (
 	"strings"
 	"time"
 
+	"ipim"
+	"ipim/internal/cliutil"
 	"ipim/internal/exp"
 )
 
@@ -25,10 +27,25 @@ func main() {
 	expName := flag.String("exp", "all", "experiment to run: all, "+strings.Join(exp.ExperimentNames(), ", "))
 	div := flag.Int("div", 1, "divide bench image sizes by this factor (faster, same shapes)")
 	jsonPath := flag.String("json", "", "write machine-readable Table II suite results to this file ('-' = stdout) and exit")
+	faultSpec := flag.String("faults", "",
+		"fault-injection spec applied to every simulated machine (empty = off; the faults sweep manages its own plans)")
 	flag.Parse()
+
+	if *expName != "all" {
+		if err := cliutil.Check("exp", *expName, exp.ExperimentNames()); err != nil {
+			fmt.Fprintln(os.Stderr, "ipim-bench:", err)
+			os.Exit(1)
+		}
+	}
+	plan, err := ipim.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipim-bench:", err)
+		os.Exit(1)
+	}
 
 	c := exp.NewContext()
 	c.SizeDiv = *div
+	c.Faults = plan
 
 	if *jsonPath != "" {
 		// Open the output before the ~15 s suite run so a bad path

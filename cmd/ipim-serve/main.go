@@ -28,7 +28,7 @@ import (
 	"time"
 
 	"ipim"
-	"ipim/internal/host"
+	"ipim/internal/cliutil"
 	"ipim/internal/serve"
 )
 
@@ -47,20 +47,24 @@ func main() {
 	maxBody := flag.Int64("max-body", 64<<20, "request body size limit in bytes")
 	busName := flag.String("bus", "pcie3", "modeled host bus: pcie3, pcie5")
 	drainWait := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	faultSpec := flag.String("faults", "",
+		"fault-injection spec, e.g. seed=7,dram=1e-5,multibit=0.2,link=1e-6,exec=1e-4 (empty = off)")
+	retries := flag.Int("retries", 2, "max in-place retries of a run hit by a transient injected fault (negative = off)")
+	degrade := flag.Float64("degrade", 0,
+		"degraded-mode threshold: mean uncorrected ECC errors per request that trips 503 load shedding (0 = off)")
 	flag.Parse()
 
 	mcfg, err := ipim.ConfigByName(*cfgName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var bus host.Bus
-	switch *busName {
-	case "pcie3":
-		bus = host.PCIe3x16()
-	case "pcie5":
-		bus = host.PCIe5x16()
-	default:
-		log.Fatalf("unknown bus %q (want pcie3 or pcie5)", *busName)
+	bus, err := cliutil.Bus(*busName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := ipim.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -73,9 +77,16 @@ func main() {
 		MaxBodyBytes:       *maxBody,
 		Bus:                bus,
 		Logger:             log.Default(),
+		Faults:             plan,
+		MaxRetries:         *retries,
+		DegradeThreshold:   *degrade,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if plan.Enabled() {
+		log.Printf("fault injection active: %s (retries %d, degrade threshold %g)",
+			plan, *retries, *degrade)
 	}
 
 	httpSrv := &http.Server{

@@ -14,6 +14,7 @@ import (
 	"log"
 
 	"ipim"
+	"ipim/internal/cliutil"
 	"ipim/internal/compiler"
 	"ipim/internal/cube"
 	"ipim/internal/vault"
@@ -27,23 +28,11 @@ func main() {
 	top := flag.Int("top", 12, "entries per ranking")
 	flag.Parse()
 
-	var opts ipim.Options
-	switch *optName {
-	case "opt":
-		opts = ipim.Opt
-	case "baseline1":
-		opts = ipim.Baseline1
-	case "baseline2":
-		opts = ipim.Baseline2
-	case "baseline3":
-		opts = ipim.Baseline3
-	case "baseline4":
-		opts = ipim.Baseline4
-	default:
-		log.Fatalf("unknown compiler config %q", *optName)
+	opts, err := cliutil.Options(*optName)
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	wl, err := ipim.WorkloadByName(*name)
+	wl, err := cliutil.Workload(*name)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,206 @@
+package ipim
+
+// Differential tests for the fault-injection layer (internal/fault):
+// the PR 2 determinism contract must extend to injected faults — the
+// same fault.Plan seed produces bit-identical sim.Stats (including the
+// new ECC and link-fault counters) and outputs between serial and
+// parallel schedules — and a zero-rate plan must be a strict no-op
+// against a faults-disabled run.
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"ipim/internal/pixel"
+)
+
+// faultRun is detRun with a fault plan attached to the fresh machine.
+func faultRun(t *testing.T, wlName string, seed uint64, parallelism int, plan *FaultPlan) (Stats, []float32) {
+	t.Helper()
+	cfg := detConfig()
+	wl, err := WorkloadByName(wlName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := Synth(2*wl.TestW, 2*wl.TestH, seed)
+	art, err := Compile(&cfg, wl.Build().Pipe, img.W, img.H, Opt)
+	if err != nil {
+		t.Fatalf("compile %s: %v", wlName, err)
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetParallelism(parallelism)
+	m.SetFaultPlan(plan)
+	if wlName == "Histogram" {
+		bins, stats, err := RunHistogram(m, art, img)
+		if err != nil {
+			t.Fatalf("run %s: %v", wlName, err)
+		}
+		out := make([]float32, len(bins))
+		for i, b := range bins {
+			out[i] = float32(b)
+		}
+		return stats, out
+	}
+	out, stats, err := Run(m, art, img)
+	if err != nil {
+		t.Fatalf("run %s: %v", wlName, err)
+	}
+	return stats, out.Pix
+}
+
+// TestFaultInjectionDeterministicAcrossSchedules: with DRAM and link
+// faults armed, serial and parallel runs at several worker counts must
+// agree bit for bit — and the fault counters must be nonzero, or the
+// comparison has no teeth.
+func TestFaultInjectionDeterministicAcrossSchedules(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:            2024,
+		DRAMBitFlipRate: 2e-3, DRAMMultiBitFraction: 0.3,
+		LinkFaultRate: 5e-3, LinkRetryPenalty: 20,
+	}
+	for _, wlName := range []string{"GaussianBlur", "Histogram"} {
+		t.Run(wlName, func(t *testing.T) {
+			ref, refOut := faultRun(t, wlName, 11, 1, plan)
+			if ref.DRAM.ECCCorrected+ref.DRAM.ECCUncorrected == 0 {
+				t.Fatal("no ECC events injected — fault rates too low for this test to mean anything")
+			}
+			if wlName == "Histogram" && ref.NoC.LinkFaults == 0 {
+				t.Fatal("no link faults injected on the cross-vault workload")
+			}
+			for _, w := range []int{2, 4, 8} {
+				got, gotOut := faultRun(t, wlName, 11, w, plan)
+				if !reflect.DeepEqual(ref, got) {
+					t.Errorf("stats at parallelism %d diverge from serial:\nwant %+v\ngot  %+v", w, ref, got)
+				}
+				if !reflect.DeepEqual(refOut, gotOut) {
+					t.Errorf("output at parallelism %d diverges from serial", w)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultSeedReproducesAndSeparates: one seed reproduces its exact
+// fault pattern on a fresh machine; a different seed produces a
+// different one (over enough events).
+func TestFaultSeedReproducesAndSeparates(t *testing.T) {
+	mk := func(seed uint64) *FaultPlan {
+		return &FaultPlan{Seed: seed, DRAMBitFlipRate: 5e-3, DRAMMultiBitFraction: 0.5}
+	}
+	a1, _ := faultRun(t, "GaussianBlur", 9, 2, mk(1))
+	a2, _ := faultRun(t, "GaussianBlur", 9, 2, mk(1))
+	if !reflect.DeepEqual(a1, a2) {
+		t.Errorf("same seed did not reproduce stats:\n%+v\n%+v", a1, a2)
+	}
+	b, _ := faultRun(t, "GaussianBlur", 9, 2, mk(2))
+	if a1.DRAM.ECCCorrected == b.DRAM.ECCCorrected && a1.DRAM.ECCUncorrected == b.DRAM.ECCUncorrected {
+		t.Errorf("seeds 1 and 2 injected identical ECC tallies (%d/%d) — suspicious",
+			a1.DRAM.ECCCorrected, a1.DRAM.ECCUncorrected)
+	}
+}
+
+// TestZeroRateFaultPlanStrictNoOp: an attached plan with all rates zero
+// must leave cycle counts, the full stats struct and the output
+// bit-identical to a faults-disabled run, for every golden-suite
+// workload shape that runs on the differential config.
+func TestZeroRateFaultPlanStrictNoOp(t *testing.T) {
+	zero := &FaultPlan{Seed: 12345} // nonzero seed, all rates zero
+	for _, wlName := range []string{"Brighten", "GaussianBlur", "Histogram"} {
+		t.Run(wlName, func(t *testing.T) {
+			off, offOut := detRun(t, wlName, 5, 4)
+			on, onOut := faultRun(t, wlName, 5, 4, zero)
+			if !reflect.DeepEqual(off, on) {
+				t.Errorf("zero-rate plan changed stats:\noff %+v\non  %+v", off, on)
+			}
+			if !reflect.DeepEqual(offOut, onOut) {
+				t.Errorf("zero-rate plan changed the functional output")
+			}
+		})
+	}
+}
+
+// TestCorrectedFaultsLeaveDataAndTimingIntact: under the SECDED model a
+// single-bit flip is corrected in-line — counters tick, but neither the
+// output nor any timing-visible counter may move.
+func TestCorrectedFaultsLeaveDataAndTimingIntact(t *testing.T) {
+	plan := &FaultPlan{Seed: 8, DRAMBitFlipRate: 1e-2, DRAMMultiBitFraction: 0}
+	clean, cleanOut := detRun(t, "GaussianBlur", 3, 2)
+	faulty, faultyOut := faultRun(t, "GaussianBlur", 3, 2, plan)
+	if faulty.DRAM.ECCCorrected == 0 {
+		t.Fatal("no corrected events at rate 1e-2")
+	}
+	if faulty.DRAM.ECCUncorrected != 0 {
+		t.Fatalf("multibit fraction 0 produced %d uncorrected events", faulty.DRAM.ECCUncorrected)
+	}
+	if !reflect.DeepEqual(cleanOut, faultyOut) {
+		t.Error("corrected-only faults corrupted the output")
+	}
+	// Everything except the corrected counter must match the clean run.
+	faulty.DRAM.ECCCorrected = 0
+	if !reflect.DeepEqual(clean, faulty) {
+		t.Errorf("corrected-only faults perturbed non-ECC stats:\nclean  %+v\nfaulty %+v", clean, faulty)
+	}
+}
+
+// TestUncorrectedFaultsCorruptOutput: multi-bit flips must actually
+// show up in the result — finite PSNR against the clean output.
+func TestUncorrectedFaultsCorruptOutput(t *testing.T) {
+	plan := &FaultPlan{Seed: 4, DRAMBitFlipRate: 5e-2, DRAMMultiBitFraction: 1}
+	_, cleanOut := detRun(t, "Brighten", 6, 2)
+	faulty, faultyOut := faultRun(t, "Brighten", 6, 2, plan)
+	if faulty.DRAM.ECCUncorrected == 0 {
+		t.Fatal("no uncorrected events at rate 5e-2, multibit 1.0")
+	}
+	if reflect.DeepEqual(cleanOut, faultyOut) {
+		t.Fatal("uncorrected faults left the output untouched")
+	}
+	a := &Image{W: len(cleanOut), H: 1, Pix: cleanOut}
+	b := &Image{W: len(faultyOut), H: 1, Pix: faultyOut}
+	if psnr := pixel.PSNR(a, b); math.IsInf(psnr, 1) || psnr <= 0 {
+		t.Fatalf("PSNR %v for corrupted output", psnr)
+	}
+}
+
+// TestTransientExecFaultThenRetrySucceeds: an ExecFailFirst plan aborts
+// the first run of every vault with a retryable error; rerunning the
+// same machine (its per-vault phase counters have advanced) succeeds
+// and produces the clean output, on both schedules.
+func TestTransientExecFaultThenRetrySucceeds(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cfg := detConfig()
+		wl, err := WorkloadByName("Brighten")
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := Synth(2*wl.TestW, 2*wl.TestH, 7)
+		art, err := Compile(&cfg, wl.Build().Pipe, img.W, img.H, Opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetParallelism(workers)
+		m.SetFaultPlan(&FaultPlan{Seed: 1, ExecFailFirst: 1})
+		if _, _, err := Run(m, art, img); !errors.Is(err, ErrTransientFault) {
+			t.Fatalf("workers=%d: first run error = %v, want ErrTransientFault", workers, err)
+		}
+		out, stats, err := Run(m, art, img)
+		if err != nil {
+			t.Fatalf("workers=%d: retry failed: %v", workers, err)
+		}
+		if stats.Cycles <= 0 {
+			t.Fatalf("workers=%d: degenerate retry stats %+v", workers, stats)
+		}
+		_, cleanOut := detRun(t, "Brighten", 7, workers)
+		if !reflect.DeepEqual(out.Pix, cleanOut) {
+			t.Errorf("workers=%d: retry output differs from clean run", workers)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package cliutil centralizes flag-choice validation for the iPIM
+// command-line tools. Every binary that takes an enumerated flag
+// (-opts, -workload, -config, -bus, -exp) resolves it here, so an
+// unknown value always produces the same error shape: non-zero exit
+// via the caller's log.Fatal, with the rejected value and the full
+// list of valid choices in the message.
+package cliutil
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ipim"
+	"ipim/internal/host"
+)
+
+// Lookup resolves value in the choice table. An unknown value returns
+// the canonical error: flag name, rejected value, and every valid
+// choice in sorted order.
+func Lookup[T any](flagName, value string, choices map[string]T) (T, error) {
+	if v, ok := choices[value]; ok {
+		return v, nil
+	}
+	var zero T
+	return zero, fmt.Errorf("unknown -%s value %q (valid: %s)",
+		flagName, value, strings.Join(Names(choices), ", "))
+}
+
+// Check verifies value is one of choices, for flags whose resolution
+// happens elsewhere; the error matches Lookup's.
+func Check(flagName, value string, choices []string) error {
+	for _, c := range choices {
+		if value == c {
+			return nil
+		}
+	}
+	sorted := append([]string(nil), choices...)
+	sort.Strings(sorted)
+	return fmt.Errorf("unknown -%s value %q (valid: %s)",
+		flagName, value, strings.Join(sorted, ", "))
+}
+
+// Names returns the table's keys in sorted order.
+func Names[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Options resolves the -opts compiler-configuration flag (the paper's
+// Sec. VII-E1 presets).
+func Options(value string) (ipim.Options, error) {
+	return Lookup("opts", value, map[string]ipim.Options{
+		"opt":       ipim.Opt,
+		"baseline1": ipim.Baseline1,
+		"baseline2": ipim.Baseline2,
+		"baseline3": ipim.Baseline3,
+		"baseline4": ipim.Baseline4,
+	})
+}
+
+// Workload resolves the -workload flag against the Table II suite.
+func Workload(value string) (ipim.Workload, error) {
+	table := make(map[string]ipim.Workload)
+	for _, wl := range ipim.Workloads() {
+		table[wl.Name] = wl
+	}
+	return Lookup("workload", value, table)
+}
+
+// Bus resolves the -bus modeled-host-attachment flag.
+func Bus(value string) (host.Bus, error) {
+	return Lookup("bus", value, map[string]host.Bus{
+		"pcie3": host.PCIe3x16(),
+		"pcie5": host.PCIe5x16(),
+	})
+}

@@ -1,0 +1,72 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"ipim"
+)
+
+func TestLookupResolves(t *testing.T) {
+	got, err := Lookup("color", "red", map[string]int{"red": 1, "green": 2})
+	if err != nil || got != 1 {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+}
+
+func TestLookupUnknownListsChoicesSorted(t *testing.T) {
+	_, err := Lookup("color", "mauve", map[string]int{"red": 1, "green": 2, "blue": 3})
+	if err == nil {
+		t.Fatal("unknown value accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"-color", `"mauve"`, "blue, green, red"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestCheckMatchesLookupShape(t *testing.T) {
+	if err := Check("exp", "fig6", []string{"fig1", "fig6"}); err != nil {
+		t.Fatalf("valid value rejected: %v", err)
+	}
+	err := Check("exp", "fig99", []string{"fig6", "fig1"})
+	if err == nil {
+		t.Fatal("unknown value accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, `-exp value "fig99" (valid: fig1, fig6)`) {
+		t.Errorf("error %q not in canonical shape", msg)
+	}
+}
+
+// Every domain resolver must accept its full advertised choice set and
+// reject garbage with the listing error.
+func TestDomainResolvers(t *testing.T) {
+	for _, name := range []string{"opt", "baseline1", "baseline2", "baseline3", "baseline4"} {
+		if _, err := Options(name); err != nil {
+			t.Errorf("Options(%q): %v", name, err)
+		}
+	}
+	if _, err := Options("turbo"); err == nil || !strings.Contains(err.Error(), "baseline4") {
+		t.Errorf("Options error does not list choices: %v", err)
+	}
+
+	for _, wl := range ipim.Workloads() {
+		if _, err := Workload(wl.Name); err != nil {
+			t.Errorf("Workload(%q): %v", wl.Name, err)
+		}
+	}
+	if _, err := Workload("Nope"); err == nil || !strings.Contains(err.Error(), "GaussianBlur") {
+		t.Errorf("Workload error does not list choices: %v", err)
+	}
+
+	for _, name := range []string{"pcie3", "pcie5"} {
+		if _, err := Bus(name); err != nil {
+			t.Errorf("Bus(%q): %v", name, err)
+		}
+	}
+	if _, err := Bus("isa"); err == nil || !strings.Contains(err.Error(), "pcie3, pcie5") {
+		t.Errorf("Bus error does not list choices: %v", err)
+	}
+}

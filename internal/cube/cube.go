@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"ipim/internal/dram"
+	"ipim/internal/fault"
 	"ipim/internal/isa"
 	"ipim/internal/noc"
 	"ipim/internal/sim"
@@ -114,6 +115,29 @@ func (m *Machine) SetParallelism(n int) {
 
 // Parallelism reports the configured worker bound (0 = GOMAXPROCS).
 func (m *Machine) Parallelism() int { return m.parallelism }
+
+// SetFaultPlan attaches a fault-injection plan to every vault and every
+// per-source link shard (nil detaches). Decision sites are derived from
+// stable component coordinates and event counters are owned per
+// component, so the injected faults — like everything else the machine
+// computes — are bit-identical across serial and parallel schedules.
+// Not safe to call during an active Run.
+func (m *Machine) SetFaultPlan(p *fault.Plan) {
+	for c := range m.Vaults {
+		for vid, v := range m.Vaults[c] {
+			v.SetFaultPlan(p)
+			port := m.ports[c][vid]
+			for mi, st := range port.mesh {
+				st.AttachFaults(p, fault.Site(fault.DomLink, c, vid, mi))
+			}
+			port.serdes.AttachFaults(p, fault.Site(fault.DomLink, c, vid, -1))
+		}
+	}
+	for mi, mesh := range m.meshes {
+		mesh.AttachFaults(p, fault.Site(fault.DomLink, -1, -1, mi))
+	}
+	m.serdes.AttachFaults(p, fault.Site(fault.DomLink, -1, -1, -1))
+}
 
 // phaseWorkers resolves the worker count for a phase over n active
 // vaults.
@@ -303,20 +327,26 @@ func (m *Machine) Run(programs map[[2]int]*isa.Program) (sim.Stats, error) {
 
 // runPhaseSerial steps every unfinished vault to its next sync on the
 // calling goroutine. phased[i] records whether vault i stopped at a
-// sync (as opposed to running to completion).
+// sync (as opposed to running to completion). Like the parallel
+// schedule, every active vault runs the phase even after one errors —
+// abandoning the loop early would leave later vaults' state (clocks,
+// fault event counters) behind where a parallel run puts them, so a
+// retry after a transient fault would diverge between schedules. The
+// lowest-(cube,vault) error is returned, matching runPhaseParallel.
 func (m *Machine) runPhaseSerial(active []*vault.Vault, phased []bool) error {
+	var firstErr error
 	for i, v := range active {
 		phased[i] = false
 		if v.Done() {
 			continue
 		}
 		done, err := v.RunPhase()
-		if err != nil {
-			return err
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 		phased[i] = !done
 	}
-	return nil
+	return firstErr
 }
 
 // runPhaseParallel is runPhaseSerial on a bounded worker pool. Vault i
@@ -375,8 +405,12 @@ func (m *Machine) collectStats(active []*vault.Vault) sim.Stats {
 				total.NoC.Packets += st.Stats.Packets
 				total.NoC.Flits += st.Stats.Flits
 				total.NoC.Hops += st.Stats.Hops
+				total.NoC.LinkFaults += st.Stats.LinkFaults
+				total.NoC.RetransmitFlits += st.Stats.RetransmitFlits
 			}
 			total.SerdesBeat += p.serdes.Stats.Flits
+			total.NoC.LinkFaults += p.serdes.Stats.LinkFaults
+			total.NoC.RetransmitFlits += p.serdes.Stats.RetransmitFlits
 		}
 	}
 	// Direct (unsharded) mesh traffic, if any future caller injects it.
@@ -384,8 +418,12 @@ func (m *Machine) collectStats(active []*vault.Vault) sim.Stats {
 		total.NoC.Packets += mesh.Stats.Packets
 		total.NoC.Flits += mesh.Stats.Flits
 		total.NoC.Hops += mesh.Stats.Hops
+		total.NoC.LinkFaults += mesh.Stats.LinkFaults
+		total.NoC.RetransmitFlits += mesh.Stats.RetransmitFlits
 	}
 	total.SerdesBeat += m.serdes.Stats.Flits
+	total.NoC.LinkFaults += m.serdes.Stats.LinkFaults
+	total.NoC.RetransmitFlits += m.serdes.Stats.RetransmitFlits
 	return total
 }
 

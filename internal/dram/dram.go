@@ -113,7 +113,8 @@ type Request struct {
 }
 
 // Stats counts controller activity for the energy model and Fig. 13
-// utilization.
+// utilization. The ECC counters are fed by the fault-injection layer
+// (internal/fault) via NoteECC; without a fault plan they stay zero.
 type Stats struct {
 	Reads, Writes   int64
 	Activates       int64
@@ -123,6 +124,14 @@ type Stats struct {
 	RowMisses       int64
 	QueueFullStalls int64
 	BusyCycles      int64 // cycles with ≥1 request in flight
+	ECCCorrected    int64 // single-bit read errors corrected by SECDED
+	ECCUncorrected  int64 // multi-bit read errors detected, data corrupt
+}
+
+// BankECC is one bank's ECC error tally.
+type BankECC struct {
+	Corrected   int64
+	Uncorrected int64
 }
 
 type bankState struct {
@@ -146,11 +155,20 @@ type Controller struct {
 	banks    []bankState
 	queue    []*Request
 	actTimes []int64 // rolling ACT timestamps for the tFAW window
-	lastAct  int64   // most recent ACT across banks (tRRDS)
+	// lastAct is the most recent ACT across banks (tRRDS); it is only
+	// meaningful once hadAct is set. An explicit flag instead of a
+	// time sentinel keeps the timing arithmetic free of values that
+	// could overflow when mixed with large timing parameters.
+	lastAct int64
+	hadAct  bool
 	// lastActGroup tracks the most recent ACT per bank group: activates
 	// within the same group are spaced by the longer tRRDL (Table III).
-	// Banks pair into groups of two.
+	// Banks pair into groups of two. Valid only where hadActGroup is set.
 	lastActGroup []int64
+	hadActGroup  []bool
+
+	// bankECC tallies injected ECC events per bank (totals in Stats).
+	bankECC []BankECC
 
 	nextRefresh int64
 	refUntil    int64 // in-progress refresh blackout end
@@ -176,14 +194,12 @@ func NewController(nBanks, qCap int, t Timing, g Geometry, page PagePolicy, sche
 		banks:        make([]bankState, nBanks),
 		nextRefresh:  int64(t.TREFI),
 		maxBypass:    16,
-		lastAct:      math.MinInt64 / 2, // no prior ACT: tRRDS must not delay the first
 		lastActGroup: make([]int64, (nBanks+1)/2),
+		hadActGroup:  make([]bool, (nBanks+1)/2),
+		bankECC:      make([]BankECC, nBanks),
 	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
-	}
-	for i := range c.lastActGroup {
-		c.lastActGroup[i] = math.MinInt64 / 2
 	}
 	return c
 }
@@ -307,11 +323,15 @@ func (c *Controller) earliestIssue(r *Request, now int64) int64 {
 	if act < b.actReady {
 		act = b.actReady
 	}
-	if act < c.lastAct+int64(c.timing.TRRDS) {
-		act = c.lastAct + int64(c.timing.TRRDS)
+	if c.hadAct {
+		if t := c.lastAct + int64(c.timing.TRRDS); act < t {
+			act = t
+		}
 	}
-	if g := c.lastActGroup[r.Bank/2] + int64(c.timing.TRRDL); act < g {
-		act = g // same bank group: longer ACT-to-ACT spacing
+	if c.hadActGroup[r.Bank/2] {
+		if g := c.lastActGroup[r.Bank/2] + int64(c.timing.TRRDL); act < g {
+			act = g // same bank group: longer ACT-to-ACT spacing
+		}
 	}
 	if faw := c.fawReady(); act < faw {
 		act = faw
@@ -372,7 +392,9 @@ func (c *Controller) issue(r *Request, issueAt int64) {
 		b.actAt = actAt
 		b.preReady = actAt + int64(c.timing.TRAS)
 		c.lastAct = actAt
+		c.hadAct = true
 		c.lastActGroup[r.Bank/2] = actAt
+		c.hadActGroup[r.Bank/2] = true
 		c.actTimes = append(c.actTimes, actAt)
 		if len(c.actTimes) > 8 {
 			c.actTimes = c.actTimes[len(c.actTimes)-8:]
@@ -413,4 +435,28 @@ func (c *Controller) issue(r *Request, issueAt int64) {
 			break
 		}
 	}
+}
+
+// NoteECC records one injected ECC event on a bank read: corrected
+// (single-bit, data intact) or uncorrected (multi-bit, data corrupt).
+// Called by the fault-injection layer; totals land in Stats and a
+// per-bank tally is kept for BankECCTally.
+func (c *Controller) NoteECC(bank int, corrected bool) {
+	if bank < 0 || bank >= len(c.bankECC) {
+		panic(fmt.Sprintf("dram: ECC event for bank %d of %d", bank, len(c.bankECC)))
+	}
+	if corrected {
+		c.Stats.ECCCorrected++
+		c.bankECC[bank].Corrected++
+	} else {
+		c.Stats.ECCUncorrected++
+		c.bankECC[bank].Uncorrected++
+	}
+}
+
+// BankECCTally returns a copy of the per-bank ECC error counters.
+func (c *Controller) BankECCTally() []BankECC {
+	out := make([]BankECC, len(c.bankECC))
+	copy(out, c.bankECC)
+	return out
 }

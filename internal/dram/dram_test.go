@@ -334,6 +334,157 @@ func TestPolicyStrings(t *testing.T) {
 	}
 }
 
+// policyCases enumerates all four page x scheduler combinations for the
+// table-driven policy tests below.
+var policyCases = []struct {
+	name  string
+	page  PagePolicy
+	sched SchedPolicy
+}{
+	{"open/FR-FCFS", OpenPage, FRFCFS},
+	{"open/FCFS", OpenPage, FCFS},
+	{"close/FR-FCFS", ClosePage, FRFCFS},
+	{"close/FCFS", ClosePage, FCFS},
+}
+
+// Regression for the lastAct/lastActGroup "no prior ACT" sentinel: the
+// first ACT after construction and the first ACT after a refresh epoch
+// must issue with zero extra delay under every policy combination. A
+// time-sentinel regression (e.g. math.MinInt64/2 feeding tRRD sums)
+// would surface here as a shifted finish time.
+func TestFirstActNeverDelayed(t *testing.T) {
+	tm := DefaultTiming()
+	for _, tc := range policyCases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newTestCtrl(tc.page, tc.sched)
+			// First ACT after construction: exactly the cold latency.
+			r := runOne(t, c, 0, 0, 0, false)
+			want := int64(tm.TRCD + tm.TCL + 1)
+			if r.Finish != want {
+				t.Fatalf("first ACT after construction: finish=%d, want %d", r.Finish, want)
+			}
+			// Seed lastAct/lastActGroup, then cross a refresh epoch. The
+			// refresh closes all rows, so the post-refresh request needs a
+			// fresh ACT; it must issue the instant the blackout ends.
+			r2 := runOne(t, c, int64(tm.TREFI), 0, uint32(DefaultGeometry().RowBytes*3), false)
+			want2 := int64(tm.TREFI+tm.TRFC) + int64(tm.TRCD+tm.TCL+1)
+			if r2.Finish != want2 {
+				t.Fatalf("first ACT after refresh epoch: finish=%d, want %d (blackout end + cold latency)", r2.Finish, want2)
+			}
+			if c.Stats.Refreshes == 0 {
+				t.Fatal("refresh epoch never fired; test exercised nothing")
+			}
+		})
+	}
+}
+
+// Table-driven scheduler ordering: with an open row, FR-FCFS reorders a
+// younger row hit past an older miss; FCFS must not; and under
+// ClosePage there is never an open row to hit, so FR-FCFS degenerates
+// to arrival order too.
+func TestSchedulerReorderPolicyTable(t *testing.T) {
+	rowBytes := uint32(DefaultGeometry().RowBytes)
+	cases := []struct {
+		name        string
+		page        PagePolicy
+		sched       SchedPolicy
+		youngerWins bool // the younger same-row request finishes first
+	}{
+		{"open/FR-FCFS reorders past older miss", OpenPage, FRFCFS, true},
+		{"open/FCFS keeps arrival order", OpenPage, FCFS, false},
+		{"close/FR-FCFS has no hits to prefer", ClosePage, FRFCFS, false},
+		{"close/FCFS keeps arrival order", ClosePage, FCFS, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newTestCtrl(tc.page, tc.sched)
+			// Touch row 0 so OpenPage leaves it open.
+			warm := runOne(t, c, 0, 0, 0, false)
+			now := warm.Finish
+			older := &Request{Bank: 0, Addr: rowBytes * 5} // different row, arrives first
+			younger := &Request{Bank: 0, Addr: 32}         // row 0, arrives second
+			c.Enqueue(now, older)
+			c.Enqueue(now+1, younger)
+			for !older.Done || !younger.Done {
+				now = c.NextEvent(now)
+				c.AdvanceTo(now)
+			}
+			if got := younger.Finish < older.Finish; got != tc.youngerWins {
+				t.Fatalf("younger-first = %v, want %v (younger=%d older=%d)",
+					got, tc.youngerWins, younger.Finish, older.Finish)
+			}
+			if tc.page == ClosePage && c.Stats.RowHits != 0 {
+				t.Fatalf("close page recorded row hits: %+v", c.Stats)
+			}
+		})
+	}
+}
+
+// Refresh-window crossing under every policy: a stream that straddles
+// the tREFI boundary must pause for exactly one tRFC blackout, complete
+// every request, and keep ACT bookkeeping consistent (one ACT per miss).
+func TestRefreshWindowCrossingPolicyTable(t *testing.T) {
+	tm := DefaultTiming()
+	rowBytes := uint32(DefaultGeometry().RowBytes)
+	for _, tc := range policyCases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newTestCtrl(tc.page, tc.sched)
+			// Alternate rows in one bank, arrivals marching across the
+			// refresh epoch at tREFI.
+			const n = 8
+			step := int64(tm.TRP + tm.TRAS) // ~ row cycle time
+			start := int64(tm.TREFI) - 2*step
+			reqs := make([]*Request, n)
+			now := start
+			for i := range reqs {
+				reqs[i] = &Request{Bank: 0, Addr: rowBytes * uint32(i%2) * 4}
+				for !c.Enqueue(now, reqs[i]) {
+					now = c.NextEvent(now)
+					c.AdvanceTo(now)
+				}
+				now += step
+			}
+			for {
+				done := true
+				for _, r := range reqs {
+					if !r.Done {
+						done = false
+					}
+				}
+				if done {
+					break
+				}
+				ev := c.NextEvent(now)
+				if ev == math.MaxInt64 {
+					t.Fatal("controller idle with pending requests across refresh")
+				}
+				now = ev
+				c.AdvanceTo(now)
+			}
+			if c.Stats.Refreshes == 0 {
+				t.Fatal("stream never crossed the refresh window")
+			}
+			if c.Stats.Activates != c.Stats.RowMisses {
+				t.Fatalf("ACT bookkeeping diverged across refresh: activates=%d misses=%d",
+					c.Stats.Activates, c.Stats.RowMisses)
+			}
+			if tc.page == ClosePage && c.Stats.RowHits != 0 {
+				t.Fatalf("close page recorded row hits: %+v", c.Stats)
+			}
+			// Every request that issued after the blackout must finish
+			// after it; none may land inside [nextRefresh, refresh end).
+			blackoutStart := int64(tm.TREFI)
+			blackoutEnd := blackoutStart + int64(tm.TRFC)
+			for i, r := range reqs {
+				if r.Finish > blackoutStart && r.Finish <= blackoutEnd {
+					t.Fatalf("request %d finished at %d inside refresh blackout [%d,%d]",
+						i, r.Finish, blackoutStart, blackoutEnd)
+				}
+			}
+		})
+	}
+}
+
 // Property: under random request streams, every request completes, finish
 // times are strictly increasing per bank for same-row sequential access,
 // and no two column bursts to the same bank overlap within tCCD.

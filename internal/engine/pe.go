@@ -211,6 +211,14 @@ func (pe *PE) MovToARF(dst, src, lane int) {
 // Reset zeroes DataRF[reg].
 func (pe *PE) Reset(reg int) { pe.DataRF[reg] = Vector{} }
 
+// FlipDataRFBit flips one bit of DataRF[reg] lane. The fault-injection
+// layer uses it to corrupt the destination of an uncorrectable bank
+// read; the bank backing store itself is never mutated (it may be
+// concurrently snapshot-read by other vaults).
+func (pe *PE) FlipDataRFBit(reg, lane int, bit uint) {
+	pe.DataRF[reg][lane] ^= 1 << bit
+}
+
 // EffectiveAddr resolves a (possibly indirect) address field against
 // this PE's AddrRF.
 func (pe *PE) EffectiveAddr(addr uint32, indirect bool) uint32 {
@@ -256,6 +264,16 @@ func (pg *PG) WritePGSM(addr uint32, b []byte) error {
 		return fmt.Errorf("engine: PGSM write at %#x+%d beyond %d bytes", addr, len(b), len(pg.PGSM))
 	}
 	copy(pg.PGSM[addr:], b)
+	return nil
+}
+
+// FlipPGSMBit flips one bit of the scratchpad byte at addr (fault
+// injection on the destination of an uncorrectable bank-to-PGSM read).
+func (pg *PG) FlipPGSMBit(addr uint32, bit uint) error {
+	if int(addr) >= len(pg.PGSM) {
+		return fmt.Errorf("engine: PGSM bit flip at %#x beyond %d bytes", addr, len(pg.PGSM))
+	}
+	pg.PGSM[addr] ^= 1 << bit
 	return nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"ipim/internal/compiler"
 	"ipim/internal/cube"
 	"ipim/internal/energy"
+	"ipim/internal/fault"
 	"ipim/internal/gpu"
 	"ipim/internal/pixel"
 	"ipim/internal/sim"
@@ -92,6 +93,11 @@ type Context struct {
 	// minimum the tile distribution supports.
 	SizeDiv int
 
+	// Faults attaches a fault-injection plan to every simulated machine
+	// (nil: faults disabled). The faults sweep manages its own plans and
+	// ignores this.
+	Faults *fault.Plan
+
 	cache map[string]*runResult
 }
 
@@ -147,6 +153,7 @@ func (c *Context) run(wl workloads.Workload, opts compiler.Options, cfg sim.Conf
 	if err != nil {
 		return nil, err
 	}
+	m.SetFaultPlan(c.Faults)
 	if err := compiler.LoadInput(m, art, img); err != nil {
 		return nil, err
 	}

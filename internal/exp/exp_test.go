@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -250,7 +251,7 @@ func TestByNameAndFormat(t *testing.T) {
 	if _, err := c.ByName("fig99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(ExperimentNames()) != 18 {
+	if len(ExperimentNames()) != 20 {
 		t.Errorf("experiment registry has %d entries", len(ExperimentNames()))
 	}
 	// Every registered name must dispatch.
@@ -260,6 +261,38 @@ func TestByNameAndFormat(t *testing.T) {
 		}
 		if _, err := c.ByName(name); err != nil {
 			t.Errorf("experiment %s failed: %v", name, err)
+		}
+	}
+}
+
+func TestFaultsSweep(t *testing.T) {
+	tb, err := quickContext().FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("faults rows = %d, want 5", len(tb.Rows))
+	}
+	base := tb.Rows[0]
+	if !math.IsInf(base.Values[0], 1) || base.Values[1] != 0 || base.Values[2] != 0 ||
+		base.Values[3] != 0 || base.Values[4] != 0 {
+		t.Errorf("rate-0 row not a clean baseline: %+v", base.Values)
+	}
+	top := tb.Rows[len(tb.Rows)-1]
+	if top.Values[1] == 0 || top.Values[2] == 0 {
+		t.Errorf("top-rate row injected no ECC events: %+v", top.Values)
+	}
+	if math.IsInf(top.Values[0], 1) {
+		t.Error("top-rate row left the blur output untouched (infinite PSNR)")
+	}
+	if top.Values[3] == 0 || top.Values[4] <= 0 {
+		t.Errorf("top-rate row shows no link-fault cycle overhead: %+v", top.Values)
+	}
+	// PSNR must not improve as the rate rises (rows with injections).
+	for i := 2; i < len(tb.Rows); i++ {
+		if tb.Rows[i].Values[0] > tb.Rows[i-1].Values[0] {
+			t.Errorf("PSNR rose from %v to %v between %s and %s",
+				tb.Rows[i-1].Values[0], tb.Rows[i].Values[0], tb.Rows[i-1].Label, tb.Rows[i].Label)
 		}
 	}
 }

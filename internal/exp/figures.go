@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 
 	"ipim/internal/compiler"
 	"ipim/internal/energy"
@@ -406,13 +407,18 @@ func (c *Context) ByName(name string) (*Table, error) {
 		return c.Frames()
 	case "simspeed":
 		return c.Simspeed()
+	case "faults":
+		return c.FaultSweep()
 	}
-	return nil, fmt.Errorf("exp: unknown experiment %q (try fig1..fig13, table4)", name)
+	return nil, fmt.Errorf("exp: unknown experiment %q (valid: %s)",
+		name, strings.Join(ExperimentNames(), ", "))
 }
 
-// ExperimentNames lists the available experiments.
+// ExperimentNames lists the available experiments — every name ByName
+// accepts (TestByNameAndFormat dispatches each one).
 func ExperimentNames() []string {
 	return []string{"fig1", "table4", "fig6", "fig7", "fig8", "fig9",
-		"fig10a", "fig10b", "fig11", "fig12", "fig13", "thermal", "dram",
-		"scaling", "offload", "exchange", "frames", "simspeed"}
+		"fig10a", "fig10b", "fig11", "fig12", "fig13", "stalls", "thermal",
+		"dram", "scaling", "offload", "exchange", "frames", "simspeed",
+		"faults"}
 }

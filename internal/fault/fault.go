@@ -1,0 +1,260 @@
+// Package fault implements deterministic, seeded fault injection for
+// the simulated machine: DRAM bit flips on bank reads behind a SECDED
+// ECC model, NoC/SERDES link faults that force flit retransmits, and
+// transient execution faults that abort a run with a retryable error.
+//
+// Determinism contract: a Plan is immutable configuration, and every
+// decision method is a pure function of (plan seed, site identifier,
+// event index). The only mutable part — the event counter — is owned by
+// exactly one simulated component (a vault's instruction stream, one
+// source's private link shard), each of which executes serially
+// regardless of the machine's phase worker count. Serial and parallel
+// schedules therefore present identical event streams to identical
+// sites and observe bit-identical faults; the differential tests at the
+// repository root pin this. A plan whose rates are all zero is a strict
+// no-op: no code path consumes an event index or alters timing.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrTransient marks injected transient execution faults. Runs that
+// fail with an error wrapping ErrTransient may be retried; the serve
+// layer does so with bounded backoff.
+var ErrTransient = errors.New("transient execution fault")
+
+// Domain tags the independent decision streams so the same event index
+// at the same coordinates never correlates across fault kinds.
+type Domain uint64
+
+const (
+	// DomBank is the DRAM bank-read bit-flip stream.
+	DomBank Domain = 1 + iota
+	// DomLink is the NoC/SERDES link-fault stream.
+	DomLink
+	// DomExec is the transient vault execution-fault stream.
+	DomExec
+)
+
+// Plan describes a fault-injection campaign. The zero value (and a nil
+// *Plan) injects nothing. Plans are immutable once attached to a
+// machine; all methods are safe for concurrent use.
+type Plan struct {
+	// Seed selects the pseudo-random decision stream. Two runs of the
+	// same machine with the same seed observe identical faults.
+	Seed uint64
+
+	// DRAMBitFlipRate is the probability that one 128-bit bank read
+	// suffers a bit-flip event. Under the SECDED model a single-bit
+	// event is corrected (counted, data intact); a multi-bit event is
+	// detected but uncorrected and corrupts the read destination.
+	DRAMBitFlipRate float64
+	// DRAMMultiBitFraction is the fraction of flip events that hit two
+	// bits (detected-uncorrectable under SECDED).
+	DRAMMultiBitFraction float64
+
+	// LinkFaultRate is the per-link-traversal probability that a packet
+	// is corrupted on that link and its flits must be retransmitted.
+	LinkFaultRate float64
+	// LinkRetryPenalty is the extra cycles the link is held per fault,
+	// on top of re-serializing the packet's flits.
+	LinkRetryPenalty int64
+
+	// ExecFaultRate is the per-vault, per-phase probability of a
+	// transient execution fault that aborts the run with ErrTransient.
+	ExecFaultRate float64
+	// ExecFailFirst deterministically faults each vault's first N
+	// execution-phase rolls regardless of ExecFaultRate. It exists for
+	// fault drills and tests that need a guaranteed
+	// fail-then-succeed-on-retry sequence.
+	ExecFailFirst int
+}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p *Plan) Enabled() bool {
+	return p != nil && (p.DRAMBitFlipRate > 0 || p.LinkFaultRate > 0 ||
+		p.ExecFaultRate > 0 || p.ExecFailFirst > 0)
+}
+
+// ExecEnabled reports whether execution faults can fire.
+func (p *Plan) ExecEnabled() bool {
+	return p != nil && (p.ExecFaultRate > 0 || p.ExecFailFirst > 0)
+}
+
+// Validate checks rate ranges. A nil plan (faults disabled) is valid.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	check := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("fault: %s %g outside [0,1]", name, v)
+		}
+		return nil
+	}
+	if err := check("dram rate", p.DRAMBitFlipRate); err != nil {
+		return err
+	}
+	if err := check("multibit fraction", p.DRAMMultiBitFraction); err != nil {
+		return err
+	}
+	if err := check("link rate", p.LinkFaultRate); err != nil {
+		return err
+	}
+	if err := check("exec rate", p.ExecFaultRate); err != nil {
+		return err
+	}
+	if p.LinkRetryPenalty < 0 {
+		return fmt.Errorf("fault: link retry penalty %d negative", p.LinkRetryPenalty)
+	}
+	if p.ExecFailFirst < 0 {
+		return fmt.Errorf("fault: execfirst %d negative", p.ExecFailFirst)
+	}
+	return nil
+}
+
+// String renders the plan in ParseSpec syntax.
+func (p *Plan) String() string {
+	if p == nil {
+		return "off"
+	}
+	return fmt.Sprintf("seed=%d,dram=%g,multibit=%g,link=%g,linkpenalty=%d,exec=%g,execfirst=%d",
+		p.Seed, p.DRAMBitFlipRate, p.DRAMMultiBitFraction,
+		p.LinkFaultRate, p.LinkRetryPenalty, p.ExecFaultRate, p.ExecFailFirst)
+}
+
+// ParseSpec parses a -faults flag value: comma-separated key=value
+// pairs, e.g. "seed=7,dram=1e-5,multibit=0.2,link=1e-6,linkpenalty=20,
+// exec=0.001,execfirst=1". An empty spec (or "off") returns (nil, nil):
+// faults disabled.
+func ParseSpec(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return nil, nil
+	}
+	p := &Plan{LinkRetryPenalty: 20}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: bad spec element %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(v, 0, 64)
+		case "dram":
+			p.DRAMBitFlipRate, err = strconv.ParseFloat(v, 64)
+		case "multibit":
+			p.DRAMMultiBitFraction, err = strconv.ParseFloat(v, 64)
+		case "link":
+			p.LinkFaultRate, err = strconv.ParseFloat(v, 64)
+		case "linkpenalty":
+			p.LinkRetryPenalty, err = strconv.ParseInt(v, 0, 64)
+		case "exec":
+			p.ExecFaultRate, err = strconv.ParseFloat(v, 64)
+		case "execfirst":
+			var n int64
+			n, err = strconv.ParseInt(v, 0, 32)
+			p.ExecFailFirst = int(n)
+		default:
+			return nil, fmt.Errorf("fault: unknown spec key %q (valid: seed, dram, multibit, link, linkpenalty, exec, execfirst)", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad value for %q: %v", k, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Site derives a stable site identifier from a domain tag and component
+// coordinates (cube, vault, pg, bank, mesh index, ...). Callers keep
+// the same coordinate order across runs; the identifier feeds the
+// decision hash, so its exact value is arbitrary but must be stable.
+func Site(d Domain, coords ...int) uint64 {
+	h := mix64(uint64(d) + golden)
+	for _, c := range coords {
+		h = mix64(h ^ (uint64(int64(c)) + golden))
+	}
+	return h
+}
+
+// BankFault is the outcome of one bank-read decision.
+type BankFault struct {
+	Injected  bool
+	Corrected bool // single-bit: ECC corrects, data intact
+	// Bits are the flipped bit offsets within the 128-bit access; both
+	// entries are meaningful only for an uncorrected (two-bit) fault.
+	Bits [2]int
+}
+
+// BankRead decides the fault outcome of one 128-bit bank read. site
+// identifies the bank (Site(DomBank, cube, vault, pg, bank)); n is the
+// caller-owned event index of this read at that site's vault.
+func (p *Plan) BankRead(site, n uint64) BankFault {
+	if p.DRAMBitFlipRate <= 0 || p.unit(DomBank, site, n, 0) >= p.DRAMBitFlipRate {
+		return BankFault{}
+	}
+	b0 := int(p.word(DomBank, site, n, 1) % 128)
+	bf := BankFault{Injected: true, Corrected: true, Bits: [2]int{b0, b0}}
+	if p.unit(DomBank, site, n, 2) < p.DRAMMultiBitFraction {
+		bf.Corrected = false
+		b1 := int(p.word(DomBank, site, n, 3) % 127)
+		if b1 >= b0 {
+			b1++ // distinct second bit
+		}
+		bf.Bits[1] = b1
+	}
+	return bf
+}
+
+// LinkFault decides whether one link traversal is faulted. site
+// identifies the traffic source's view of one mesh; n is the shard's
+// own traversal counter.
+func (p *Plan) LinkFault(site, n uint64) bool {
+	return p.LinkFaultRate > 0 && p.unit(DomLink, site, n, 0) < p.LinkFaultRate
+}
+
+// ExecFault decides whether a vault's n-th execution phase suffers a
+// transient fault. site identifies the vault (Site(DomExec, cube,
+// vault)).
+func (p *Plan) ExecFault(site, n uint64) bool {
+	if n < uint64(p.ExecFailFirst) {
+		return true
+	}
+	return p.ExecFaultRate > 0 && p.unit(DomExec, site, n, 0) < p.ExecFaultRate
+}
+
+const golden = 0x9E3779B97F4A7C15
+
+// word is the raw 64-bit decision hash for (seed, domain, site, n,
+// salt). salt separates the several random values one decision needs.
+func (p *Plan) word(d Domain, site, n, salt uint64) uint64 {
+	h := mix64(p.Seed ^ golden)
+	h = mix64(h ^ (uint64(d) + golden))
+	h = mix64(h ^ (site + golden))
+	h = mix64(h ^ (n + golden))
+	return mix64(h ^ (salt + golden))
+}
+
+// unit maps the decision hash to a uniform float64 in [0,1).
+func (p *Plan) unit(d Domain, site, n, salt uint64) float64 {
+	return float64(p.word(d, site, n, salt)>>11) * (1.0 / (1 << 53))
+}
+
+// mix64 is the splitmix64 finalizer: a fast, well-distributed 64-bit
+// mixing function.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

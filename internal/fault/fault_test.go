@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDecisionsArePureFunctions(t *testing.T) {
+	p := &Plan{Seed: 42, DRAMBitFlipRate: 0.3, DRAMMultiBitFraction: 0.5,
+		LinkFaultRate: 0.2, ExecFaultRate: 0.1}
+	q := &Plan{Seed: 42, DRAMBitFlipRate: 0.3, DRAMMultiBitFraction: 0.5,
+		LinkFaultRate: 0.2, ExecFaultRate: 0.1}
+	site := Site(DomBank, 0, 1, 2, 3)
+	for n := uint64(0); n < 1000; n++ {
+		if p.BankRead(site, n) != q.BankRead(site, n) {
+			t.Fatalf("BankRead(%d) not reproducible", n)
+		}
+		if p.LinkFault(site, n) != q.LinkFault(site, n) {
+			t.Fatalf("LinkFault(%d) not reproducible", n)
+		}
+		if p.ExecFault(site, n) != q.ExecFault(site, n) {
+			t.Fatalf("ExecFault(%d) not reproducible", n)
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := &Plan{Seed: 1, DRAMBitFlipRate: 0.5}
+	b := &Plan{Seed: 2, DRAMBitFlipRate: 0.5}
+	site := Site(DomBank, 0, 0, 0, 0)
+	same := 0
+	for n := uint64(0); n < 1000; n++ {
+		if a.BankRead(site, n).Injected == b.BankRead(site, n).Injected {
+			same++
+		}
+	}
+	if same > 990 {
+		t.Fatalf("streams for different seeds agree on %d/1000 events", same)
+	}
+}
+
+func TestBankReadRateAndBits(t *testing.T) {
+	p := &Plan{Seed: 7, DRAMBitFlipRate: 0.5, DRAMMultiBitFraction: 0.5}
+	site := Site(DomBank, 1, 2, 0, 3)
+	const trials = 20000
+	injected, multi := 0, 0
+	for n := uint64(0); n < trials; n++ {
+		bf := p.BankRead(site, n)
+		if !bf.Injected {
+			continue
+		}
+		injected++
+		for _, b := range bf.Bits {
+			if b < 0 || b >= 128 {
+				t.Fatalf("bit offset %d outside 128-bit access", b)
+			}
+		}
+		if !bf.Corrected {
+			multi++
+			if bf.Bits[0] == bf.Bits[1] {
+				t.Fatalf("uncorrected fault with identical bits %v", bf.Bits)
+			}
+		}
+	}
+	if frac := float64(injected) / trials; frac < 0.45 || frac > 0.55 {
+		t.Fatalf("injection fraction %.3f far from rate 0.5", frac)
+	}
+	if frac := float64(multi) / float64(injected); frac < 0.4 || frac > 0.6 {
+		t.Fatalf("multi-bit fraction %.3f far from 0.5", frac)
+	}
+}
+
+func TestZeroRatePlanDecidesNothing(t *testing.T) {
+	p := &Plan{Seed: 99}
+	site := Site(DomBank, 0, 0, 0, 0)
+	for n := uint64(0); n < 1000; n++ {
+		if p.BankRead(site, n).Injected || p.LinkFault(site, n) || p.ExecFault(site, n) {
+			t.Fatalf("zero-rate plan injected at n=%d", n)
+		}
+	}
+	if p.Enabled() {
+		t.Fatal("zero-rate plan reports Enabled")
+	}
+	if (*Plan)(nil).Enabled() {
+		t.Fatal("nil plan reports Enabled")
+	}
+}
+
+func TestExecFailFirst(t *testing.T) {
+	p := &Plan{Seed: 3, ExecFailFirst: 2}
+	site := Site(DomExec, 0, 0)
+	if !p.ExecFault(site, 0) || !p.ExecFault(site, 1) {
+		t.Fatal("first two exec rolls must fault under ExecFailFirst=2")
+	}
+	for n := uint64(2); n < 100; n++ {
+		if p.ExecFault(site, n) {
+			t.Fatalf("roll %d faulted with rate 0 beyond ExecFailFirst", n)
+		}
+	}
+	if !p.Enabled() || !p.ExecEnabled() {
+		t.Fatal("ExecFailFirst plan must report enabled")
+	}
+}
+
+func TestSiteSeparatesCoordinates(t *testing.T) {
+	seen := map[uint64]bool{}
+	for cube := 0; cube < 4; cube++ {
+		for vault := 0; vault < 8; vault++ {
+			for _, d := range []Domain{DomBank, DomLink, DomExec} {
+				s := Site(d, cube, vault)
+				if seen[s] {
+					t.Fatalf("site collision at (%d,%d,%d)", d, cube, vault)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("seed=7,dram=1e-4,multibit=0.25,link=1e-5,linkpenalty=32,exec=0.001,execfirst=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 7, DRAMBitFlipRate: 1e-4, DRAMMultiBitFraction: 0.25,
+		LinkFaultRate: 1e-5, LinkRetryPenalty: 32, ExecFaultRate: 0.001, ExecFailFirst: 1}
+	if *p != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", *p, want)
+	}
+	// Round trip through String.
+	q, err := ParseSpec(p.String())
+	if err != nil || *q != *p {
+		t.Fatalf("String round trip: %+v err %v", q, err)
+	}
+	for _, empty := range []string{"", "off", "  "} {
+		if p, err := ParseSpec(empty); p != nil || err != nil {
+			t.Fatalf("ParseSpec(%q) = %v, %v; want nil, nil", empty, p, err)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct{ spec, wantSub string }{
+		{"bogus", "key=value"},
+		{"zorp=1", "unknown spec key"},
+		{"dram=1.5", "outside [0,1]"},
+		{"dram=-0.1", "outside [0,1]"},
+		{"seed=notanumber", "bad value"},
+		{"linkpenalty=-1", "negative"},
+		{"execfirst=-2", "negative"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSpec(tc.spec); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseSpec(%q) err = %v, want substring %q", tc.spec, err, tc.wantSub)
+		}
+	}
+}
+
+func TestErrTransientWraps(t *testing.T) {
+	wrapped := errors.Join(errors.New("vault 0/1"), ErrTransient)
+	if !errors.Is(wrapped, ErrTransient) {
+		t.Fatal("wrapped transient error not detected")
+	}
+}

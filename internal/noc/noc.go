@@ -9,7 +9,11 @@
 // counts hops and flits for the energy model.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"ipim/internal/fault"
+)
 
 // Direction indexes a router's four mesh output links.
 type Direction int
@@ -23,11 +27,28 @@ const (
 )
 
 // Stats aggregates network activity for energy accounting and analysis.
+// The fault counters are nonzero only under an attached fault.Plan.
 type Stats struct {
 	Packets    int64
 	Flits      int64 // link traversals x flit (for per-hop energy)
 	Hops       int64
 	MaxLatency int64
+	// LinkFaults counts link traversals on which an injected fault
+	// forced the packet's flits to be retransmitted.
+	LinkFaults int64
+	// RetransmitFlits counts the extra flit-traversals those
+	// retransmits cost (they do not count into Flits).
+	RetransmitFlits int64
+}
+
+// faultState couples a fault plan with the per-source traversal
+// counter. The counter is advanced only by the single caller that owns
+// the surrounding link state, so the decision stream is a pure function
+// of that source's own send history (see internal/fault).
+type faultState struct {
+	plan *fault.Plan
+	site uint64
+	n    uint64
 }
 
 // Mesh is a W×H 2D mesh. Node i sits at (i%W, i/W).
@@ -53,6 +74,8 @@ type Mesh struct {
 	// (the mesh's own link state, backing Send for single-caller uses).
 	linkFree [][numDirs]int64
 
+	faults *faultState
+
 	Stats Stats
 }
 
@@ -68,7 +91,29 @@ type LinkState struct {
 	// linkFree[node][dir] is the cycle the output link becomes free.
 	linkFree [][numDirs]int64
 
+	faults *faultState
+
 	Stats Stats
+}
+
+// AttachFaults arms link-fault injection for sends through this shard.
+// site must be unique per (plan, shard) — derive it with fault.Site
+// from the source's coordinates. A nil plan detaches.
+func (st *LinkState) AttachFaults(p *fault.Plan, site uint64) {
+	st.faults = newFaultState(p, site)
+}
+
+// AttachFaults arms link-fault injection for the mesh's own Send path
+// (single-caller uses). A nil plan detaches.
+func (m *Mesh) AttachFaults(p *fault.Plan, site uint64) {
+	m.faults = newFaultState(p, site)
+}
+
+func newFaultState(p *fault.Plan, site uint64) *faultState {
+	if p == nil {
+		return nil
+	}
+	return &faultState{plan: p, site: site}
 }
 
 // NewMesh builds a W×H mesh with per-hop latency hopLatNum/hopLatDen
@@ -157,7 +202,7 @@ func (m *Mesh) NewLinkState() *LinkState {
 // called concurrently; concurrent sources use SendOn with private
 // LinkStates instead.
 func (m *Mesh) Send(now int64, src, dst, bytes int) int64 {
-	return m.send(m.linkFree, &m.Stats, now, src, dst, bytes)
+	return m.send(m.linkFree, &m.Stats, m.faults, now, src, dst, bytes)
 }
 
 // SendOn is Send against a caller-private LinkState: contention is
@@ -165,15 +210,22 @@ func (m *Mesh) Send(now int64, src, dst, bytes int) int64 {
 // accumulate into the shard. Distinct LinkStates may be driven from
 // distinct goroutines concurrently.
 func (m *Mesh) SendOn(st *LinkState, now int64, src, dst, bytes int) int64 {
-	return m.send(st.linkFree, &st.Stats, now, src, dst, bytes)
+	return m.send(st.linkFree, &st.Stats, st.faults, now, src, dst, bytes)
 }
 
 // send models one packet over the given link-occupancy state. Each link
 // on the X-Y route serializes the packet's flits; per-hop latency
-// accumulates as a rational.
-func (m *Mesh) send(linkFree [][numDirs]int64, stats *Stats, now int64, src, dst, bytes int) int64 {
+// accumulates as a rational. With a fault state attached, each link
+// traversal may be faulted: the packet's flits re-serialize on that
+// link and the retry penalty is added, delaying the tail and holding
+// the link longer. With a zero link-fault rate the timing arithmetic is
+// untouched (strict no-op).
+func (m *Mesh) send(linkFree [][numDirs]int64, stats *Stats, fs *faultState, now int64, src, dst, bytes int) int64 {
 	if bytes <= 0 {
 		panic(fmt.Sprintf("noc: packet of %d bytes", bytes))
+	}
+	if fs != nil && fs.plan.LinkFaultRate <= 0 {
+		fs = nil // zero-rate plan: do not consume traversal events
 	}
 	route := m.Route(src, dst)
 	flits := int64((bytes + m.LinkBytesPerCycle - 1) / m.LinkBytesPerCycle)
@@ -182,17 +234,31 @@ func (m *Mesh) send(linkFree [][numDirs]int64, stats *Stats, now int64, src, dst
 	// tail arrives flits-1 cycles after the head; propagation adds the
 	// per-hop latency over the whole route.
 	head := now
+	tailHold := flits
 	for _, hop := range route {
 		if free := linkFree[hop.Node][hop.Dir]; free > head {
 			head = free
 		}
-		linkFree[hop.Node][hop.Dir] = head + flits
+		hold := flits
+		if fs != nil {
+			n := fs.n
+			fs.n++
+			if fs.plan.LinkFault(fs.site, n) {
+				hold += flits + fs.plan.LinkRetryPenalty
+				stats.LinkFaults++
+				stats.RetransmitFlits += flits
+			}
+		}
+		linkFree[hop.Node][hop.Dir] = head + hold
+		if hold > tailHold {
+			tailHold = hold
+		}
 		stats.Flits += flits
 	}
 	hops := int64(len(route))
 	t := now
 	if hops > 0 {
-		t = head + flits - 1 + ceilDiv(hops*m.HopLatNum, m.HopLatDen)
+		t = head + tailHold - 1 + ceilDiv(hops*m.HopLatNum, m.HopLatDen)
 	}
 	stats.Packets++
 	stats.Hops += hops

@@ -1,0 +1,84 @@
+package noc
+
+import (
+	"testing"
+
+	"ipim/internal/fault"
+)
+
+// A zero-link-rate plan attached to a shard must not change delivery
+// times, counters, or consume decision events.
+func TestZeroRateFaultPlanIsNoOpOnLinks(t *testing.T) {
+	m := NewMesh(4, 4, 1, 1, 16)
+	plain := m.NewLinkState()
+	armed := m.NewLinkState()
+	armed.AttachFaults(&fault.Plan{Seed: 1, DRAMBitFlipRate: 0.5}, fault.Site(fault.DomLink, 0))
+	for i := 0; i < 50; i++ {
+		a := m.SendOn(plain, int64(i), 0, 15, 64)
+		b := m.SendOn(armed, int64(i), 0, 15, 64)
+		if a != b {
+			t.Fatalf("send %d: zero-link-rate plan changed delivery %d -> %d", i, a, b)
+		}
+	}
+	if plain.Stats != armed.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", plain.Stats, armed.Stats)
+	}
+	if armed.Stats.LinkFaults != 0 || armed.Stats.RetransmitFlits != 0 {
+		t.Fatalf("zero-rate plan injected: %+v", armed.Stats)
+	}
+}
+
+// A certain-fault plan must delay delivery by at least the retry
+// penalty and count every traversal.
+func TestLinkFaultDelaysAndCounts(t *testing.T) {
+	m := NewMesh(4, 1, 1, 1, 16)
+	base := m.NewLinkState()
+	faulty := m.NewLinkState()
+	p := &fault.Plan{Seed: 9, LinkFaultRate: 1, LinkRetryPenalty: 20}
+	faulty.AttachFaults(p, fault.Site(fault.DomLink, 1))
+	clean := m.SendOn(base, 0, 0, 3, 64) // 3 hops
+	hit := m.SendOn(faulty, 0, 0, 3, 64)
+	if hit < clean+p.LinkRetryPenalty {
+		t.Fatalf("faulted delivery %d not delayed past clean %d + penalty %d", hit, clean, p.LinkRetryPenalty)
+	}
+	if faulty.Stats.LinkFaults != 3 {
+		t.Fatalf("LinkFaults = %d, want 3 (one per hop)", faulty.Stats.LinkFaults)
+	}
+	flits := int64(64 / 16)
+	if faulty.Stats.RetransmitFlits != 3*flits {
+		t.Fatalf("RetransmitFlits = %d, want %d", faulty.Stats.RetransmitFlits, 3*flits)
+	}
+	// Flits counts the original traversals only.
+	if faulty.Stats.Flits != base.Stats.Flits {
+		t.Fatalf("Flits %d should match clean %d", faulty.Stats.Flits, base.Stats.Flits)
+	}
+}
+
+// The same seed and site must reproduce the same fault pattern on a
+// fresh shard: delivery times and counters equal event for event.
+func TestLinkFaultsDeterministic(t *testing.T) {
+	m := NewMesh(4, 4, 1, 1, 16)
+	p := &fault.Plan{Seed: 1234, LinkFaultRate: 0.3, LinkRetryPenalty: 7}
+	run := func() (Stats, []int64) {
+		st := m.NewLinkState()
+		st.AttachFaults(p, fault.Site(fault.DomLink, 0, 2))
+		var deliveries []int64
+		for i := 0; i < 200; i++ {
+			deliveries = append(deliveries, m.SendOn(st, int64(i*3), i%16, (i*7)%16, 32+16*(i%4)))
+		}
+		return st.Stats, deliveries
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats not reproducible: %+v vs %+v", s1, s2)
+	}
+	if s1.LinkFaults == 0 {
+		t.Fatal("rate 0.3 over 200 sends injected nothing; test has no teeth")
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("delivery %d not reproducible: %d vs %d", i, d1[i], d2[i])
+		}
+	}
+}

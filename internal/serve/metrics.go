@@ -23,21 +23,36 @@ type metrics struct {
 	// requests[route][status] = count
 	requests map[string]map[int]int64
 
-	// Request latency histogram (seconds), cumulative per bucket.
+	// Per-route request latency histograms (seconds). Labeling by route
+	// keeps probe scrapes (/metrics, /healthz) from skewing the
+	// workload latency quantiles of /v1/process.
 	bucketBounds []float64
-	bucketCounts []int64
-	latencySum   float64
-	latencyCount int64
+	latency      map[string]*routeHist
 
 	// Simulator accounting.
 	simCycles   int64
 	simEnergyPJ float64
+
+	// Fault-injection accounting (zero without a fault plan).
+	faultsInjected    int64
+	faultsCorrected   int64
+	faultsUncorrected int64
+	retries           int64
 
 	// Live gauges, sampled at render time.
 	queueDepth   func() int64
 	cacheStats   func() cacheStats
 	hostSnapshot func() (requests, bytesIn, bytesOut, transferNS int64)
 	panicCount   func() int64
+	degraded     func() bool
+}
+
+// routeHist is one route's latency histogram: per-bucket counts (last
+// entry is the +Inf overflow) plus sum and count.
+type routeHist struct {
+	counts []int64
+	sum    float64
+	count  int64
 }
 
 // defaultBuckets spans sub-millisecond cache hits to multi-second
@@ -49,7 +64,7 @@ func newMetrics() *metrics {
 		start:        time.Now(),
 		requests:     map[string]map[int]int64{},
 		bucketBounds: defaultBuckets,
-		bucketCounts: make([]int64, len(defaultBuckets)+1), // +Inf
+		latency:      map[string]*routeHist{},
 	}
 }
 
@@ -64,18 +79,33 @@ func (mt *metrics) observeRequest(route string, status int, dur time.Duration) {
 		mt.requests[route] = byStatus
 	}
 	byStatus[status]++
-	i := sort.SearchFloat64s(mt.bucketBounds, sec)
-	mt.bucketCounts[i]++
-	mt.latencySum += sec
-	mt.latencyCount++
+	h, ok := mt.latency[route]
+	if !ok {
+		h = &routeHist{counts: make([]int64, len(mt.bucketBounds)+1)} // +Inf
+		mt.latency[route] = h
+	}
+	h.counts[sort.SearchFloat64s(mt.bucketBounds, sec)]++
+	h.sum += sec
+	h.count++
 }
 
-// observeRun records one simulated accelerator run.
-func (mt *metrics) observeRun(cycles int64, energyJ float64) {
+// observeRun records one simulated accelerator run, including its
+// injected-fault tallies.
+func (mt *metrics) observeRun(cycles int64, energyJ float64, injected, corrected, uncorrected int64) {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
 	mt.simCycles += cycles
 	mt.simEnergyPJ += energyJ * 1e12
+	mt.faultsInjected += injected
+	mt.faultsCorrected += corrected
+	mt.faultsUncorrected += uncorrected
+}
+
+// observeRetry records one transient-fault retry of a pooled run.
+func (mt *metrics) observeRetry() {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.retries++
 }
 
 // write renders the registry in Prometheus text format. Series are
@@ -102,17 +132,25 @@ func (mt *metrics) write(w io.Writer) {
 		}
 	}
 
-	fmt.Fprintf(w, "# HELP ipim_request_seconds End-to-end request latency.\n")
+	fmt.Fprintf(w, "# HELP ipim_request_seconds End-to-end request latency, by route.\n")
 	fmt.Fprintf(w, "# TYPE ipim_request_seconds histogram\n")
-	var cum int64
-	for i, bound := range mt.bucketBounds {
-		cum += mt.bucketCounts[i]
-		fmt.Fprintf(w, "ipim_request_seconds_bucket{le=%q} %d\n", formatBound(bound), cum)
+	lroutes := make([]string, 0, len(mt.latency))
+	for r := range mt.latency {
+		lroutes = append(lroutes, r)
 	}
-	cum += mt.bucketCounts[len(mt.bucketBounds)]
-	fmt.Fprintf(w, "ipim_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "ipim_request_seconds_sum %g\n", mt.latencySum)
-	fmt.Fprintf(w, "ipim_request_seconds_count %d\n", mt.latencyCount)
+	sort.Strings(lroutes)
+	for _, r := range lroutes {
+		h := mt.latency[r]
+		var cum int64
+		for i, bound := range mt.bucketBounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "ipim_request_seconds_bucket{route=%q,le=%q} %d\n", r, formatBound(bound), cum)
+		}
+		cum += h.counts[len(mt.bucketBounds)]
+		fmt.Fprintf(w, "ipim_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, cum)
+		fmt.Fprintf(w, "ipim_request_seconds_sum{route=%q} %g\n", r, h.sum)
+		fmt.Fprintf(w, "ipim_request_seconds_count{route=%q} %d\n", r, h.count)
+	}
 
 	if mt.queueDepth != nil {
 		fmt.Fprintf(w, "# HELP ipim_queue_depth Jobs queued or running in the machine pool.\n")
@@ -138,6 +176,28 @@ func (mt *metrics) write(w io.Writer) {
 		fmt.Fprintf(w, "# HELP ipim_artifact_cache_evictions_total LRU evictions.\n")
 		fmt.Fprintf(w, "# TYPE ipim_artifact_cache_evictions_total counter\n")
 		fmt.Fprintf(w, "ipim_artifact_cache_evictions_total %d\n", cs.Evictions)
+	}
+
+	fmt.Fprintf(w, "# HELP ipim_faults_injected_total Faults injected into simulated runs (DRAM flip events + link faults).\n")
+	fmt.Fprintf(w, "# TYPE ipim_faults_injected_total counter\n")
+	fmt.Fprintf(w, "ipim_faults_injected_total %d\n", mt.faultsInjected)
+	fmt.Fprintf(w, "# HELP ipim_faults_corrected_total Injected DRAM read errors corrected by the ECC model.\n")
+	fmt.Fprintf(w, "# TYPE ipim_faults_corrected_total counter\n")
+	fmt.Fprintf(w, "ipim_faults_corrected_total %d\n", mt.faultsCorrected)
+	fmt.Fprintf(w, "# HELP ipim_faults_uncorrected_total Injected DRAM read errors detected but not corrected.\n")
+	fmt.Fprintf(w, "# TYPE ipim_faults_uncorrected_total counter\n")
+	fmt.Fprintf(w, "ipim_faults_uncorrected_total %d\n", mt.faultsUncorrected)
+	fmt.Fprintf(w, "# HELP ipim_request_retries_total Pooled runs retried after a transient injected fault.\n")
+	fmt.Fprintf(w, "# TYPE ipim_request_retries_total counter\n")
+	fmt.Fprintf(w, "ipim_request_retries_total %d\n", mt.retries)
+	if mt.degraded != nil {
+		v := 0
+		if mt.degraded() {
+			v = 1
+		}
+		fmt.Fprintf(w, "# HELP ipim_degraded Degraded mode: shedding load due to uncorrected-fault pressure.\n")
+		fmt.Fprintf(w, "# TYPE ipim_degraded gauge\n")
+		fmt.Fprintf(w, "ipim_degraded %d\n", v)
 	}
 
 	fmt.Fprintf(w, "# HELP ipim_simulated_cycles_total Accelerator cycles simulated for served requests.\n")

@@ -53,7 +53,7 @@ type pool struct {
 // 1 = serial); results are identical either way, the knob only trades
 // single-request latency against cross-request throughput when several
 // pooled machines compete for cores.
-func newPool(cfg ipim.Config, workers, queueCap, parallelism int) (*pool, error) {
+func newPool(cfg ipim.Config, workers, queueCap, parallelism int, plan *ipim.FaultPlan) (*pool, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("serve: pool needs at least one worker, got %d", workers)
 	}
@@ -67,6 +67,7 @@ func newPool(cfg ipim.Config, workers, queueCap, parallelism int) (*pool, error)
 			return nil, fmt.Errorf("serve: build machine %d: %w", i, err)
 		}
 		m.SetParallelism(parallelism)
+		m.SetFaultPlan(plan)
 		p.wg.Add(1)
 		go p.worker(m)
 	}

@@ -13,7 +13,7 @@ import (
 
 func newTestPool(t *testing.T, workers, queueCap int) *pool {
 	t.Helper()
-	p, err := newPool(ipim.TinyConfig(), workers, queueCap, 1)
+	p, err := newPool(ipim.TinyConfig(), workers, queueCap, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestPoolPanicIsolation(t *testing.T) {
 }
 
 func TestPoolDrain(t *testing.T) {
-	p, err := newPool(ipim.TinyConfig(), 1, 4, 1)
+	p, err := newPool(ipim.TinyConfig(), 1, 4, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

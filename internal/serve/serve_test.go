@@ -339,8 +339,14 @@ func TestMetricsContent(t *testing.T) {
 	body := rec.Body.String()
 	for _, want := range []string{
 		`ipim_requests_total{route="/v1/process",status="200"} 1`,
-		`ipim_request_seconds_bucket{le="+Inf"} 1`,
-		"ipim_request_seconds_count 1",
+		`ipim_request_seconds_bucket{route="/v1/process",le="+Inf"} 1`,
+		`ipim_request_seconds_sum{route="/v1/process"} `,
+		`ipim_request_seconds_count{route="/v1/process"} 1`,
+		"ipim_faults_injected_total 0",
+		"ipim_faults_corrected_total 0",
+		"ipim_faults_uncorrected_total 0",
+		"ipim_request_retries_total 0",
+		"ipim_degraded 0",
 		"ipim_queue_depth 0",
 		"ipim_artifact_cache_hits_total 0",
 		"ipim_artifact_cache_misses_total 1",

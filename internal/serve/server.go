@@ -67,6 +67,24 @@ type Config struct {
 	Bus host.Bus
 	// Logger receives structured access logs (default: discard).
 	Logger *log.Logger
+
+	// Faults attaches a deterministic fault-injection plan to every
+	// pooled machine (nil: faults disabled). See internal/fault.
+	Faults *ipim.FaultPlan
+	// MaxRetries bounds in-place retries of a run that failed with a
+	// transient injected fault (ipim.ErrTransientFault). Default 2;
+	// negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// attempt (default 25ms). The per-request deadline still applies.
+	RetryBackoff time.Duration
+	// DegradeThreshold trips degraded mode when the mean uncorrected
+	// ECC error count over the last DegradeWindow completed requests
+	// exceeds it; while degraded the server sheds /v1/process load with
+	// 503 + Retry-After for DegradeCooldown. 0 disables degraded mode.
+	DegradeThreshold float64
+	DegradeWindow    int           // default 16 requests
+	DegradeCooldown  time.Duration // default 5s
 }
 
 func (c *Config) fillDefaults() {
@@ -100,6 +118,21 @@ func (c *Config) fillDefaults() {
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.DegradeWindow == 0 {
+		c.DegradeWindow = 16
+	}
+	if c.DegradeCooldown == 0 {
+		c.DegradeCooldown = 5 * time.Second
+	}
 }
 
 // Server is the HTTP image-processing service. Create with New, mount
@@ -110,6 +143,7 @@ type Server struct {
 	cache   *artifactCache
 	metrics *metrics
 	meter   *host.Meter
+	degrade *degradeState
 	mux     *http.ServeMux
 
 	draining chan struct{} // closed when Shutdown begins
@@ -121,7 +155,10 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Machine.Validate(); err != nil {
 		return nil, err
 	}
-	p, err := newPool(cfg.Machine, cfg.Workers, cfg.QueueCap, cfg.MachineParallelism)
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := newPool(cfg.Machine, cfg.Workers, cfg.QueueCap, cfg.MachineParallelism, cfg.Faults)
 	if err != nil {
 		return nil, err
 	}
@@ -131,6 +168,7 @@ func New(cfg Config) (*Server, error) {
 		cache:    newArtifactCache(cfg.CacheCap),
 		metrics:  newMetrics(),
 		meter:    host.NewMeter(cfg.Bus),
+		degrade:  newDegradeState(cfg.DegradeThreshold, cfg.DegradeWindow, cfg.DegradeCooldown),
 		mux:      http.NewServeMux(),
 		draining: make(chan struct{}),
 	}
@@ -140,6 +178,10 @@ func New(cfg Config) (*Server, error) {
 	s.metrics.hostSnapshot = func() (int64, int64, int64, int64) {
 		ms := s.meter.Snapshot()
 		return ms.Requests, ms.BytesIn, ms.BytesOut, ms.TransferNS
+	}
+	s.metrics.degraded = func() bool {
+		_, shedding := s.degrade.active()
+		return shedding
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -264,6 +306,11 @@ type runResult struct {
 	cycles  int64         // summed across plane runs
 	issued  int64
 	energyJ float64
+
+	// Injected-fault accounting (zero without a fault plan).
+	injected    int64 // DRAM flip events + link faults
+	corrected   int64 // ECC-corrected DRAM events
+	uncorrected int64 // detected-uncorrectable DRAM events
 }
 
 func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
@@ -275,6 +322,11 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if retryAfter, shedding := s.degrade.active(); shedding {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		http.Error(w, "degraded: uncorrected-error rate above threshold", http.StatusServiceUnavailable)
 		return
 	}
 
@@ -362,16 +414,36 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Run on a pooled machine.
+	// Run on a pooled machine, retrying transient injected faults with
+	// exponential backoff under the request deadline.
 	res := &runResult{}
-	err = s.pool.submit(ctx, func(m *ipim.Machine) error {
-		return s.runOn(m, art, planes, res)
-	})
+	run := func() error {
+		*res = runResult{}
+		return s.pool.submit(ctx, func(m *ipim.Machine) error {
+			return s.runOn(m, art, planes, res)
+		})
+	}
+	err = run()
+	retries := 0
+	for errors.Is(err, ipim.ErrTransientFault) && retries < s.cfg.MaxRetries {
+		retries++
+		s.metrics.observeRetry()
+		select {
+		case <-time.After(s.cfg.RetryBackoff << uint(retries-1)):
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			err = ctx.Err()
+			break
+		}
+		err = run()
+	}
 	if err != nil {
 		s.failProcess(w, err)
 		return
 	}
-	s.metrics.observeRun(res.cycles, res.energyJ)
+	s.degrade.observe(res.uncorrected)
+	s.metrics.observeRun(res.cycles, res.energyJ, res.injected, res.corrected, res.uncorrected)
 
 	// Encode the response body first so the transfer accounting and
 	// Content-Length cover the real payload.
@@ -413,6 +485,11 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Ipim-Kernel-Ns", strconv.FormatInt(res.cycles, 10)) // 1 GHz: 1 cycle = 1 ns
 	h.Set("X-Ipim-Energy-Pj", strconv.FormatFloat(res.energyJ*1e12, 'g', -1, 64))
 	h.Set("X-Ipim-Transfer-Ns", strconv.FormatFloat(transferNS, 'f', 0, 64))
+	if s.cfg.Faults.Enabled() {
+		h.Set("X-Ipim-Faults-Corrected", strconv.FormatInt(res.corrected, 10))
+		h.Set("X-Ipim-Faults-Uncorrected", strconv.FormatInt(res.uncorrected, 10))
+		h.Set("X-Ipim-Retries", strconv.Itoa(retries))
+	}
 	w.Write(buf.Bytes())
 }
 
@@ -420,15 +497,21 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 // accumulating the simulated accounting into res.
 func (s *Server) runOn(m *ipim.Machine, art *ipim.Artifact, planes []*ipim.Image, res *runResult) error {
 	nPEs, nVaults := s.cfg.Machine.TotalPEs(), s.cfg.Machine.TotalVaults()
+	accumulate := func(stats *ipim.Stats) {
+		res.cycles += stats.Cycles
+		res.issued += stats.Issued
+		res.energyJ += ipim.EnergyOf(stats, nPEs, nVaults).Total()
+		res.corrected += stats.DRAM.ECCCorrected
+		res.uncorrected += stats.DRAM.ECCUncorrected
+		res.injected += stats.DRAM.ECCCorrected + stats.DRAM.ECCUncorrected + stats.NoC.LinkFaults
+	}
 	if art.Plan.Pipe.Histogram {
 		bins, stats, err := ipim.RunHistogram(m, art, planes[0])
 		if err != nil {
 			return err
 		}
 		res.bins = bins
-		res.cycles += stats.Cycles
-		res.issued += stats.Issued
-		res.energyJ += ipim.EnergyOf(&stats, nPEs, nVaults).Total()
+		accumulate(&stats)
 		return nil
 	}
 	for _, p := range planes {
@@ -437,22 +520,21 @@ func (s *Server) runOn(m *ipim.Machine, art *ipim.Artifact, planes []*ipim.Image
 			return err
 		}
 		res.planes = append(res.planes, out)
-		res.cycles += stats.Cycles
-		res.issued += stats.Issued
-		res.energyJ += ipim.EnergyOf(&stats, nPEs, nVaults).Total()
+		accumulate(&stats)
 	}
 	return nil
 }
 
 // failProcess maps a pool/run error onto the HTTP status contract:
-// 429 queue full, 503 draining (both with Retry-After), 504 deadline,
-// 500 anything else (including recovered worker panics).
+// 429 queue full, 503 draining or unrecovered transient fault (all
+// with Retry-After), 504 deadline, 500 anything else (including
+// recovered worker panics).
 func (s *Server) failProcess(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
-	case errors.Is(err, errDraining):
+	case errors.Is(err, errDraining), errors.Is(err, ipim.ErrTransientFault):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):

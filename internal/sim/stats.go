@@ -41,7 +41,11 @@ func (s StallReason) String() string {
 // Stats aggregates everything one vault run produces: cycle counts,
 // per-category instruction counts (Fig. 11), stall breakdown, component
 // busy counters (Fig. 13), event counts for the energy model (Fig. 7/9),
-// and the embedded DRAM/NoC stats.
+// and the embedded DRAM/NoC stats. Under an attached fault.Plan the
+// embedded structs also carry the injected-fault tallies (DRAM ECC
+// corrected/uncorrected, NoC link faults and retransmit flits); like
+// every other counter they fold by reflection, so serial and parallel
+// runs agree on them bit for bit.
 type Stats struct {
 	Cycles int64
 	Issued int64 // dynamic instructions issued

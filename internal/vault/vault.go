@@ -19,6 +19,7 @@ import (
 
 	"ipim/internal/dram"
 	"ipim/internal/engine"
+	"ipim/internal/fault"
 	"ipim/internal/isa"
 	"ipim/internal/sim"
 )
@@ -84,6 +85,17 @@ type Vault struct {
 	// Direct-mapped instruction cache tags (line index per set; -1 =
 	// invalid). The VSM backs the I$ (paper Sec. IV-E).
 	icache []int64
+
+	// Fault injection (nil = disabled). The event counters are owned by
+	// this vault and advance only with its own serial execution, so the
+	// fault stream is independent of the machine's phase schedule (see
+	// internal/fault). faultN counts 128-bit bank reads; execN counts
+	// execution phases.
+	fp        *fault.Plan
+	faultN    uint64
+	execN     uint64
+	execSite  uint64
+	bankSites [][]uint64 // [pg][bank] decision-site ids
 }
 
 // New builds a vault.
@@ -145,8 +157,31 @@ func (v *Vault) FoldDRAMStats() {
 		d.RowMisses += s.RowMisses
 		d.QueueFullStalls += s.QueueFullStalls
 		d.BusyCycles += s.BusyCycles
+		d.ECCCorrected += s.ECCCorrected
+		d.ECCUncorrected += s.ECCUncorrected
 	}
 	v.Stats.DRAM = d
+}
+
+// SetFaultPlan attaches a fault-injection plan (nil detaches) and
+// resets the vault's fault event counters.
+func (v *Vault) SetFaultPlan(p *fault.Plan) {
+	v.fp = p
+	v.faultN, v.execN = 0, 0
+	v.execSite = 0
+	v.bankSites = nil
+	if p == nil {
+		return
+	}
+	v.execSite = fault.Site(fault.DomExec, v.CubeID, v.ID)
+	v.bankSites = make([][]uint64, len(v.PGs))
+	for pgID := range v.PGs {
+		sites := make([]uint64, v.Cfg.PEsPerPG)
+		for b := range sites {
+			sites[b] = fault.Site(fault.DomBank, v.CubeID, v.ID, pgID, b)
+		}
+		v.bankSites[pgID] = sites
+	}
 }
 
 // peByIndex returns the PE with vault-wide index i (pg*PEsPerPG + pe)
@@ -197,6 +232,16 @@ func (v *Vault) AlignTo(t int64) {
 func (v *Vault) RunPhase() (bool, error) {
 	if v.prog == nil {
 		return true, fmt.Errorf("vault: no program loaded")
+	}
+	if v.fp.ExecEnabled() {
+		// Transient execution fault: one roll per phase, indexed by the
+		// vault's own phase counter so the decision is schedule-free.
+		n := v.execN
+		v.execN++
+		if v.fp.ExecFault(v.execSite, n) {
+			v.Stats.Cycles = v.now
+			return false, fmt.Errorf("vault %d/%d: phase roll %d: %w", v.CubeID, v.ID, n, fault.ErrTransient)
+		}
 	}
 	for {
 		if v.pc >= len(v.prog.Ins) {
@@ -628,6 +673,7 @@ func (v *Vault) issueBank(in *isa.Instruction, mask uint64, nPE int) (*entry, er
 		spanLo := bankAddr + uint32(4*lowLane(in.VecMask))
 		spanHi := bankAddr + uint32(4*highLane(in.VecMask)) + 4
 		var err error
+		var pgsmAddr uint32
 		switch in.Op {
 		case isa.OpLdRF:
 			err = pe.LoadVector(bankAddr, in.Dst, in.VecMask)
@@ -636,7 +682,7 @@ func (v *Vault) issueBank(in *isa.Instruction, mask uint64, nPE int) (*entry, er
 			err = pe.StoreVector(bankAddr, in.Dst, in.VecMask)
 			v.Stats.DataRFAcc++
 		case isa.OpLdPGSM:
-			pgsmAddr := pe.EffectiveAddr(in.Addr2, in.Indirect2)
+			pgsmAddr = pe.EffectiveAddr(in.Addr2, in.Indirect2)
 			var b []byte
 			if b, err = pe.ReadBank(bankAddr, dram.AccessBytes); err == nil {
 				err = pg.WritePGSM(pgsmAddr, b)
@@ -644,7 +690,7 @@ func (v *Vault) issueBank(in *isa.Instruction, mask uint64, nPE int) (*entry, er
 			spanLo, spanHi = bankAddr, bankAddr+dram.AccessBytes
 			v.Stats.PGSMAcc++
 		case isa.OpStPGSM:
-			pgsmAddr := pe.EffectiveAddr(in.Addr2, in.Indirect2)
+			pgsmAddr = pe.EffectiveAddr(in.Addr2, in.Indirect2)
 			var b []byte
 			if b, err = pg.ReadPGSM(pgsmAddr, dram.AccessBytes); err == nil {
 				err = pe.WriteBank(bankAddr, b)
@@ -680,6 +726,9 @@ func (v *Vault) issueBank(in *isa.Instruction, mask uint64, nPE int) (*entry, er
 			e.reqs = append(e.reqs, req)
 			e.pgs = append(e.pgs, pg)
 			v.Stats.PEBusBeats++
+			if v.fp != nil && v.fp.DRAMBitFlipRate > 0 && !req.Write {
+				v.injectReadFault(in, pg, pe, req.Bank, bankAddr, col, pgsmAddr)
+			}
 		}
 	}
 	if e.reqs == nil {
@@ -687,6 +736,45 @@ func (v *Vault) issueBank(in *isa.Instruction, mask uint64, nPE int) (*entry, er
 		return nil, nil
 	}
 	return e, nil
+}
+
+// injectReadFault rolls the fault plan for one 128-bit column read and
+// applies the SECDED outcome: a single-bit event is corrected (counter
+// only, data intact); a multi-bit event is detected-uncorrectable and
+// corrupts the read *destination* — the DataRF lane or PGSM byte that
+// consumed the flipped bit. The bank backing store is never mutated:
+// other vaults may be snapshot-reading it concurrently, and in-place
+// corruption would make results depend on the phase schedule.
+func (v *Vault) injectReadFault(in *isa.Instruction, pg *engine.PG, pe *engine.PE, bank int, bankAddr, col, pgsmAddr uint32) {
+	n := v.faultN
+	v.faultN++
+	bf := v.fp.BankRead(v.bankSites[pg.ID][bank], n)
+	if !bf.Injected {
+		return
+	}
+	pg.Ctrl.NoteECC(bank, bf.Corrected)
+	if bf.Corrected {
+		return
+	}
+	for _, bit := range bf.Bits {
+		// Byte offset of the flipped bit relative to the access origin.
+		off := int64(col) + int64(bit/8) - int64(bankAddr)
+		if off < 0 || off >= dram.AccessBytes {
+			continue // column byte outside the consumed span
+		}
+		switch in.Op {
+		case isa.OpLdRF:
+			lane := int(off / 4)
+			if in.VecMask&(1<<uint(lane)) == 0 {
+				continue // unselected lane: the bits never reach the RF
+			}
+			pe.FlipDataRFBit(in.Dst, lane, uint(off%4)*8+uint(bit%8))
+		case isa.OpLdPGSM:
+			// WritePGSM validated [pgsmAddr, pgsmAddr+16) above, so the
+			// flip cannot go out of bounds.
+			_ = pg.FlipPGSMBit(pgsmAddr+uint32(off), uint(bit%8))
+		}
+	}
 }
 
 // classOf maps an ALU op to its Table III latency class.

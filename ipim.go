@@ -31,6 +31,7 @@ import (
 	"ipim/internal/cube"
 	"ipim/internal/energy"
 	"ipim/internal/exp"
+	"ipim/internal/fault"
 	"ipim/internal/gpu"
 	"ipim/internal/halide"
 	"ipim/internal/isa"
@@ -70,7 +71,19 @@ type (
 	EnergyBreakdown = energy.Breakdown
 	// ExperimentTable is one regenerated figure/table.
 	ExperimentTable = exp.Table
+	// FaultPlan is a deterministic, seeded fault-injection campaign
+	// (attach with Machine.SetFaultPlan; see internal/fault).
+	FaultPlan = fault.Plan
 )
+
+// ErrTransientFault marks injected transient execution faults; runs
+// failing with an error wrapping it may be retried.
+var ErrTransientFault = fault.ErrTransient
+
+// ParseFaultPlan parses a -faults flag spec such as
+// "seed=7,dram=1e-5,multibit=0.2,link=1e-6,linkpenalty=20,exec=0.001".
+// An empty spec (or "off") returns (nil, nil): faults disabled.
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.ParseSpec(spec) }
 
 // Compiler option presets (paper Sec. VII-E1).
 var (

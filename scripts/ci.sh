@@ -22,6 +22,12 @@ go vet ./...
 go build ./...
 go test -race -cover -coverprofile=coverage.out -timeout 30m ./...
 
+# Fuzz smoke: a short real fuzzing run (not just the seed corpus, which
+# plain `go test` already replays) so the fuzz targets can't bit-rot
+# between PRs. Keep -fuzztime small; this is a build/harness check, not
+# a bug hunt.
+go test ./internal/isa -run='^$' -fuzz='^FuzzAssemble$' -fuzztime=10s
+
 # Coverage floor over the internal packages' own statements (cmd/ and
 # examples/ mains are exercised end-to-end by the examples smoke test
 # and serve tests, which plain -cover can't attribute). Baseline at the

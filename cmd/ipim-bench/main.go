@@ -29,6 +29,8 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable Table II suite results to this file ('-' = stdout) and exit")
 	faultSpec := flag.String("faults", "",
 		"fault-injection spec applied to every simulated machine (empty = off; the faults sweep manages its own plans)")
+	maxCycles := flag.Int64("max-cycles", 0,
+		"hard per-run simulated-cycle budget for every experiment machine (0 = unlimited)")
 	flag.Parse()
 
 	if *expName != "all" {
@@ -46,6 +48,7 @@ func main() {
 	c := exp.NewContext()
 	c.SizeDiv = *div
 	c.Faults = plan
+	c.MaxCycles = *maxCycles
 
 	if *jsonPath != "" {
 		// Open the output before the ~15 s suite run so a bad path

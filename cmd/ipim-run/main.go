@@ -35,6 +35,8 @@ func main() {
 	outFile := flag.String("out", "", "write the result as a PGM file")
 	faultSpec := flag.String("faults", "",
 		"fault-injection spec, e.g. seed=7,dram=1e-5,multibit=0.2,link=1e-6,exec=1e-4 (empty = off)")
+	maxCycles := flag.Int64("max-cycles", 0,
+		"abort the run after this many simulated cycles (0 = unlimited)")
 	flag.Parse()
 
 	if *list {
@@ -74,6 +76,9 @@ func main() {
 		log.Fatal(err)
 	}
 	m.SetFaultPlan(plan)
+	if *maxCycles > 0 {
+		m.SetBudget(ipim.RunOptions{MaxCycles: *maxCycles})
+	}
 	var img *ipim.Image
 	if *inFile != "" {
 		f, err := os.Open(*inFile)

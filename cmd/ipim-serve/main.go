@@ -10,9 +10,11 @@
 //	curl -s --data-binary @in.pgm -o out.pgm \
 //	  'localhost:8080/v1/process?workload=GaussianBlur&opts=opt'
 //
-// Observability: GET /healthz, GET /metrics (Prometheus text format),
-// GET /v1/workloads. SIGINT/SIGTERM drains in-flight requests before
-// exiting.
+// Observability: GET /healthz (liveness), GET /readyz (readiness:
+// 503 while draining or degraded), GET /metrics (Prometheus text
+// format), GET /v1/workloads. SIGINT/SIGTERM drains in-flight requests
+// before exiting. POST /v1/simb runs raw SIMB assembly under the same
+// deadline and -max-cycles budget machinery as /v1/process.
 package main
 
 import (
@@ -44,6 +46,10 @@ func main() {
 	queueCap := flag.Int("queue", 64, "dispatch queue capacity (full queue returns 429)")
 	cacheCap := flag.Int("cache", 32, "compiled-artifact LRU capacity")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
+	maxCycles := flag.Int64("max-cycles", 0,
+		"hard per-run simulated-cycle budget; also caps the max_cycles query parameter (0 = unlimited)")
+	watchdog := flag.Duration("watchdog", 250*time.Millisecond,
+		"stuck-worker watchdog scan interval (negative = off)")
 	maxBody := flag.Int64("max-body", 64<<20, "request body size limit in bytes")
 	busName := flag.String("bus", "pcie3", "modeled host bus: pcie3, pcie5")
 	drainWait := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
@@ -74,6 +80,8 @@ func main() {
 		QueueCap:           *queueCap,
 		CacheCap:           *cacheCap,
 		DefaultTimeout:     *timeout,
+		MaxCycles:          *maxCycles,
+		WatchdogInterval:   *watchdog,
 		MaxBodyBytes:       *maxBody,
 		Bus:                bus,
 		Logger:             log.Default(),

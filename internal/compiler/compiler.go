@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 
 	"ipim/internal/halide"
@@ -13,6 +14,13 @@ import (
 type Machineish interface {
 	RunSame(p *isa.Program) (sim.Stats, error)
 	Run(programs map[[2]int]*isa.Program) (sim.Stats, error)
+}
+
+// ContextMachineish is the cancellable execution surface ExecuteContext
+// needs (also satisfied by *cube.Machine).
+type ContextMachineish interface {
+	RunSameContext(ctx context.Context, p *isa.Program) (sim.Stats, error)
+	RunContext(ctx context.Context, programs map[[2]int]*isa.Program) (sim.Stats, error)
 }
 
 type simStats = sim.Stats
@@ -85,6 +93,21 @@ func Execute(m Machineish, art *Artifact) (simStats, error) {
 	if art.LeaderProg == nil {
 		return m.RunSame(art.Prog)
 	}
+	return m.Run(artPrograms(art))
+}
+
+// ExecuteContext is Execute with cooperative cancellation and budget
+// enforcement (the semantics of cube.Machine.RunContext).
+func ExecuteContext(ctx context.Context, m ContextMachineish, art *Artifact) (simStats, error) {
+	if art.LeaderProg == nil {
+		return m.RunSameContext(ctx, art.Prog)
+	}
+	return m.RunContext(ctx, artPrograms(art))
+}
+
+// artPrograms expands an artifact with a leader variant into the
+// per-vault program map.
+func artPrograms(art *Artifact) map[[2]int]*isa.Program {
 	progs := map[[2]int]*isa.Program{}
 	for c := 0; c < art.Plan.Cfg.Cubes; c++ {
 		for v := 0; v < art.Plan.Cfg.VaultsPerCube; v++ {
@@ -92,7 +115,7 @@ func Execute(m Machineish, art *Artifact) (simStats, error) {
 		}
 	}
 	progs[[2]int{0, 0}] = art.LeaderProg
-	return m.Run(progs)
+	return progs
 }
 
 // StaticCounts returns the static instruction mix of the artifact

@@ -18,6 +18,8 @@
 package cube
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -65,6 +67,10 @@ type Machine struct {
 	// forced to 1 when IPIM_SERIAL=1 is set in the environment.
 	parallelism int
 	forceSerial bool
+
+	// budget bounds every run until changed (zero = unlimited). Set via
+	// SetBudget.
+	budget sim.RunOptions
 }
 
 // New builds a machine for the configuration.
@@ -115,6 +121,17 @@ func (m *Machine) SetParallelism(n int) {
 
 // Parallelism reports the configured worker bound (0 = GOMAXPROCS).
 func (m *Machine) Parallelism() int { return m.parallelism }
+
+// SetBudget installs an execution budget applied by every subsequent
+// run (zero value = unlimited). Budget exhaustion aborts the run with
+// an error wrapping sim.ErrCycleBudget and resets the machine (see
+// Reset); the error point is deterministic — a pure function of the
+// budget and the programs, independent of the phase schedule or worker
+// count. Not safe to call during an active Run.
+func (m *Machine) SetBudget(b sim.RunOptions) { m.budget = b }
+
+// Budget reports the installed execution budget.
+func (m *Machine) Budget() sim.RunOptions { return m.budget }
 
 // SetFaultPlan attaches a fault-injection plan to every vault and every
 // per-source link shard (nil detaches). Decision sites are derived from
@@ -249,7 +266,27 @@ func (m *Machine) barrierCost() int64 {
 // phaseWorkers goroutines; results are schedule-independent (see the
 // package comment). It returns aggregated statistics (Cycles = wall
 // clock of the slowest vault).
+//
+// Run is RunContext under a background context: any budget installed
+// with SetBudget still applies, and the result is bit-identical to a
+// RunContext whose context never expires.
 func (m *Machine) Run(programs map[[2]int]*isa.Program) (sim.Stats, error) {
+	return m.RunContext(context.Background(), programs)
+}
+
+// RunContext is Run with cooperative cancellation. The context is
+// checked at every phase barrier and — through a per-vault hook polled
+// every vault.InterruptEvery issued instructions — inside phases, so
+// even a single never-syncing phase (a runaway backward branch) is
+// interruptible within microseconds of wall clock. On cancellation it
+// returns an error wrapping sim.ErrCancelled and the context's cause
+// (so errors.Is against context.DeadlineExceeded / context.Canceled
+// works too); on budget exhaustion (SetBudget), an error wrapping
+// sim.ErrCycleBudget. In both cases the machine has been Reset and is
+// immediately reusable. A RunContext whose context never expires is
+// bit-identical to Run — the hooks are pure control, touching no timed
+// state.
+func (m *Machine) RunContext(ctx context.Context, programs map[[2]int]*isa.Program) (sim.Stats, error) {
 	// Fix the vault order up front: loading, stepping, error selection
 	// and stats folding all walk vaults in ascending (cube, vault)
 	// order, so nothing depends on Go's randomized map iteration.
@@ -280,9 +317,40 @@ func (m *Machine) Run(programs map[[2]int]*isa.Program) (sim.Stats, error) {
 	// them so a reused Machine (e.g. a pooled worker in internal/serve)
 	// reports only what THIS run contributed.
 	before := m.collectStats(active)
+
+	// Arm run control. The interrupt hook is shared by all vault
+	// goroutines — a context's Done channel is safe for concurrent
+	// polling — and is nil for non-cancellable contexts so the vaults
+	// skip the poll entirely.
+	var interrupt func() error
+	if ctx.Done() != nil {
+		interrupt = func() error {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("%w: %w", sim.ErrCancelled, context.Cause(ctx))
+			default:
+				return nil
+			}
+		}
+	}
+	for _, v := range active {
+		v.BeginRun(m.budget, interrupt)
+	}
+	defer func() {
+		for _, v := range active {
+			v.EndRun()
+		}
+	}()
+
 	workers := m.phaseWorkers(len(active))
 	phased := make([]bool, len(active))
 	for {
+		// Barrier-level check: catches cancellation between phases even
+		// if no vault issues another instruction.
+		if err := ctx.Err(); err != nil {
+			m.Reset()
+			return sim.Stats{}, fmt.Errorf("cube: %w: %w", sim.ErrCancelled, context.Cause(ctx))
+		}
 		var err error
 		if workers <= 1 {
 			err = m.runPhaseSerial(active, phased)
@@ -290,6 +358,13 @@ func (m *Machine) Run(programs map[[2]int]*isa.Program) (sim.Stats, error) {
 			err = m.runPhaseParallel(active, phased, workers)
 		}
 		if err != nil {
+			if errors.Is(err, sim.ErrCancelled) || errors.Is(err, sim.ErrCycleBudget) {
+				// An aborted run leaves vaults mid-phase with queued DRAM
+				// traffic and drifted clocks; rewind everything so the
+				// machine is reusable (documented state: see Reset).
+				m.Reset()
+				return sim.Stats{}, fmt.Errorf("cube: %w", err)
+			}
 			return sim.Stats{}, err
 		}
 		allDone := true
@@ -427,19 +502,64 @@ func (m *Machine) collectStats(active []*vault.Vault) sim.Stats {
 	return total
 }
 
+// Reset returns the machine to a clean reusable state: every vault's
+// program is unloaded, its queues drained and clock rewound to zero,
+// instruction caches go cold, DRAM controller timing state (open rows,
+// request queues, tFAW/refresh windows) is rewound, and every
+// interconnect shard's link-occupancy timeline is zeroed — timing-wise
+// the machine is indistinguishable from one fresh out of New.
+//
+// Cumulative state deliberately survives: Stats counters (pools diff
+// snapshots around each run), attached fault plans and their per-site
+// decision streams, SRAM/DRAM data contents, and configuration
+// (parallelism, budget). RunContext calls Reset automatically when a
+// run is cancelled or exhausts its budget; worker pools call it when
+// recovering a machine from a panic.
+func (m *Machine) Reset() {
+	for _, cube := range m.Vaults {
+		for _, v := range cube {
+			v.Abort()
+		}
+	}
+	for _, ps := range m.ports {
+		for _, p := range ps {
+			for _, st := range p.mesh {
+				st.ResetTiming()
+			}
+			p.serdes.ResetTiming()
+		}
+	}
+	for _, mesh := range m.meshes {
+		mesh.ResetTiming()
+	}
+	m.serdes.ResetTiming()
+}
+
 // RunSame loads the same program into every vault and runs the machine.
 func (m *Machine) RunSame(p *isa.Program) (sim.Stats, error) {
+	return m.RunSameContext(context.Background(), p)
+}
+
+// RunSameContext is RunSame with the cancellation and budget semantics
+// of RunContext.
+func (m *Machine) RunSameContext(ctx context.Context, p *isa.Program) (sim.Stats, error) {
 	programs := map[[2]int]*isa.Program{}
 	for c := range m.Vaults {
 		for vid := range m.Vaults[c] {
 			programs[[2]int{c, vid}] = p
 		}
 	}
-	return m.Run(programs)
+	return m.RunContext(ctx, programs)
 }
 
 // RunVault runs a program on a single vault (the representative-vault
 // bench mode; see DESIGN.md §2).
 func (m *Machine) RunVault(cubeID, vaultID int, p *isa.Program) (sim.Stats, error) {
-	return m.Run(map[[2]int]*isa.Program{{cubeID, vaultID}: p})
+	return m.RunVaultContext(context.Background(), cubeID, vaultID, p)
+}
+
+// RunVaultContext is RunVault with the cancellation and budget
+// semantics of RunContext.
+func (m *Machine) RunVaultContext(ctx context.Context, cubeID, vaultID int, p *isa.Program) (sim.Stats, error) {
+	return m.RunContext(ctx, map[[2]int]*isa.Program{{cubeID, vaultID}: p})
 }

@@ -204,6 +204,29 @@ func NewController(nBanks, qCap int, t Timing, g Geometry, page PagePolicy, sche
 	return c
 }
 
+// ResetTiming returns the controller to its just-built timing state —
+// queue empty, all banks precharged and immediately schedulable, the
+// refresh epoch rewound — while preserving the cumulative Stats and the
+// per-bank ECC tallies. The run-abort path uses it so a machine whose
+// clocks rewound to zero does not carry bank-readiness or refresh times
+// from the abandoned timeline.
+func (c *Controller) ResetTiming() {
+	for i := range c.banks {
+		c.banks[i] = bankState{openRow: -1}
+	}
+	c.queue = c.queue[:0]
+	c.actTimes = c.actTimes[:0]
+	c.lastAct, c.hadAct = 0, false
+	for i := range c.lastActGroup {
+		c.lastActGroup[i] = 0
+		c.hadActGroup[i] = false
+	}
+	c.nextRefresh = int64(c.timing.TREFI)
+	c.refUntil = 0
+	c.bypassed = 0
+	c.lastBusy = 0
+}
+
 // QueueLen reports current queue occupancy.
 func (c *Controller) QueueLen() int { return len(c.queue) }
 

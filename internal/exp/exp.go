@@ -98,6 +98,11 @@ type Context struct {
 	// ignores this.
 	Faults *fault.Plan
 
+	// MaxCycles installs a hard per-run cycle budget on every simulated
+	// machine (0 = unlimited): runaway experiments fail with
+	// sim.ErrCycleBudget instead of hanging the suite.
+	MaxCycles int64
+
 	cache map[string]*runResult
 }
 
@@ -154,6 +159,9 @@ func (c *Context) run(wl workloads.Workload, opts compiler.Options, cfg sim.Conf
 		return nil, err
 	}
 	m.SetFaultPlan(c.Faults)
+	if c.MaxCycles > 0 {
+		m.SetBudget(sim.RunOptions{MaxCycles: c.MaxCycles})
+	}
 	if err := compiler.LoadInput(m, art, img); err != nil {
 		return nil, err
 	}

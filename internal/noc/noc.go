@@ -196,6 +196,24 @@ func (m *Mesh) NewLinkState() *LinkState {
 	return &LinkState{linkFree: make([][numDirs]int64, m.Nodes())}
 }
 
+// ResetTiming rewinds the shard's link-occupancy timeline to zero.
+// Traffic counters and any attached fault decision stream are
+// preserved. Used by the machine's abort path alongside the vaults'
+// clock reset.
+func (st *LinkState) ResetTiming() {
+	for i := range st.linkFree {
+		st.linkFree[i] = [numDirs]int64{}
+	}
+}
+
+// ResetTiming rewinds the mesh's own link-occupancy timeline (the one
+// behind Send) to zero, preserving counters and fault state.
+func (m *Mesh) ResetTiming() {
+	for i := range m.linkFree {
+		m.linkFree[i] = [numDirs]int64{}
+	}
+}
+
 // Send injects a packet of size bytes at time now and returns its
 // delivery time at dst, using the mesh's own link state and counters.
 // All Send callers share one contention timeline, so Send must not be

@@ -25,7 +25,7 @@ const (
 // ReadPGM decodes a binary (P5) PGM image into a [0,1] float plane.
 func ReadPGM(r io.Reader) (*Image, error) {
 	br := bufio.NewReader(r)
-	magic, err := pbmToken(br)
+	magic, err := pbmMagic(br)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +66,7 @@ func WritePGM(w io.Writer, im *Image) error {
 // ReadPPM decodes a binary (P6) PPM image into R, G, B planes.
 func ReadPPM(r io.Reader) (rp, gp, bp *Image, err error) {
 	br := bufio.NewReader(r)
-	magic, err := pbmToken(br)
+	magic, err := pbmMagic(br)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -112,6 +112,17 @@ func WritePPM(w io.Writer, rp, gp, bp *Image) error {
 		bw.WriteByte(clamp(bp.Pix[i]))
 	}
 	return bw.Flush()
+}
+
+// pbmMagic reads the two magic bytes, which the netpbm spec requires
+// at the very start of the stream — no leading whitespace or comments
+// (pbmToken would skip them, letting " P5 ..." impersonate a PGM).
+func pbmMagic(br *bufio.Reader) (string, error) {
+	var m [2]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return "", fmt.Errorf("pixel: netpbm magic: %w", err)
+	}
+	return string(m[:]), nil
 }
 
 // pbmToken reads the next whitespace-delimited token, skipping

@@ -1,0 +1,93 @@
+package pixel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzNetpbm fuzzes the netpbm decoders with hostile input: whatever
+// the bytes, decoding must never panic, and any image the decoder
+// accepts must round-trip stably — its first re-encoding is a fixpoint
+// of encode(decode(...)). (Exact byte identity with the INPUT is not
+// required: a maxval below 255 rescales on first decode; from the
+// first re-encoding onward the representation is canonical.)
+func FuzzNetpbm(f *testing.F) {
+	// Seed with well-formed tiny images of both formats.
+	var pgm bytes.Buffer
+	if err := WritePGM(&pgm, Synth(8, 4, 1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pgm.Bytes())
+	var ppm bytes.Buffer
+	if err := WritePPM(&ppm, Synth(4, 4, 1), Synth(4, 4, 2), Synth(4, 4, 3)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ppm.Bytes())
+	// Header corners: comments, odd whitespace, small maxval (exercises
+	// the rescale path), truncated pixels, hostile dimensions.
+	f.Add([]byte("P5\n# comment\n 8 4\n255\n" + string(make([]byte, 32))))
+	f.Add([]byte("P5 2 2 7\n\x00\x01\x02\x03"))
+	f.Add([]byte("P6\n1 1\n255\n\xff\x00\x7f"))
+	f.Add([]byte("P5\n65537 1\n255\n"))
+	f.Add([]byte("P5\n-1 4\n255\n"))
+	f.Add([]byte("P5\n999999999999999999999 1\n255\n"))
+	f.Add([]byte("P5\n4 4\n0\n"))
+	f.Add([]byte("P7\n4 4\n255\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		switch {
+		case bytes.HasPrefix(data, []byte("P5")):
+			im, err := ReadPGM(bytes.NewReader(data))
+			if err != nil {
+				return // rejected input: nothing to round-trip
+			}
+			var enc1 bytes.Buffer
+			if err := WritePGM(&enc1, im); err != nil {
+				t.Fatalf("decoded image does not re-encode: %v", err)
+			}
+			im2, err := ReadPGM(bytes.NewReader(enc1.Bytes()))
+			if err != nil {
+				t.Fatalf("re-encoding does not decode: %v", err)
+			}
+			if im2.W != im.W || im2.H != im.H {
+				t.Fatalf("round trip changed dimensions: %dx%d -> %dx%d", im.W, im.H, im2.W, im2.H)
+			}
+			var enc2 bytes.Buffer
+			if err := WritePGM(&enc2, im2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+				t.Fatal("PGM encoding is not a fixpoint after the first decode")
+			}
+		case bytes.HasPrefix(data, []byte("P6")):
+			rp, gp, bp, err := ReadPPM(bytes.NewReader(data))
+			if err != nil {
+				return
+			}
+			var enc1 bytes.Buffer
+			if err := WritePPM(&enc1, rp, gp, bp); err != nil {
+				t.Fatalf("decoded image does not re-encode: %v", err)
+			}
+			r2, g2, b2, err := ReadPPM(bytes.NewReader(enc1.Bytes()))
+			if err != nil {
+				t.Fatalf("re-encoding does not decode: %v", err)
+			}
+			var enc2 bytes.Buffer
+			if err := WritePPM(&enc2, r2, g2, b2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+				t.Fatal("PPM encoding is not a fixpoint after the first decode")
+			}
+		default:
+			// Not a netpbm magic: both decoders must reject, not panic.
+			if _, err := ReadPGM(bytes.NewReader(data)); err == nil {
+				t.Fatal("ReadPGM accepted a non-P5 input")
+			}
+			if _, _, _, err := ReadPPM(bytes.NewReader(data)); err == nil {
+				t.Fatal("ReadPPM accepted a non-P6 input")
+			}
+		}
+	})
+}

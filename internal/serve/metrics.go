@@ -40,11 +40,14 @@ type metrics struct {
 	retries           int64
 
 	// Live gauges, sampled at render time.
-	queueDepth   func() int64
-	cacheStats   func() cacheStats
-	hostSnapshot func() (requests, bytesIn, bytesOut, transferNS int64)
-	panicCount   func() int64
-	degraded     func() bool
+	queueDepth          func() int64
+	cacheStats          func() cacheStats
+	hostSnapshot        func() (requests, bytesIn, bytesOut, transferNS int64)
+	panicCount          func() int64
+	cancelledCount      func() int64
+	budgetExceededCount func() int64
+	busySeconds         func() float64
+	degraded            func() bool
 }
 
 // routeHist is one route's latency histogram: per-bucket counts (last
@@ -161,6 +164,21 @@ func (mt *metrics) write(w io.Writer) {
 		fmt.Fprintf(w, "# HELP ipim_worker_panics_total Recovered worker panics.\n")
 		fmt.Fprintf(w, "# TYPE ipim_worker_panics_total counter\n")
 		fmt.Fprintf(w, "ipim_worker_panics_total %d\n", mt.panicCount())
+	}
+	if mt.cancelledCount != nil {
+		fmt.Fprintf(w, "# HELP ipim_jobs_cancelled_total Pooled jobs aborted by context expiry (queued or mid-run).\n")
+		fmt.Fprintf(w, "# TYPE ipim_jobs_cancelled_total counter\n")
+		fmt.Fprintf(w, "ipim_jobs_cancelled_total %d\n", mt.cancelledCount())
+	}
+	if mt.budgetExceededCount != nil {
+		fmt.Fprintf(w, "# HELP ipim_cycle_budget_exceeded_total Pooled jobs aborted by the execution budget.\n")
+		fmt.Fprintf(w, "# TYPE ipim_cycle_budget_exceeded_total counter\n")
+		fmt.Fprintf(w, "ipim_cycle_budget_exceeded_total %d\n", mt.budgetExceededCount())
+	}
+	if mt.busySeconds != nil {
+		fmt.Fprintf(w, "# HELP ipim_worker_busy_seconds Cumulative wall-clock time workers spent running jobs.\n")
+		fmt.Fprintf(w, "# TYPE ipim_worker_busy_seconds counter\n")
+		fmt.Fprintf(w, "ipim_worker_busy_seconds %g\n", mt.busySeconds())
 	}
 	if mt.cacheStats != nil {
 		cs := mt.cacheStats()

@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"errors"
+	"io"
+	"log"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -13,7 +15,7 @@ import (
 
 func newTestPool(t *testing.T, workers, queueCap int) *pool {
 	t.Helper()
-	p, err := newPool(ipim.TinyConfig(), workers, queueCap, 1, nil)
+	p, err := newPool(ipim.TinyConfig(), workers, queueCap, 1, nil, 10*time.Millisecond, log.New(io.Discard, "", 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +35,7 @@ func blockWorker(t *testing.T, p *pool) (release func(), done chan error) {
 	gate := make(chan struct{})
 	done = make(chan error, 1)
 	go func() {
-		done <- p.submit(context.Background(), func(m *ipim.Machine) error {
+		done <- p.submit(context.Background(), func(ctx context.Context, m *ipim.Machine) error {
 			close(started)
 			<-gate
 			return nil
@@ -60,7 +62,7 @@ func TestPoolQueueFull(t *testing.T) {
 	// Fill the single queue slot.
 	queued := make(chan error, 1)
 	go func() {
-		queued <- p.submit(context.Background(), func(m *ipim.Machine) error { return nil })
+		queued <- p.submit(context.Background(), func(ctx context.Context, m *ipim.Machine) error { return nil })
 	}()
 	// Wait for the queued job to land in the channel.
 	deadline := time.Now().Add(10 * time.Second)
@@ -68,7 +70,7 @@ func TestPoolQueueFull(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	if err := p.submit(context.Background(), func(m *ipim.Machine) error { return nil }); !errors.Is(err, errQueueFull) {
+	if err := p.submit(context.Background(), func(ctx context.Context, m *ipim.Machine) error { return nil }); !errors.Is(err, errQueueFull) {
 		t.Fatalf("submit on full queue = %v, want errQueueFull", err)
 	}
 
@@ -89,7 +91,7 @@ func TestPoolQueuedJobHonorsDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	ran := atomic.Bool{}
-	err := p.submit(ctx, func(m *ipim.Machine) error {
+	err := p.submit(ctx, func(ctx context.Context, m *ipim.Machine) error {
 		ran.Store(true)
 		return nil
 	})
@@ -110,7 +112,7 @@ func TestPoolQueuedJobHonorsDeadline(t *testing.T) {
 
 func TestPoolPanicIsolation(t *testing.T) {
 	p := newTestPool(t, 1, 4)
-	err := p.submit(context.Background(), func(m *ipim.Machine) error {
+	err := p.submit(context.Background(), func(ctx context.Context, m *ipim.Machine) error {
 		panic("workload went sideways")
 	})
 	if err == nil || !strings.Contains(err.Error(), "panic") {
@@ -120,13 +122,13 @@ func TestPoolPanicIsolation(t *testing.T) {
 		t.Errorf("panicCount = %d, want 1", p.panicCount())
 	}
 	// The worker (and its machine) must still be in service.
-	if err := p.submit(context.Background(), func(m *ipim.Machine) error { return nil }); err != nil {
+	if err := p.submit(context.Background(), func(ctx context.Context, m *ipim.Machine) error { return nil }); err != nil {
 		t.Fatalf("pool dead after panic: %v", err)
 	}
 }
 
 func TestPoolDrain(t *testing.T) {
-	p, err := newPool(ipim.TinyConfig(), 1, 4, 1, nil)
+	p, err := newPool(ipim.TinyConfig(), 1, 4, 1, nil, 10*time.Millisecond, log.New(io.Discard, "", 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +152,7 @@ func TestPoolDrain(t *testing.T) {
 		t.Errorf("in-flight job during drain: %v", err)
 	}
 	// After drain, new work is refused.
-	if err := p.submit(context.Background(), func(m *ipim.Machine) error { return nil }); !errors.Is(err, errDraining) {
+	if err := p.submit(context.Background(), func(ctx context.Context, m *ipim.Machine) error { return nil }); !errors.Is(err, errDraining) {
 		t.Fatalf("submit after drain = %v, want errDraining", err)
 	}
 	// Drain is idempotent.

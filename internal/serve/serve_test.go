@@ -245,7 +245,7 @@ func TestQueueFullReturns429(t *testing.T) {
 	release, _ := blockWorker(t, s.pool)
 	defer release()
 	// Fill the queue slot.
-	go s.pool.submit(context.Background(), func(m *ipim.Machine) error { return nil })
+	go s.pool.submit(context.Background(), func(ctx context.Context, m *ipim.Machine) error { return nil })
 	deadline := time.Now().Add(10 * time.Second)
 	for s.pool.queueDepth() < 2 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
@@ -280,7 +280,8 @@ func TestRequestTimeoutReturns504(t *testing.T) {
 }
 
 // TestGracefulDrain: Shutdown lets the in-flight job finish, flips
-// /healthz to 503, and rejects new process requests with 503.
+// /readyz to 503 (while /healthz stays 200: the process is alive and
+// finishing its queue), and rejects new process requests with 503.
 func TestGracefulDrain(t *testing.T) {
 	s := testServer(t, func(c *Config) { c.Workers = 1; c.QueueCap = 4 })
 	release, done := blockWorker(t, s.pool)
@@ -298,9 +299,14 @@ func TestGracefulDrain(t *testing.T) {
 	}
 
 	rec := httptest.NewRecorder()
-	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
 	if rec.Code != http.StatusServiceUnavailable {
-		t.Errorf("healthz during drain = %d, want 503", rec.Code)
+		t.Errorf("readyz during drain = %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200 (liveness is not readiness)", rec.Code)
 	}
 	rec = httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, processURL("", "Brighten", ""),

@@ -10,9 +10,12 @@
 //     (N concurrent requests for an uncached key trigger one Compile);
 //   - a machine pool — fixed ipim.Machine workers behind a bounded
 //     dispatch queue, giving backpressure (429/503 + Retry-After),
-//     per-request deadlines, panic isolation and graceful drain;
-//   - an observability surface — /healthz, Prometheus-format /metrics
-//     and structured access logs.
+//     per-request deadlines with cooperative mid-run cancellation,
+//     hard cycle budgets, a hang watchdog, panic isolation and
+//     graceful drain;
+//   - an observability surface — /healthz (liveness), /readyz
+//     (readiness), Prometheus-format /metrics and structured access
+//     logs.
 //
 // This is the paper's datacenter deployment scenario (Sec. VI): a
 // standalone accelerator behind a host that amortizes PCIe transfers
@@ -28,6 +31,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -61,6 +65,16 @@ type Config struct {
 	// timeouts (default 5m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// MaxCycles is the hard per-run simulated-cycle budget. It applies
+	// to every run and caps the per-request max_cycles query parameter
+	// (clients may tighten the budget, never loosen it). A run that
+	// exhausts it fails with 504 and increments
+	// ipim_cycle_budget_exceeded_total. 0 disables the server-wide
+	// budget (per-request budgets still apply).
+	MaxCycles int64
+	// WatchdogInterval is the stuck-worker scan period of the pool's
+	// hang watchdog (default 250ms; negative disables it).
+	WatchdogInterval time.Duration
 	// MaxBodyBytes bounds the request body (default 64 MiB).
 	MaxBodyBytes int64
 	// Bus is the modeled host attachment (default PCIe 3.0 x16).
@@ -112,6 +126,9 @@ func (c *Config) fillDefaults() {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.WatchdogInterval == 0 {
+		c.WatchdogInterval = 250 * time.Millisecond
+	}
 	if c.Bus.BytesPerNS == 0 {
 		c.Bus = host.PCIe3x16()
 	}
@@ -158,7 +175,8 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
 	}
-	p, err := newPool(cfg.Machine, cfg.Workers, cfg.QueueCap, cfg.MachineParallelism, cfg.Faults)
+	p, err := newPool(cfg.Machine, cfg.Workers, cfg.QueueCap, cfg.MachineParallelism, cfg.Faults,
+		cfg.WatchdogInterval, cfg.Logger)
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +192,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.metrics.queueDepth = p.queueDepth
 	s.metrics.panicCount = p.panicCount
+	s.metrics.cancelledCount = p.cancelledCount
+	s.metrics.budgetExceededCount = p.budgetExceededCount
+	s.metrics.busySeconds = p.busySeconds
 	s.metrics.cacheStats = s.cache.stats
 	s.metrics.hostSnapshot = func() (int64, int64, int64, int64) {
 		ms := s.meter.Snapshot()
@@ -184,9 +205,11 @@ func New(cfg Config) (*Server, error) {
 		return shedding
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("/v1/process", s.handleProcess)
+	s.mux.HandleFunc("/v1/simb", s.handleSimb)
 	return s, nil
 }
 
@@ -229,7 +252,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // (unknown paths collapse into one label so cardinality stays fixed).
 func metricsRoute(path string) string {
 	switch path {
-	case "/healthz", "/metrics", "/v1/workloads", "/v1/process":
+	case "/healthz", "/readyz", "/metrics", "/v1/workloads", "/v1/process", "/v1/simb":
 		return path
 	}
 	return "other"
@@ -259,10 +282,27 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// handleHealthz is pure liveness: it answers 200 as long as the
+// process can serve HTTP at all, draining or not, so orchestrators
+// don't kill a pod that is gracefully finishing its queue. Readiness
+// (should this instance receive NEW traffic?) is /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 503 while the server is draining or
+// shedding load in degraded mode — take it out of the balancer — and
+// 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if retryAfter, shedding := s.degrade.active(); shedding {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		http.Error(w, "degraded: uncorrected-error rate above threshold", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -350,17 +390,15 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	timeout := s.cfg.DefaultTimeout
-	if tq := q.Get("timeout"); tq != "" {
-		d, err := time.ParseDuration(tq)
-		if err != nil || d <= 0 {
-			http.Error(w, fmt.Sprintf("bad timeout %q", tq), http.StatusBadRequest)
-			return
-		}
-		timeout = d
+	timeout, err := s.requestTimeout(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
+	budget, err := s.requestBudget(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -419,8 +457,8 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	res := &runResult{}
 	run := func() error {
 		*res = runResult{}
-		return s.pool.submit(ctx, func(m *ipim.Machine) error {
-			return s.runOn(m, art, planes, res)
+		return s.pool.submit(ctx, func(ctx context.Context, m *ipim.Machine) error {
+			return s.runOn(ctx, m, art, planes, budget, res)
 		})
 	}
 	err = run()
@@ -494,8 +532,10 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 }
 
 // runOn executes every plane of a request on one pooled machine,
-// accumulating the simulated accounting into res.
-func (s *Server) runOn(m *ipim.Machine, art *ipim.Artifact, planes []*ipim.Image, res *runResult) error {
+// accumulating the simulated accounting into res. ctx and budget flow
+// into the simulator: mid-run cancellation and cycle-budget aborts
+// surface as ipim.ErrCancelled / ipim.ErrCycleBudget.
+func (s *Server) runOn(ctx context.Context, m *ipim.Machine, art *ipim.Artifact, planes []*ipim.Image, budget ipim.RunOptions, res *runResult) error {
 	nPEs, nVaults := s.cfg.Machine.TotalPEs(), s.cfg.Machine.TotalVaults()
 	accumulate := func(stats *ipim.Stats) {
 		res.cycles += stats.Cycles
@@ -506,7 +546,7 @@ func (s *Server) runOn(m *ipim.Machine, art *ipim.Artifact, planes []*ipim.Image
 		res.injected += stats.DRAM.ECCCorrected + stats.DRAM.ECCUncorrected + stats.NoC.LinkFaults
 	}
 	if art.Plan.Pipe.Histogram {
-		bins, stats, err := ipim.RunHistogram(m, art, planes[0])
+		bins, stats, err := ipim.RunHistogramContext(ctx, m, art, planes[0], budget)
 		if err != nil {
 			return err
 		}
@@ -515,7 +555,7 @@ func (s *Server) runOn(m *ipim.Machine, art *ipim.Artifact, planes []*ipim.Image
 		return nil
 	}
 	for _, p := range planes {
-		out, stats, err := ipim.Run(m, art, p)
+		out, stats, err := ipim.RunContext(ctx, m, art, p, budget)
 		if err != nil {
 			return err
 		}
@@ -525,10 +565,132 @@ func (s *Server) runOn(m *ipim.Machine, art *ipim.Artifact, planes []*ipim.Image
 	return nil
 }
 
+// handleSimb runs raw SIMB assembly (POST body) on a pooled machine:
+// the program is assembled, finalized, loaded into every vault and run
+// under the request's deadline and cycle budget, returning the
+// simulated statistics as JSON. This is the escape hatch below the
+// workload layer — and the reason the cancellation path matters: a
+// hand-written program can loop forever, and the deadline/budget
+// machinery is what guarantees the worker comes back.
+func (s *Server) handleSimb(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.isDraining() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if retryAfter, shedding := s.degrade.active(); shedding {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		http.Error(w, "degraded: uncorrected-error rate above threshold", http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query()
+	timeout, err := s.requestTimeout(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	budget, err := s.requestBudget(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	prog, err := ipim.Assemble(string(body))
+	if err != nil {
+		http.Error(w, "assemble: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := prog.Finalize(); err != nil {
+		http.Error(w, "finalize: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	var stats ipim.Stats
+	err = s.pool.submit(ctx, func(ctx context.Context, m *ipim.Machine) error {
+		prev := m.Budget()
+		m.SetBudget(budget)
+		defer m.SetBudget(prev)
+		st, err := m.RunSameContext(ctx, prog)
+		if err != nil {
+			return err
+		}
+		stats = st
+		return nil
+	})
+	if err != nil {
+		s.failProcess(w, err)
+		return
+	}
+	energyJ := ipim.EnergyOf(&stats, s.cfg.Machine.TotalPEs(), s.cfg.Machine.TotalVaults()).Total()
+	s.metrics.observeRun(stats.Cycles, energyJ,
+		stats.DRAM.ECCCorrected+stats.DRAM.ECCUncorrected+stats.NoC.LinkFaults,
+		stats.DRAM.ECCCorrected, stats.DRAM.ECCUncorrected)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"cycles":    stats.Cycles,
+		"issued":    stats.Issued,
+		"ipc":       stats.IPC(),
+		"energy_pj": energyJ * 1e12,
+	})
+}
+
+// requestTimeout resolves the request deadline from the timeout query
+// parameter, defaulted and capped by the server configuration.
+func (s *Server) requestTimeout(q url.Values) (time.Duration, error) {
+	timeout := s.cfg.DefaultTimeout
+	if tq := q.Get("timeout"); tq != "" {
+		d, err := time.ParseDuration(tq)
+		if err != nil || d <= 0 {
+			return 0, fmt.Errorf("bad timeout %q", tq)
+		}
+		timeout = d
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout, nil
+}
+
+// requestBudget resolves the effective cycle budget for one request:
+// the server-wide Config.MaxCycles, optionally TIGHTENED by the
+// max_cycles query parameter. A client can never loosen the server
+// cap.
+func (s *Server) requestBudget(q url.Values) (ipim.RunOptions, error) {
+	b := ipim.RunOptions{MaxCycles: s.cfg.MaxCycles}
+	if mq := q.Get("max_cycles"); mq != "" {
+		n, err := strconv.ParseInt(mq, 10, 64)
+		if err != nil || n <= 0 {
+			return b, fmt.Errorf("bad max_cycles %q (want a positive integer)", mq)
+		}
+		if s.cfg.MaxCycles == 0 || n < s.cfg.MaxCycles {
+			b.MaxCycles = n
+		}
+	}
+	return b, nil
+}
+
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the caller went away, so no response will be read; distinct
+// from 504 so dashboards separate server-side timeouts from client
+// aborts.
+const statusClientClosedRequest = 499
+
 // failProcess maps a pool/run error onto the HTTP status contract:
 // 429 queue full, 503 draining or unrecovered transient fault (all
-// with Retry-After), 504 deadline, 500 anything else (including
-// recovered worker panics).
+// with Retry-After), 504 deadline or cycle-budget exhaustion, 499
+// client-cancelled, 500 anything else (including recovered worker
+// panics).
 func (s *Server) failProcess(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueueFull):
@@ -537,8 +699,10 @@ func (s *Server) failProcess(w http.ResponseWriter, err error) {
 	case errors.Is(err, errDraining), errors.Is(err, ipim.ErrTransientFault):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, ipim.ErrCycleBudget), errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, ipim.ErrCancelled), errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), statusClientClosedRequest)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}

@@ -1,0 +1,53 @@
+package sim
+
+// Run control: execution budgets and the typed errors the cancellation
+// path produces. The vocabulary lives in sim so every layer — the vault
+// step loop, the cube phase loop, and the public ipim API — shares one
+// set of sentinel errors without import cycles.
+
+import "errors"
+
+// RunOptions bounds one machine run. The zero value means unlimited:
+// no budget checks run and the execution loop is untouched, so a
+// zero-budget RunContext is bit-identical to Run.
+//
+// Budget decisions are made against vault-local state only (each
+// vault's own clock and issue counter), which makes the error point a
+// pure function of the workload: the same budget on the same programs
+// trips at the same instruction on every schedule, serial or parallel,
+// at any worker count.
+type RunOptions struct {
+	// MaxCycles aborts the run once any vault's clock advances this
+	// many cycles past the point the run started (0 = unlimited). The
+	// whole machine is bounded: vaults only drift apart within one
+	// barrier phase, so every vault stops within one phase of the
+	// budget.
+	MaxCycles int64
+
+	// MaxPhaseSteps aborts the run once any vault issues this many
+	// instructions inside a single barrier phase without reaching sync
+	// or end-of-program (0 = unlimited). This is the guard against
+	// never-syncing programs whose backward branches are cheap in
+	// cycles but unbounded in instructions.
+	MaxPhaseSteps int64
+}
+
+// Enabled reports whether any budget is set.
+func (o RunOptions) Enabled() bool { return o.MaxCycles > 0 || o.MaxPhaseSteps > 0 }
+
+// Errors produced by the run-control layer. Callers match with
+// errors.Is; both are returned wrapped in context describing the vault
+// and program point that tripped.
+var (
+	// ErrCycleBudget marks a run aborted by RunOptions.MaxCycles or
+	// RunOptions.MaxPhaseSteps. The machine has been reset to a clean
+	// reusable state when a Run* method returns it.
+	ErrCycleBudget = errors.New("execution budget exceeded")
+
+	// ErrCancelled marks a run aborted because its context was
+	// cancelled or timed out. It wraps the context's cause, so
+	// errors.Is(err, context.DeadlineExceeded) also works. The machine
+	// has been reset to a clean reusable state when a Run* method
+	// returns it.
+	ErrCancelled = errors.New("run cancelled")
+)

@@ -96,6 +96,20 @@ type Vault struct {
 	execN     uint64
 	execSite  uint64
 	bankSites [][]uint64 // [pg][bank] decision-site ids
+
+	// Run control, armed per run by the machine (BeginRun). limited
+	// gates every check with one branch so an unarmed vault's issue
+	// loop is untouched. Budget checks read only vault-owned state
+	// (clock, issue counters), so the error point is identical on
+	// every phase schedule; the interrupt hook (context cancellation)
+	// is polled at a bounded instruction interval and is the only
+	// wall-clock-dependent exit.
+	limited    bool
+	budget     sim.RunOptions
+	interrupt  func() error
+	runStart   int64 // vault clock when the current run was armed
+	phaseSteps int64 // instructions issued in the current phase
+	sinceCheck int   // instructions since the interrupt hook last ran
 }
 
 // New builds a vault.
@@ -226,6 +240,88 @@ func (v *Vault) AlignTo(t int64) {
 	}
 }
 
+// InterruptEvery is the instruction interval at which an armed vault
+// polls its interrupt hook inside a phase: small enough that even a
+// tight two-instruction spin loop is interruptible within microseconds
+// of wall clock, large enough that the poll cost vanishes against the
+// issue loop.
+const InterruptEvery = 1024
+
+// BeginRun arms run control for one machine run: the budget (zero =
+// unlimited) and an optional interrupt hook polled every InterruptEvery
+// issued instructions. Budgets are measured from the vault's current
+// clock. The machine calls this after Load and disarms with EndRun.
+func (v *Vault) BeginRun(budget sim.RunOptions, interrupt func() error) {
+	v.budget = budget
+	v.interrupt = interrupt
+	v.runStart = v.now
+	v.phaseSteps = 0
+	v.sinceCheck = 0
+	v.limited = budget.Enabled() || interrupt != nil
+}
+
+// EndRun disarms run control.
+func (v *Vault) EndRun() {
+	v.budget = sim.RunOptions{}
+	v.interrupt = nil
+	v.limited = false
+}
+
+// checkRunControl enforces the armed budgets and polls the interrupt
+// hook. Called once per issue-loop iteration when limited.
+func (v *Vault) checkRunControl() error {
+	v.phaseSteps++
+	if b := v.budget.MaxPhaseSteps; b > 0 && v.phaseSteps > b {
+		v.Stats.Cycles = v.now
+		return fmt.Errorf("vault %d/%d: pc=%d: %w: %d instructions in one phase without sync (budget %d)",
+			v.CubeID, v.ID, v.pc, sim.ErrCycleBudget, v.phaseSteps-1, b)
+	}
+	if b := v.budget.MaxCycles; b > 0 && v.now-v.runStart >= b {
+		v.Stats.Cycles = v.now
+		return fmt.Errorf("vault %d/%d: pc=%d: %w: %d cycles into the run (budget %d)",
+			v.CubeID, v.ID, v.pc, sim.ErrCycleBudget, v.now-v.runStart, b)
+	}
+	if v.interrupt != nil {
+		if v.sinceCheck++; v.sinceCheck >= InterruptEvery {
+			v.sinceCheck = 0
+			if err := v.interrupt(); err != nil {
+				v.Stats.Cycles = v.now
+				return fmt.Errorf("vault %d/%d: pc=%d: %w", v.CubeID, v.ID, v.pc, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Abort abandons the in-flight run and returns the vault to a clean,
+// reusable idle timing state: issued queue and pending remote traffic
+// dropped, clock and TSV timeline rewound to zero, I$ cold, and every
+// per-PG DRAM controller timing-reset. Cumulative statistics and fault
+// event counters are preserved — counters only accumulate (callers diff
+// snapshots), and fault decision streams continue where they left off.
+// The one exception is Stats.Cycles: it mirrors the wall clock (Add
+// max-folds it rather than summing), so it rewinds with the clock to
+// keep post-abort snapshot diffs meaningful.
+func (v *Vault) Abort() {
+	v.prog = nil
+	v.pc = 0
+	v.inflight = v.inflight[:0]
+	for addr := range v.vsmReady {
+		delete(v.vsmReady, addr)
+	}
+	v.done = true
+	v.now = 0
+	v.Stats.Cycles = 0
+	v.tsvFree = 0
+	for i := range v.icache {
+		v.icache[i] = -1
+	}
+	for _, pg := range v.PGs {
+		pg.Ctrl.ResetTiming()
+	}
+	v.EndRun()
+}
+
 // RunPhase executes instructions until the program ends (done=true) or a
 // sync instruction retires (done=false; the machine aligns vaults and
 // calls RunPhase again).
@@ -233,6 +329,7 @@ func (v *Vault) RunPhase() (bool, error) {
 	if v.prog == nil {
 		return true, fmt.Errorf("vault: no program loaded")
 	}
+	v.phaseSteps = 0
 	if v.fp.ExecEnabled() {
 		// Transient execution fault: one roll per phase, indexed by the
 		// vault's own phase counter so the decision is schedule-free.
@@ -249,6 +346,11 @@ func (v *Vault) RunPhase() (bool, error) {
 			v.done = true
 			v.Stats.Cycles = v.now
 			return true, nil
+		}
+		if v.limited {
+			if err := v.checkRunControl(); err != nil {
+				return false, err
+			}
 		}
 		in := &v.prog.Ins[v.pc]
 		if in.Op == isa.OpSync {

@@ -23,6 +23,7 @@
 package ipim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -74,11 +75,28 @@ type (
 	// FaultPlan is a deterministic, seeded fault-injection campaign
 	// (attach with Machine.SetFaultPlan; see internal/fault).
 	FaultPlan = fault.Plan
+	// RunOptions bounds a run with hard execution budgets (install with
+	// Machine.SetBudget or pass to RunContext helpers). Budget checks
+	// use only vault-local state, so the error point is deterministic
+	// at any worker count.
+	RunOptions = sim.RunOptions
 )
 
 // ErrTransientFault marks injected transient execution faults; runs
 // failing with an error wrapping it may be retried.
 var ErrTransientFault = fault.ErrTransient
+
+// Run-control errors. A run aborted by either leaves the machine Reset
+// and immediately reusable.
+var (
+	// ErrCycleBudget marks a run that exhausted RunOptions.MaxCycles or
+	// RunOptions.MaxPhaseSteps. Match with errors.Is.
+	ErrCycleBudget = sim.ErrCycleBudget
+	// ErrCancelled marks a run aborted by context cancellation or
+	// timeout; it wraps the context's cause, so
+	// errors.Is(err, context.DeadlineExceeded) also works.
+	ErrCancelled = sim.ErrCancelled
+)
 
 // ParseFaultPlan parses a -faults flag spec such as
 // "seed=7,dram=1e-5,multibit=0.2,link=1e-6,linkpenalty=20,exec=0.001".
@@ -206,6 +224,62 @@ func RunHistogram(m *Machine, art *Artifact, img *Image) ([]int32, Stats, error)
 		return nil, Stats{}, err
 	}
 	return bins, stats, nil
+}
+
+// RunContext is Run with cooperative cancellation and an optional
+// execution budget. The context is checked at every phase barrier and
+// at a bounded instruction interval inside phases, so even a
+// never-syncing program is interruptible. On cancellation the error
+// wraps ErrCancelled (and the context's cause); on budget exhaustion,
+// ErrCycleBudget. Either way the machine has been Reset and is
+// immediately reusable. opts temporarily overrides the machine's
+// installed budget when non-zero; the machine's own budget is restored
+// before returning. A RunContext under a non-expiring context and zero
+// budget is bit-identical to Run.
+func RunContext(ctx context.Context, m *Machine, art *Artifact, img *Image, opts RunOptions) (*Image, Stats, error) {
+	restore := applyBudget(m, opts)
+	defer restore()
+	if err := compiler.LoadInput(m, art, img); err != nil {
+		return nil, Stats{}, err
+	}
+	stats, err := compiler.ExecuteContext(ctx, m, art)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out, err := compiler.ReadOutput(m, art)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return out, stats, nil
+}
+
+// RunHistogramContext is RunContext for histogram pipelines.
+func RunHistogramContext(ctx context.Context, m *Machine, art *Artifact, img *Image, opts RunOptions) ([]int32, Stats, error) {
+	restore := applyBudget(m, opts)
+	defer restore()
+	if err := compiler.LoadInput(m, art, img); err != nil {
+		return nil, Stats{}, err
+	}
+	stats, err := compiler.ExecuteContext(ctx, m, art)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	bins, err := compiler.ReadHistogram(m, art)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return bins, stats, nil
+}
+
+// applyBudget temporarily installs a non-zero budget override on the
+// machine, returning the function that restores the previous budget.
+func applyBudget(m *Machine, opts RunOptions) func() {
+	if !opts.Enabled() {
+		return func() {}
+	}
+	prev := m.Budget()
+	m.SetBudget(opts)
+	return func() { m.SetBudget(prev) }
 }
 
 // Synth generates a deterministic scene-like test image (the DIV8K

@@ -27,6 +27,7 @@ go test -race -cover -coverprofile=coverage.out -timeout 30m ./...
 # between PRs. Keep -fuzztime small; this is a build/harness check, not
 # a bug hunt.
 go test ./internal/isa -run='^$' -fuzz='^FuzzAssemble$' -fuzztime=10s
+go test ./internal/pixel -run='^$' -fuzz='^FuzzNetpbm$' -fuzztime=10s
 
 # Coverage floor over the internal packages' own statements (cmd/ and
 # examples/ mains are exercised end-to-end by the examples smoke test

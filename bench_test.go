@@ -15,6 +15,7 @@ package ipim
 import (
 	"testing"
 
+	"ipim/internal/compiler"
 	"ipim/internal/energy"
 	"ipim/internal/exp"
 	"ipim/internal/isa"
@@ -306,6 +307,53 @@ func BenchmarkFullMachineRunSame(b *testing.B) {
 					b.ReportMetric(float64(stats.Cycles), "sim-cycles")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkSimCore measures raw simulator-core throughput — Execute
+// only, no image I/O or machine construction — for three Table II
+// workloads on the representative vault, reusing one machine across
+// iterations the way the serving pool does. Shift is the stall-heavy
+// case (pure data movement: every instruction is a bank access, so the
+// run is dominated by DRAM-queue and data-hazard waits the event-driven
+// fast-forward skips); Brighten adds compute; GaussianBlur adds halo
+// traffic. BENCH_simcore.json records this benchmark's trajectory
+// across PRs (see docs/BENCHMARKS.md).
+func BenchmarkSimCore(b *testing.B) {
+	for _, name := range []string{"Shift", "GaussianBlur", "Brighten"} {
+		b.Run(name, func(b *testing.B) {
+			cfg := OneVaultConfig()
+			wl, err := WorkloadByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			img := Synth(wl.BenchW, wl.BenchH, 1)
+			pipe := wl.Build().Pipe
+			art, err := Compile(&cfg, pipe, img.W, img.H, Opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := NewMachine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := compiler.LoadInput(m, art, img); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var issued int64
+			for i := 0; i < b.N; i++ {
+				stats, err := compiler.Execute(m, art)
+				if err != nil {
+					b.Fatal(err)
+				}
+				issued += stats.Issued
+				if i == 0 {
+					b.ReportMetric(float64(stats.Cycles), "sim-cycles")
+				}
+			}
+			b.ReportMetric(float64(issued)/b.Elapsed().Seconds(), "sim-instrs/s")
 		})
 	}
 }

@@ -56,6 +56,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s (%s): %d cycles, IPC %.3f\n\n", wl.Name, opts.Name(), stats.Cycles, stats.IPC())
+	fmt.Printf("%s (%s): %d cycles, IPC %.3f", wl.Name, opts.Name(), stats.Cycles, stats.IPC())
+	if ff := m.FastForwardedCycles(); ff > 0 {
+		// Skipped idle spans are reported as their own category (and per
+		// entry in the digest below), never folded into a stall reason.
+		fmt.Printf(", %d idle cycles fast-forwarded", ff)
+	}
+	fmt.Print("\n\n")
 	fmt.Print(tr.Summary(art.Prog, *top))
 }

@@ -1,0 +1,185 @@
+package ipim
+
+// The fast-forward differential harness: idle-cycle fast-forward (the
+// default) must be a pure host-time optimization. For any workload,
+// machine shape, schedule, and fault plan, a fast-forwarded run and a
+// stepwise run (SetFastForward(false), which walks every stall cycle
+// one by one) must agree bit for bit on the FULL sim.Stats — cycle
+// counts, the per-reason stall breakdown, DRAM/NoC counters, ECC fault
+// tallies — and on the functional output. These tests are the safety
+// net behind every advanceTo jump in internal/vault.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ipim/internal/dram"
+)
+
+// ffRun compiles wl at its test size for cfg and runs it on a fresh
+// machine with fast-forward on or off. Histogram reduces to bins; image
+// workloads return pixels — either way one []float32 to compare.
+func ffRun(t *testing.T, cfg Config, wlName string, seed uint64, parallelism int, fastForward bool, plan *FaultPlan) (Stats, []float32, int64) {
+	t.Helper()
+	wl, err := WorkloadByName(wlName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := Synth(2*wl.TestW, 2*wl.TestH, seed)
+	art, err := Compile(&cfg, wl.Build().Pipe, img.W, img.H, Opt)
+	if err != nil {
+		t.Fatalf("compile %s: %v", wlName, err)
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetParallelism(parallelism)
+	if !fastForward {
+		// Only force stepwise explicitly; leaving the default alone lets
+		// TestNoFFEnvOverride see the IPIM_NO_FF construction-time state.
+		m.SetFastForward(false)
+	}
+	m.SetFaultPlan(plan)
+	if wlName == "Histogram" {
+		bins, stats, err := RunHistogram(m, art, img)
+		if err != nil {
+			t.Fatalf("run %s: %v", wlName, err)
+		}
+		out := make([]float32, len(bins))
+		for i, b := range bins {
+			out[i] = float32(b)
+		}
+		return stats, out, m.FastForwardedCycles()
+	}
+	out, stats, err := Run(m, art, img)
+	if err != nil {
+		t.Fatalf("run %s: %v", wlName, err)
+	}
+	return stats, out.Pix, m.FastForwardedCycles()
+}
+
+// TestFastForwardMatchesStepwise is the core differential on the
+// standard machine shape: fast-forward on vs off, identical stats and
+// outputs, and the fast path must actually skip cycles (otherwise the
+// comparison is vacuous).
+func TestFastForwardMatchesStepwise(t *testing.T) {
+	for _, wlName := range []string{"Brighten", "GaussianBlur", "Shift", "Histogram"} {
+		t.Run(wlName, func(t *testing.T) {
+			cfg := detConfig()
+			ffStats, ffOut, skipped := ffRun(t, cfg, wlName, 11, 4, true, nil)
+			swStats, swOut, swSkipped := ffRun(t, cfg, wlName, 11, 4, false, nil)
+			if !reflect.DeepEqual(ffStats, swStats) {
+				t.Errorf("stats diverge between fast-forward and stepwise:\nff:       %+v\nstepwise: %+v",
+					ffStats, swStats)
+			}
+			if !reflect.DeepEqual(ffOut, swOut) {
+				t.Errorf("functional output diverges between fast-forward and stepwise")
+			}
+			if skipped == 0 {
+				t.Errorf("fast-forward run skipped no cycles — the differential is vacuous")
+			}
+			if swSkipped != 0 {
+				t.Errorf("stepwise run reports %d fast-forwarded cycles; want 0", swSkipped)
+			}
+		})
+	}
+}
+
+// TestFastForwardRandomMatrix randomizes the machine shape, scheduling
+// and page policies, workload, worker count, and fault rate (including
+// a low 1e-6 DRAM bit-flip rate, so the fault decision streams are
+// pinned too), and requires the two modes to agree on every draw. The
+// rand stream is fixed-seed: every run tests the same matrix.
+func TestFastForwardRandomMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	workloads := []string{"Brighten", "GaussianBlur", "Shift", "Histogram", "Downsample", "Upsample"}
+	rates := []float64{0, 1e-6}
+	exercised := 0
+	for i := 0; i < 10; i++ {
+		cfg := DefaultConfig()
+		cfg.Cubes = 1 + rng.Intn(2)
+		cfg.VaultsPerCube = []int{2, 4}[rng.Intn(2)]
+		cfg.PGsPerVault = 1 + rng.Intn(2)
+		cfg.PEsPerPG = []int{2, 4}[rng.Intn(2)]
+		cfg.BankBytes = 1 << 20
+		if rng.Intn(2) == 1 {
+			cfg.Page = dram.ClosePage
+		}
+		if rng.Intn(2) == 1 {
+			cfg.Sched = dram.FCFS
+		}
+		wlName := workloads[rng.Intn(len(workloads))]
+		seed := rng.Uint64()
+		workers := 1 + rng.Intn(4)
+		rate := rates[i%len(rates)]
+		// Some draws are legitimately incompatible (the compiler rejects
+		// shapes whose PE count does not divide the tile grid); skip those
+		// deterministically rather than shrinking the matrix. The fixed
+		// rand seed keeps the skipped set identical on every run.
+		wl, err := WorkloadByName(wlName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := Synth(2*wl.TestW, 2*wl.TestH, seed)
+		if _, err := Compile(&cfg, wl.Build().Pipe, img.W, img.H, Opt); err != nil {
+			t.Logf("draw %d (%s, %d cubes × %d vaults, %d PGs × %d PEs) skipped: %v",
+				i, wlName, cfg.Cubes, cfg.VaultsPerCube, cfg.PGsPerVault, cfg.PEsPerPG, err)
+			continue
+		}
+		exercised++
+		var plan *FaultPlan
+		if rate > 0 {
+			plan = &FaultPlan{Seed: seed ^ 0x9e37, DRAMBitFlipRate: rate, DRAMMultiBitFraction: 0.5}
+		}
+		ffStats, ffOut, _ := ffRun(t, cfg, wlName, seed, workers, true, plan)
+		swStats, swOut, _ := ffRun(t, cfg, wlName, seed, workers, false, plan)
+		if !reflect.DeepEqual(ffStats, swStats) {
+			t.Errorf("draw %d (%s, %d cubes × %d vaults, %d PGs × %d PEs, page=%v sched=%v, workers=%d, rate=%g): stats diverge:\nff:       %+v\nstepwise: %+v",
+				i, wlName, cfg.Cubes, cfg.VaultsPerCube, cfg.PGsPerVault, cfg.PEsPerPG, cfg.Page, cfg.Sched, workers, rate, ffStats, swStats)
+		}
+		if !reflect.DeepEqual(ffOut, swOut) {
+			t.Errorf("draw %d (%s): output diverges between fast-forward and stepwise", i, wlName)
+		}
+	}
+	if exercised < 6 {
+		t.Errorf("only %d of 10 matrix draws compiled — widen the shapes or reseed", exercised)
+	}
+}
+
+// TestFastForwardFaultCountersMatch pins the fault path specifically: a
+// rate high enough to inject real ECC events must tally identically in
+// both modes (the decision streams are indexed by vault-owned event
+// counters, never by the clock, so skipping idle cycles cannot shift
+// them).
+func TestFastForwardFaultCountersMatch(t *testing.T) {
+	cfg := detConfig()
+	plan := &FaultPlan{Seed: 99, DRAMBitFlipRate: 5e-3, DRAMMultiBitFraction: 0.5}
+	ffStats, ffOut, _ := ffRun(t, cfg, "GaussianBlur", 5, 4, true, plan)
+	swStats, swOut, _ := ffRun(t, cfg, "GaussianBlur", 5, 4, false, plan)
+	if ffStats.DRAM.ECCCorrected == 0 && ffStats.DRAM.ECCUncorrected == 0 {
+		t.Fatal("fault plan injected nothing — the comparison lost its teeth")
+	}
+	if !reflect.DeepEqual(ffStats, swStats) {
+		t.Errorf("fault-injected stats diverge:\nff:       %+v\nstepwise: %+v", ffStats, swStats)
+	}
+	if !reflect.DeepEqual(ffOut, swOut) {
+		t.Errorf("fault-injected outputs diverge between fast-forward and stepwise")
+	}
+}
+
+// TestNoFFEnvOverride pins the IPIM_NO_FF escape hatch: with the
+// environment set, a freshly built machine runs stepwise even without
+// SetFastForward(false) — and still produces identical results.
+func TestNoFFEnvOverride(t *testing.T) {
+	ref, _, _ := ffRun(t, detConfig(), "Brighten", 7, 2, true, nil)
+	t.Setenv("IPIM_NO_FF", "1")
+	got, _, skipped := ffRun(t, detConfig(), "Brighten", 7, 2, true, nil)
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("IPIM_NO_FF=1 run diverges from fast-forward run:\nwant %+v\ngot  %+v", ref, got)
+	}
+	if skipped != 0 {
+		t.Errorf("IPIM_NO_FF=1 machine reports %d fast-forwarded cycles; want 0", skipped)
+	}
+}

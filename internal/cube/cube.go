@@ -47,7 +47,7 @@ type port struct {
 
 // Machine is a complete iPIM accelerator.
 type Machine struct {
-	Cfg sim.Config
+	Cfg sim.Config // the validated configuration the machine was built from
 
 	// Vaults[cube][vault].
 	Vaults [][]*vault.Vault
@@ -68,6 +68,11 @@ type Machine struct {
 	parallelism int
 	forceSerial bool
 
+	// stepwise disables idle-cycle fast-forward on every vault (see
+	// Vault.SetFastForward). Set via SetFastForward; forced on when
+	// IPIM_NO_FF=1 is set in the environment.
+	stepwise bool
+
 	// budget bounds every run until changed (zero = unlimited). Set via
 	// SetBudget.
 	budget sim.RunOptions
@@ -79,6 +84,9 @@ func New(cfg sim.Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{Cfg: cfg, forceSerial: os.Getenv("IPIM_SERIAL") == "1"}
+	if os.Getenv("IPIM_NO_FF") == "1" {
+		m.stepwise = true
+	}
 	t := cfg.Timing
 	m.remoteServiceLat = int64(t.TRCD + t.TCL + 1 + 8)
 	mw, mh := meshDims(cfg.VaultsPerCube)
@@ -103,7 +111,62 @@ func New(cfg sim.Config) (*Machine, error) {
 		}
 		m.ports = append(m.ports, ps)
 	}
+	if m.stepwise {
+		m.SetFastForward(false)
+	}
 	return m, nil
+}
+
+// SetFastForward enables (the default) or disables idle-cycle
+// fast-forward on every vault. Disabled, stall waits advance each
+// vault's clock one cycle at a time — the reference semantics the
+// event-driven jumps are differentially tested against. Both modes
+// produce bit-identical sim.Stats and outputs; only host time differs.
+// IPIM_NO_FF=1 in the environment forces it off at construction (the
+// debugging escape hatch, mirroring IPIM_SERIAL). Not safe to call
+// during an active Run.
+func (m *Machine) SetFastForward(on bool) {
+	m.stepwise = !on
+	for _, cube := range m.Vaults {
+		for _, v := range cube {
+			v.SetFastForward(on)
+		}
+	}
+}
+
+// FastForward reports whether idle-cycle fast-forward is enabled.
+func (m *Machine) FastForward() bool { return !m.stepwise }
+
+// FastForwardedCycles totals, over every vault, the idle cycles crossed
+// in event jumps without simulating them individually (simulated
+// cycles, cumulative over the machine's lifetime; zero with
+// fast-forward disabled). Diagnostic only — deliberately not part of
+// sim.Stats, which is bit-identical in both modes.
+func (m *Machine) FastForwardedCycles() int64 {
+	var ff int64
+	for _, cube := range m.Vaults {
+		for _, v := range cube {
+			ff += v.FastForwardedCycles()
+		}
+	}
+	return ff
+}
+
+// NextEvent returns a lower bound on the next cycle at or after now at
+// which any vault's pending state can change on its own (the min of the
+// per-vault bounds; see Vault.NextEvent), or vault.NoEvent when every
+// vault is quiescent. Only meaningful between phases — during a phase
+// the vaults advance their own clocks concurrently.
+func (m *Machine) NextEvent(now int64) int64 {
+	best := vault.NoEvent
+	for _, cube := range m.Vaults {
+		for _, v := range cube {
+			if t := v.NextEvent(now); t < best {
+				best = t
+			}
+		}
+	}
+	return best
 }
 
 // SetParallelism bounds the worker goroutines Run uses per barrier

@@ -98,8 +98,16 @@ func (g Geometry) RowOf(addr uint32) int { return int(addr) / g.RowBytes }
 // AccessBytes is the bank I/O width per column access: 128 bits.
 const AccessBytes = 16
 
-// Request is one 128-bit column access. The engine allocates a Request,
-// enqueues it, and polls Done/Finish after advancing the controller.
+// NoEvent is the NextEvent sentinel for an idle controller: no queued
+// request, so no future time at which its state changes on its own.
+const NoEvent int64 = math.MaxInt64
+
+// Request is one 128-bit column access. The engine allocates a Request
+// (vaults recycle them through a free list), enqueues it, and polls
+// Done/Finish after advancing the controller. All time fields are in
+// DRAM cycles (1 cycle = 1 ns at the paper's 1 GHz clock). Enqueue
+// reinitializes every scheduling field, so a recycled Request needs no
+// explicit reset.
 type Request struct {
 	Bank  int    // bank index within this controller (= PE index in PG)
 	Addr  uint32 // byte address within the bank
@@ -110,6 +118,7 @@ type Request struct {
 	Finish int64 // data available (read) / write recoverable
 
 	issued bool // command sequence completed; burst scheduled
+	row    int  // Addr's row index, cached at Enqueue
 }
 
 // Stats counts controller activity for the energy model and Fig. 13
@@ -249,17 +258,23 @@ func (c *Controller) Enqueue(now int64, r *Request) bool {
 	r.Arrive = now
 	r.Done = false
 	r.issued = false
+	r.row = c.geom.RowOf(r.Addr)
 	c.queue = append(c.queue, r)
 	return true
 }
 
-// NextEvent returns the earliest future time at which the controller can
-// make progress, or math.MaxInt64 when idle.
+// NextEvent returns the earliest future time (in DRAM cycles, strictly
+// after now) at which the controller can make progress, or NoEvent when
+// the queue is empty. This is the fast-forward lower bound the vault's
+// event loop jumps to: it accounts for PRE/ACT sequences, tFAW windows
+// and the lazily applied refresh blackouts (a pending refresh is
+// materialized by earliestIssue the moment a request would cross it, so
+// an idle controller never needs waking just to refresh).
 func (c *Controller) NextEvent(now int64) int64 {
 	if len(c.queue) == 0 {
-		return math.MaxInt64
+		return NoEvent
 	}
-	best := int64(math.MaxInt64)
+	best := NoEvent
 	for _, r := range c.queue {
 		if t := c.earliestIssue(r, now); t < best {
 			best = t
@@ -305,8 +320,7 @@ func (c *Controller) pick(t int64) (*Request, int64) {
 		return oldest, c.earliestIssue(oldest, oldest.Arrive)
 	}
 	for _, r := range c.queue {
-		b := &c.banks[r.Bank]
-		if b.openRow == c.geom.RowOf(r.Addr) {
+		if c.banks[r.Bank].openRow == r.row {
 			return r, c.earliestIssue(r, r.Arrive)
 		}
 	}
@@ -317,7 +331,7 @@ func (c *Controller) pick(t int64) (*Request, int64) {
 // can issue, accounting for any needed PRE/ACT and refresh blackout.
 func (c *Controller) earliestIssue(r *Request, now int64) int64 {
 	b := &c.banks[r.Bank]
-	row := c.geom.RowOf(r.Addr)
+	row := r.row
 	t := now
 	if t < c.refUntil {
 		t = c.refUntil
@@ -402,7 +416,7 @@ func (c *Controller) issue(r *Request, issueAt int64) {
 		c.bypassed++
 	}
 	b := &c.banks[r.Bank]
-	row := c.geom.RowOf(r.Addr)
+	row := r.row
 	if b.openRow == row {
 		c.Stats.RowHits++
 	} else {

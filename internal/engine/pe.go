@@ -138,7 +138,29 @@ func (pe *PE) SnapshotRead(addr uint32, n int) ([]byte, error) {
 // charges a second column access when the 128-bit window crosses a
 // column boundary.
 func (pe *PE) LoadVector(addr uint32, reg int, vmask uint8) error {
-	for l := 0; l < isa.VecLanes; l++ {
+	hi := highSetLane(vmask)
+	if hi < 0 {
+		return nil
+	}
+	// Fast path: when the whole span [addr, addr+4*hi+4) fits the bank
+	// without 32-bit address wraparound, one bounds check + growth
+	// covers every lane. Lane addresses wrap mod 2^32 by the ISA's
+	// indirect-addressing semantics (e.g. base-4 with lane 0 masked
+	// off), so a span that overflows falls back to per-lane addressing.
+	if end := uint64(addr) + uint64(4*hi) + 4; end <= uint64(pe.bankBytes) {
+		bank, err := pe.ensure(int(end))
+		if err != nil {
+			return err
+		}
+		for l := 0; l <= hi; l++ {
+			if vmask&(1<<uint(l)) == 0 {
+				continue
+			}
+			pe.DataRF[reg][l] = binary.LittleEndian.Uint32(bank[addr+uint32(4*l):])
+		}
+		return nil
+	}
+	for l := 0; l <= hi; l++ {
 		if vmask&(1<<uint(l)) == 0 {
 			continue
 		}
@@ -151,11 +173,41 @@ func (pe *PE) LoadVector(addr uint32, reg int, vmask uint8) error {
 	return nil
 }
 
+// highSetLane returns the highest lane index selected by vmask, or -1
+// for an empty mask.
+func highSetLane(vmask uint8) int {
+	for l := isa.VecLanes - 1; l >= 0; l-- {
+		if vmask&(1<<uint(l)) != 0 {
+			return l
+		}
+	}
+	return -1
+}
+
 // StoreVector writes the vmask-selected lanes of DataRF[reg] to the
 // bank at addr (lane l to addr + 4*l).
 func (pe *PE) StoreVector(addr uint32, reg int, vmask uint8) error {
+	hi := highSetLane(vmask)
+	if hi < 0 {
+		return nil
+	}
+	// Same fast/slow split as LoadVector: batched unless the lane span
+	// wraps or exceeds the bank.
+	if end := uint64(addr) + uint64(4*hi) + 4; end <= uint64(pe.bankBytes) {
+		bank, err := pe.ensure(int(end))
+		if err != nil {
+			return err
+		}
+		for l := 0; l <= hi; l++ {
+			if vmask&(1<<uint(l)) == 0 {
+				continue
+			}
+			binary.LittleEndian.PutUint32(bank[addr+uint32(4*l):], pe.DataRF[reg][l])
+		}
+		return nil
+	}
 	var b [4]byte
-	for l := 0; l < isa.VecLanes; l++ {
+	for l := 0; l <= hi; l++ {
 		if vmask&(1<<uint(l)) == 0 {
 			continue
 		}
@@ -281,8 +333,23 @@ func (pg *PG) FlipPGSMBit(addr uint32, bit uint) error {
 // PGSM (lane l at addr + 4*l). PGSM is SRAM: any 4-byte-aligned address
 // is legal.
 func (pg *PG) VectorToPGSM(pe *PE, addr uint32, reg int, vmask uint8) error {
+	hi := highSetLane(vmask)
+	if hi < 0 {
+		return nil
+	}
+	// Batched fast path when the lane span neither wraps mod 2^32 nor
+	// leaves the scratchpad; otherwise exact per-lane addressing.
+	if end := uint64(addr) + uint64(4*hi) + 4; end <= uint64(len(pg.PGSM)) {
+		for l := 0; l <= hi; l++ {
+			if vmask&(1<<uint(l)) == 0 {
+				continue
+			}
+			binary.LittleEndian.PutUint32(pg.PGSM[addr+uint32(4*l):], pe.DataRF[reg][l])
+		}
+		return nil
+	}
 	var b [4]byte
-	for l := 0; l < isa.VecLanes; l++ {
+	for l := 0; l <= hi; l++ {
 		if vmask&(1<<uint(l)) == 0 {
 			continue
 		}
@@ -297,7 +364,20 @@ func (pg *PG) VectorToPGSM(pe *PE, addr uint32, reg int, vmask uint8) error {
 // VectorFromPGSM reads vmask-selected lanes from the PGSM into
 // DataRF[reg].
 func (pg *PG) VectorFromPGSM(pe *PE, addr uint32, reg int, vmask uint8) error {
-	for l := 0; l < isa.VecLanes; l++ {
+	hi := highSetLane(vmask)
+	if hi < 0 {
+		return nil
+	}
+	if end := uint64(addr) + uint64(4*hi) + 4; end <= uint64(len(pg.PGSM)) {
+		for l := 0; l <= hi; l++ {
+			if vmask&(1<<uint(l)) == 0 {
+				continue
+			}
+			pe.DataRF[reg][l] = binary.LittleEndian.Uint32(pg.PGSM[addr+uint32(4*l):])
+		}
+		return nil
+	}
+	for l := 0; l <= hi; l++ {
 		if vmask&(1<<uint(l)) == 0 {
 			continue
 		}

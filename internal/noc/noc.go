@@ -206,6 +206,39 @@ func (st *LinkState) ResetTiming() {
 	}
 }
 
+// NoEvent is the NextEvent sentinel for a quiescent timeline: every
+// link is already free at the queried time.
+const NoEvent int64 = int64(^uint64(0) >> 1)
+
+// NextEvent returns the earliest cycle strictly after now at which one
+// of the shard's held links frees up, or NoEvent when none is held past
+// now. The interconnect is transaction-based — each send computes its
+// delivery time immediately, so a busy link never requires stepping the
+// clock to make progress — but the bound completes the fast-forward
+// event contract (see docs/ARCHITECTURE.md): it is when link occupancy
+// stops constraining the shard's next send.
+func (st *LinkState) NextEvent(now int64) int64 {
+	return nextFree(st.linkFree, now)
+}
+
+// NextEvent is LinkState.NextEvent for the mesh's own link state (the
+// one behind Send).
+func (m *Mesh) NextEvent(now int64) int64 {
+	return nextFree(m.linkFree, now)
+}
+
+func nextFree(linkFree [][numDirs]int64, now int64) int64 {
+	best := NoEvent
+	for i := range linkFree {
+		for d := 0; d < int(numDirs); d++ {
+			if t := linkFree[i][d]; t > now && t < best {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
 // ResetTiming rewinds the mesh's own link-occupancy timeline (the one
 // behind Send) to zero, preserving counters and fault state.
 func (m *Mesh) ResetTiming() {

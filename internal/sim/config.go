@@ -45,7 +45,9 @@ type Config struct {
 
 	// Interconnect (Table III). TSERDES is a rational in cycles
 	// (0.08 ns at 1 GHz = 8/100).
-	TPEBus, TTSV, TNoCHop   int
+	TPEBus, TTSV, TNoCHop int // per-beat / per-hop latencies in cycles
+	// TSERDESNum/TSERDESDen express the per-hop SERDES latency in
+	// cycles as a rational: latency = ceil(hops*Num/Den).
 	TSERDESNum, TSERDESDen  int64
 	SERDESLinkBytesPerCycle int // "link width (SERDES) 4"
 	NoCLinkBytesPerCycle    int // on-chip mesh link width (TSV-class, 16 B)
@@ -61,8 +63,8 @@ type Config struct {
 
 	// DRAM policies and timing (Table III: open page, FR-FCFS).
 	Timing dram.Timing
-	Page   dram.PagePolicy
-	Sched  dram.SchedPolicy
+	Page   dram.PagePolicy  // row-buffer policy after each access
+	Sched  dram.SchedPolicy // request scheduling discipline
 
 	// PonB enables the process-on-base-die baseline (paper Sec. VII-C1):
 	// all bank traffic serializes through the vault's shared TSVs.
@@ -140,11 +142,12 @@ func (c *Config) TotalVaults() int { return c.Cubes * c.VaultsPerCube }
 // logic/other 1 (Table III).
 type ALUClass uint8
 
+// The ALU classes, in Table III latency order.
 const (
-	ClassAdd ALUClass = iota
-	ClassMul
-	ClassMac
-	ClassLogic
+	ClassAdd   ALUClass = iota // add/sub/min/max/compare (4 cycles)
+	ClassMul                   // mul/div (5 cycles)
+	ClassMac                   // multiply-accumulate (8 cycles)
+	ClassLogic                 // shifts, bitwise, moves, converts (1 cycle)
 )
 
 // LatencyOf returns the pipelined latency of an ALU class.

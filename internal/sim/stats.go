@@ -12,14 +12,15 @@ import (
 // StallReason classifies why the control core could not issue on a cycle.
 type StallReason uint8
 
+// The stall reasons, in StallCycles index order.
 const (
-	StallData      StallReason = iota // true/anti/output hazard in the issued queue
-	StallQueueFull                    // issued-instruction queue at capacity
-	StallDRAMQueue                    // PG memory request queue full
-	StallBranch                       // taken-branch bubble
-	StallSync                         // waiting at a barrier
-	StallIFetch                       // instruction-cache miss refill
-	NumStallReasons
+	StallData       StallReason = iota // true/anti/output hazard in the issued queue
+	StallQueueFull                     // issued-instruction queue at capacity
+	StallDRAMQueue                     // PG memory request queue full
+	StallBranch                        // taken-branch bubble
+	StallSync                          // waiting at a barrier
+	StallIFetch                        // instruction-cache miss refill
+	NumStallReasons                    // array bound, not a reason
 )
 
 var stallNames = [...]string{
@@ -31,6 +32,8 @@ var stallNames = [...]string{
 	StallIFetch:    "icache-miss",
 }
 
+// String returns the reason's short kebab-case name (as printed by
+// ipim-trace and the stats dumps).
 func (s StallReason) String() string {
 	if int(s) < len(stallNames) {
 		return stallNames[s]
@@ -47,11 +50,19 @@ func (s StallReason) String() string {
 // every other counter they fold by reflection, so serial and parallel
 // runs agree on them bit for bit.
 type Stats struct {
+	// Cycles is the wall clock in simulated cycles (1 cycle = 1 ns at
+	// the paper's 1 GHz): the slowest vault's clock, max-folded by Add.
 	Cycles int64
 	Issued int64 // dynamic instructions issued
 
-	InstByCategory [isa.NumCategories]int64
-	StallCycles    [NumStallReasons]int64
+	InstByCategory [isa.NumCategories]int64 // issues per isa.Category
+	// StallCycles breaks non-issuing cycles down by StallReason. The
+	// breakdown is identical whether idle-cycle fast-forward is enabled
+	// or not: skipped spans are charged to their reason exactly as if
+	// they had been stepped (fast-forward tallies live outside Stats,
+	// on Machine.FastForwardedCycles, precisely to keep this struct
+	// bit-identical across the two modes).
+	StallCycles [NumStallReasons]int64
 
 	// Component activity (event counts; each event occupies the unit for
 	// one cycle, so utilization = events / Cycles).
@@ -66,11 +77,11 @@ type Stats struct {
 	SerdesBeat int64 // SERDES link beats (LinkBytesPerCycle each)
 
 	// Remote traffic.
-	RemoteReqs int64
-	Syncs      int64
+	RemoteReqs int64 // req instructions executed (remote bank reads)
+	Syncs      int64 // sync instructions retired (barrier entries)
 
-	DRAM dram.Stats
-	NoC  noc.Stats
+	DRAM dram.Stats // summed per-PG controller counters (FoldDRAMStats)
+	NoC  noc.Stats  // summed per-source link-shard counters
 }
 
 // Two Stats fields are not plain event counters and fold specially:

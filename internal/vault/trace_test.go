@@ -66,3 +66,75 @@ func TestTracerMaxBound(t *testing.T) {
 		t.Fatalf("entries=%d dropped=%d", len(tr.Entries), tr.Dropped())
 	}
 }
+
+// traceChain runs the dependent-fmac stall program on a fresh vault
+// with fast-forward on or off and returns the tracer.
+func traceChain(t *testing.T, fastForward bool) *Tracer {
+	t.Helper()
+	v := newTestVault(t)
+	v.SetFastForward(fastForward)
+	tr := &Tracer{}
+	v.SetTracer(tr)
+	p, err := isa.Assemble(`
+comp fmac vv d1, d0, d0, vm=0xf, sm=*
+comp fmac vv d1, d1, d1, vm=0xf, sm=*
+comp fmac vv d1, d1, d1, vm=0xf, sm=*
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.RunPhase(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestTracerFastForwardAttribution is the regression test for skipped
+// idle spans in the trace: a fast-forwarded run must report the skipped
+// cycles as their own FastForwarded category — a subset of Stall, not
+// an extra charge silently folded into the dominant stall reason — and
+// Stall/Reason themselves must be identical to a stepwise run's.
+func TestTracerFastForwardAttribution(t *testing.T) {
+	ff := traceChain(t, true)
+	sw := traceChain(t, false)
+	if len(ff.Entries) != len(sw.Entries) {
+		t.Fatalf("entry counts diverge: ff=%d stepwise=%d", len(ff.Entries), len(sw.Entries))
+	}
+	for i := range ff.Entries {
+		fe, se := ff.Entries[i], sw.Entries[i]
+		if fe.Stall != se.Stall || fe.Reason != se.Reason || fe.Issue != se.Issue {
+			t.Errorf("entry %d: stall attribution diverges between modes:\nff:       %+v\nstepwise: %+v", i, fe, se)
+		}
+		if fe.FastForwarded > fe.Stall {
+			t.Errorf("entry %d: FastForwarded=%d exceeds Stall=%d — skipped spans must be a subset of the stall charge",
+				i, fe.FastForwarded, fe.Stall)
+		}
+		if se.FastForwarded != 0 {
+			t.Errorf("entry %d: stepwise run reports FastForwarded=%d, want 0", i, se.FastForwarded)
+		}
+	}
+	if ff.FastForwardedCycles() == 0 {
+		t.Error("fast-forward run traced no skipped cycles — the dependent chain should jump its data-hazard waits")
+	}
+	// The per-site aggregation and the summary must surface the category.
+	sites := ff.TopStallSites(5)
+	var siteFF int64
+	for _, s := range sites {
+		siteFF += s.FastForwarded
+	}
+	if siteFF != ff.FastForwardedCycles() {
+		t.Errorf("stall sites account %d fast-forwarded cycles, tracer total %d", siteFF, ff.FastForwardedCycles())
+	}
+	if sum := ff.Summary(nil, 5); !strings.Contains(sum, "fast-forwarded") {
+		t.Errorf("summary does not surface the fast-forwarded category:\n%s", sum)
+	}
+	if sum := sw.Summary(nil, 5); strings.Contains(sum, "fast-forwarded") {
+		t.Errorf("stepwise summary claims fast-forwarded cycles:\n%s", sum)
+	}
+}

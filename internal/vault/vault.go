@@ -43,13 +43,22 @@ type Remote interface {
 	RemoteRoundTrip(now int64, srcChip, srcVault, dstChip, dstVault int) int64
 }
 
-// entry is one Issued Instruction Queue slot.
+// NoEvent is the NextEvent sentinel for "no lower bound": the component
+// is quiescent and cannot change state on its own. It matches
+// dram.NoEvent so bounds from different layers min together directly.
+const NoEvent int64 = math.MaxInt64
+
+// entry is one Issued Instruction Queue slot. Entries are recycled
+// through the vault's free list (newEntry/freeEntry): an entry pointer
+// is live exactly while it sits in the inflight queue, so reuse cannot
+// alias two in-flight instructions.
 type entry struct {
 	idx       int
 	defs      []isa.RegRef
 	uses      []isa.RegRef
 	completes int64
-	// Pending bank requests (nil once resolved). pg[i] owns reqs[i].
+	// Pending bank requests (emptied once resolved). pgs[i] owns
+	// reqs[i].
 	reqs []*dram.Request
 	pgs  []*engine.PG
 	// post-DRAM latency (PE bus + RF/PGSM write) added per request.
@@ -59,16 +68,35 @@ type entry struct {
 	usesTSV bool
 }
 
+// instrDeps caches one instruction's register def/use sets. The vault
+// precomputes them at Load time so the issue loop's hazard checks never
+// allocate: isa.Instruction.Defs/Uses build fresh slices per call, which
+// at one call per issued instruction dominated the simulator's garbage
+// production before the fast-forward work.
+type instrDeps struct {
+	defs, uses []isa.RegRef
+}
+
+// peSlot pairs a PE with its process group, precomputed per vault-wide
+// PE index so the per-instruction broadcast loop avoids the div/mod of
+// peByIndex.
+type peSlot struct {
+	pg *engine.PG
+	pe *engine.PE
+}
+
 // Vault is one vault: control core state plus its process groups.
 type Vault struct {
-	Cfg    *sim.Config
-	CubeID int
-	ID     int
+	Cfg    *sim.Config // shared machine configuration (immutable)
+	CubeID int         // cube (chip) index within the machine
+	ID     int         // vault index within the cube
 
-	PGs []*engine.PG
-	VSM []byte
-	CRF []int32
+	PGs []*engine.PG // process groups, indexed by PG id
+	VSM []byte       // vault shared memory backing store
+	CRF []int32      // control-core scalar register file
 
+	// Stats accumulates over the vault's lifetime in simulated cycles
+	// and event counts; the machine diffs snapshots around each run.
 	Stats sim.Stats
 
 	remote Remote
@@ -81,6 +109,39 @@ type Vault struct {
 	vsmReady map[uint32]int64
 	done     bool
 	tracer   *Tracer
+
+	// deps[i] is the precomputed def/use set of prog.Ins[i] (rebuilt by
+	// Load; see instrDeps).
+	deps []instrDeps
+
+	// peList[i] is the (PG, PE) pair at vault-wide PE index i.
+	peList []peSlot
+
+	// Free lists for issued-queue entries and DRAM requests. Both kinds
+	// of object have exact lifetimes (an entry dies when it leaves
+	// inflight; a request dies when resolve consumes its Finish time),
+	// so recycling is safe and keeps the issue loop allocation-free in
+	// steady state.
+	entryPool []*entry
+	reqPool   []*dram.Request
+
+	// stepwise disables idle-cycle fast-forward: every stall advance
+	// walks the clock one cycle at a time instead of jumping to the
+	// event bound. Stats are bit-identical either way (the differential
+	// property test at the repo root pins this); the mode exists as the
+	// reference semantics fast-forward is checked against. Set via
+	// SetFastForward (the machine wires it; IPIM_NO_FF=1 forces it).
+	stepwise bool
+
+	// ffSkipped counts idle cycles the vault's clock crossed in a
+	// single event jump without simulating them individually (the
+	// interior of every multi-cycle stall advance). Diagnostic only —
+	// deliberately NOT part of sim.Stats, which must stay bit-identical
+	// between fast-forward and stepwise runs.
+	ffSkipped int64
+	// ffIssue accumulates ffSkipped within the current instruction's
+	// issue, for the tracer's fast-forward attribution.
+	ffIssue int64
 
 	// Direct-mapped instruction cache tags (line index per set; -1 =
 	// invalid). The VSM backs the I$ (paper Sec. IV-E).
@@ -127,6 +188,10 @@ func New(cfg *sim.Config, cubeID, vaultID int, remote Remote) *Vault {
 	for pg := 0; pg < cfg.PGsPerVault; pg++ {
 		v.PGs = append(v.PGs, engine.NewPG(cfg, cubeID, vaultID, pg))
 	}
+	for i := 0; i < cfg.PEsPerVault(); i++ {
+		pg := v.PGs[i/cfg.PEsPerPG]
+		v.peList = append(v.peList, peSlot{pg: pg, pe: pg.PEs[i%cfg.PEsPerPG]})
+	}
 	if cfg.ICacheLines > 0 && cfg.ICacheLineInstr > 0 {
 		v.icache = make([]int64, cfg.ICacheLines)
 		for i := range v.icache {
@@ -134,6 +199,115 @@ func New(cfg *sim.Config, cubeID, vaultID int, remote Remote) *Vault {
 		}
 	}
 	return v
+}
+
+// SetFastForward enables (the default) or disables idle-cycle
+// fast-forward for this vault. Disabled, every stall advance steps the
+// clock one cycle at a time — the reference semantics the event-driven
+// jumps are differentially tested against. The produced sim.Stats are
+// bit-identical in both modes; only host time differs. Not safe to call
+// during an active run.
+func (v *Vault) SetFastForward(on bool) { v.stepwise = !on }
+
+// FastForwardedCycles reports how many idle cycles this vault's clock
+// has crossed in event jumps without simulating them individually,
+// cumulatively over the vault's lifetime. Zero in stepwise mode. This
+// is a host-side diagnostic (units: simulated cycles); it is not part
+// of sim.Stats and does not fold across vaults.
+func (v *Vault) FastForwardedCycles() int64 { return v.ffSkipped }
+
+// advanceTo moves the vault clock forward to t, charging the wait to
+// the given stall reason. This is the single choke point every stall
+// advance goes through: in fast-forward mode the clock jumps straight
+// to t (counting the interior cycles as skipped); in stepwise mode it
+// walks cycle by cycle. Both charge exactly (t - now) cycles to reason,
+// so the two modes produce identical statistics. No-op when t <= now.
+func (v *Vault) advanceTo(t int64, reason sim.StallReason) {
+	if t <= v.now {
+		return
+	}
+	if v.stepwise {
+		for v.now < t {
+			v.now++
+			v.Stats.StallCycles[reason]++
+		}
+		return
+	}
+	d := t - v.now
+	if d > 1 {
+		v.ffSkipped += d - 1
+		v.ffIssue += d - 1
+	}
+	v.Stats.StallCycles[reason] += d
+	v.now = t
+}
+
+// NextEvent returns a lower bound on the next cycle at or after now at
+// which this vault's *pending* state can change on its own: the
+// earliest in-flight completion, DRAM controller event, or remote
+// response arrival. It returns NoEvent when nothing is pending (the
+// core itself can still issue, which is not an "event" in this sense).
+// Read-only: unlike resolve, it never schedules queued DRAM requests,
+// so the bound for a bank instruction is its controller's next command
+// time, not the final completion time. Safe only on the goroutine
+// currently running the vault.
+func (v *Vault) NextEvent(now int64) int64 {
+	best := NoEvent
+	for _, e := range v.inflight {
+		if len(e.reqs) == 0 {
+			if e.completes > now && e.completes < best {
+				best = e.completes
+			}
+			continue
+		}
+		for _, pg := range e.pgs {
+			if t := pg.Ctrl.NextEvent(now); t < best {
+				best = t
+			}
+		}
+	}
+	for _, r := range v.vsmReady {
+		if r > now && r < best {
+			best = r
+		}
+	}
+	return best
+}
+
+// newEntry pops a recycled issued-queue entry (or allocates one).
+func (v *Vault) newEntry() *entry {
+	if n := len(v.entryPool); n > 0 {
+		e := v.entryPool[n-1]
+		v.entryPool = v.entryPool[:n-1]
+		return e
+	}
+	return &entry{}
+}
+
+// freeEntry returns an entry (and the requests it still references) to
+// the free lists. Only call once the entry has left inflight.
+func (v *Vault) freeEntry(e *entry) {
+	for _, r := range e.reqs {
+		v.reqPool = append(v.reqPool, r)
+	}
+	e.reqs = e.reqs[:0]
+	e.pgs = e.pgs[:0]
+	e.defs, e.uses = nil, nil
+	e.idx, e.completes, e.extra, e.usesTSV = 0, 0, 0, false
+	v.entryPool = append(v.entryPool, e)
+}
+
+// newReq pops a recycled DRAM request (or allocates one). The caller
+// overwrites every field that matters: Bank/Addr/Write here,
+// Arrive/Done/issued in Enqueue, Finish when the controller issues it.
+func (v *Vault) newReq(bank int, addr uint32, write bool) *dram.Request {
+	if n := len(v.reqPool); n > 0 {
+		r := v.reqPool[n-1]
+		v.reqPool = v.reqPool[:n-1]
+		r.Bank, r.Addr, r.Write = bank, addr, write
+		return r
+	}
+	return &dram.Request{Bank: bank, Addr: addr, Write: write}
 }
 
 // fetch models the instruction fetch: a direct-mapped I$ miss refills
@@ -148,8 +322,7 @@ func (v *Vault) fetch(pc int) {
 		return
 	}
 	v.icache[set] = line
-	v.Stats.StallCycles[sim.StallIFetch] += int64(v.Cfg.ICacheMissCost)
-	v.now += int64(v.Cfg.ICacheMissCost)
+	v.advanceTo(v.now+int64(v.Cfg.ICacheMissCost), sim.StallIFetch)
 }
 
 // PE returns the PE at (pg, pe).
@@ -199,10 +372,10 @@ func (v *Vault) SetFaultPlan(p *fault.Plan) {
 }
 
 // peByIndex returns the PE with vault-wide index i (pg*PEsPerPG + pe)
-// and its process group.
+// and its process group, via the precomputed lookup table.
 func (v *Vault) peByIndex(i int) (*engine.PG, *engine.PE) {
-	pg := v.PGs[i/v.Cfg.PEsPerPG]
-	return pg, pg.PEs[i%v.Cfg.PEsPerPG]
+	s := v.peList[i]
+	return s.pg, s.pe
 }
 
 // Load installs a finalized program and resets core state. Timing state
@@ -222,6 +395,15 @@ func (v *Vault) Load(p *isa.Program) error {
 	v.pc = 0
 	v.inflight = v.inflight[:0]
 	v.done = false
+	// Precompute per-instruction def/use sets so the issue loop's hazard
+	// checks are allocation-free (Defs/Uses build fresh slices per call).
+	if cap(v.deps) < len(p.Ins) {
+		v.deps = make([]instrDeps, len(p.Ins))
+	}
+	v.deps = v.deps[:len(p.Ins)]
+	for i := range p.Ins {
+		v.deps[i] = instrDeps{defs: p.Ins[i].Defs(), uses: p.Ins[i].Uses()}
+	}
 	return nil
 }
 
@@ -231,13 +413,12 @@ func (v *Vault) Done() bool { return v.done }
 // Now returns the vault clock in cycles.
 func (v *Vault) Now() int64 { return v.now }
 
-// AlignTo advances the vault clock to t (a barrier release), charging
-// the wait to sync stall time.
+// AlignTo advances the vault clock to t cycles (a barrier release),
+// charging the wait to sync stall time. The machine calls it on every
+// phase participant after a barrier; a t at or before the current clock
+// is a no-op.
 func (v *Vault) AlignTo(t int64) {
-	if t > v.now {
-		v.Stats.StallCycles[sim.StallSync] += t - v.now
-		v.now = t
-	}
+	v.advanceTo(t, sim.StallSync)
 }
 
 // InterruptEvery is the instruction interval at which an armed vault
@@ -377,24 +558,24 @@ func (v *Vault) drain() {
 		if c := v.resolve(e); c > t {
 			t = c
 		}
+		v.freeEntry(e)
 	}
 	v.inflight = v.inflight[:0]
-	for addr, r := range v.vsmReady {
-		if r > t {
-			t = r
+	if len(v.vsmReady) > 0 {
+		for addr, r := range v.vsmReady {
+			if r > t {
+				t = r
+			}
+			delete(v.vsmReady, addr) // consumed by the barrier
 		}
-		delete(v.vsmReady, addr) // consumed by the barrier
 	}
-	if t > v.now {
-		v.Stats.StallCycles[sim.StallSync] += t - v.now
-		v.now = t
-	}
+	v.advanceTo(t, sim.StallSync)
 }
 
 // resolve returns the completion time of an entry, scheduling any
 // pending DRAM requests it owns.
 func (v *Vault) resolve(e *entry) int64 {
-	if e.reqs == nil {
+	if len(e.reqs) == 0 {
 		return e.completes
 	}
 	// Drain the involved controllers' queues deterministically.
@@ -424,19 +605,23 @@ func (v *Vault) resolve(e *entry) int64 {
 			last = done
 		}
 	}
-	e.reqs = nil
-	e.pgs = nil
+	for _, r := range e.reqs {
+		v.reqPool = append(v.reqPool, r) // dead: Finish consumed above
+	}
+	e.reqs = e.reqs[:0]
+	e.pgs = e.pgs[:0]
 	if last > e.completes {
 		e.completes = last
 	}
 	return e.completes
 }
 
-// retire drops finished entries from the issued queue.
+// retire drops finished entries from the issued queue, recycling them.
 func (v *Vault) retire() {
 	dst := v.inflight[:0]
 	for _, e := range v.inflight {
-		if e.reqs == nil && e.completes <= v.now {
+		if len(e.reqs) == 0 && e.completes <= v.now {
+			v.freeEntry(e)
 			continue
 		}
 		dst = append(dst, e)
@@ -454,8 +639,7 @@ func (v *Vault) waitOldest(reason sim.StallReason) {
 		}
 	}
 	if best > v.now {
-		v.Stats.StallCycles[reason] += best - v.now
-		v.now = best
+		v.advanceTo(best, reason)
 	} else {
 		v.now++ // defensive: guarantee progress
 	}
@@ -495,6 +679,7 @@ func (v *Vault) issue(in *isa.Instruction) error {
 	var stallSnap [sim.NumStallReasons]int64
 	if v.tracer != nil {
 		stallSnap = v.Stats.StallCycles
+		v.ffIssue = 0
 		defer func() {
 			var reason sim.StallReason
 			var best int64
@@ -510,6 +695,7 @@ func (v *Vault) issue(in *isa.Instruction) error {
 			v.tracer.record(TraceEntry{
 				PC: issuePC, Op: in.Op,
 				Issue: v.now, Stall: stall, Reason: reason,
+				FastForwarded: v.ffIssue,
 			})
 		}()
 	}
@@ -519,7 +705,8 @@ func (v *Vault) issue(in *isa.Instruction) error {
 	for len(v.inflight) >= v.Cfg.InstQueue {
 		v.waitOldest(sim.StallQueueFull)
 	}
-	defs, uses := in.Defs(), in.Uses()
+	d := &v.deps[issuePC]
+	defs, uses := d.defs, d.uses
 	// Issue-time dependency check against the Issued Inst Queue: stall
 	// with pipeline bubbles until the conflicting instructions retire.
 	for {
@@ -534,10 +721,7 @@ func (v *Vault) issue(in *isa.Instruction) error {
 		if wait < 0 {
 			break
 		}
-		if wait > v.now {
-			v.Stats.StallCycles[sim.StallData] += wait - v.now
-			v.now = wait
-		}
+		v.advanceTo(wait, sim.StallData)
 		v.retire()
 		break
 	}
@@ -731,8 +915,8 @@ func (v *Vault) issue(in *isa.Instruction) error {
 				return fmt.Errorf("jump target %d outside program of %d instructions", tgt, len(v.prog.Ins))
 			}
 			v.pc = tgt
-			v.now += 1 + int64(v.Cfg.BranchPenalty)
-			v.Stats.StallCycles[sim.StallBranch] += int64(v.Cfg.BranchPenalty)
+			v.now++
+			v.advanceTo(v.now+int64(v.Cfg.BranchPenalty), sim.StallBranch)
 			return nil
 		}
 
@@ -747,7 +931,9 @@ func (v *Vault) issue(in *isa.Instruction) error {
 		pend.defs, pend.uses = defs, uses
 		v.inflight = append(v.inflight, pend)
 	} else if completes > v.now+1 {
-		v.inflight = append(v.inflight, &entry{idx: v.pc, defs: defs, uses: uses, completes: completes})
+		e := v.newEntry()
+		e.idx, e.defs, e.uses, e.completes = v.pc, defs, uses, completes
+		v.inflight = append(v.inflight, e)
 	}
 	v.pc++
 	v.now++
@@ -758,7 +944,8 @@ func (v *Vault) issue(in *isa.Instruction) error {
 // at issue, one DRAM request per masked PE, back-pressure on the PG
 // request queues.
 func (v *Vault) issueBank(in *isa.Instruction, mask uint64, nPE int) (*entry, error) {
-	e := &entry{extra: int64(v.Cfg.TPEBus), usesTSV: v.Cfg.PonB, completes: v.now + 1}
+	e := v.newEntry()
+	e.extra, e.usesTSV, e.completes = int64(v.Cfg.TPEBus), v.Cfg.PonB, v.now+1
 	switch in.Op {
 	case isa.OpLdRF, isa.OpStRF:
 		e.extra += int64(v.Cfg.TDataRF)
@@ -801,6 +988,9 @@ func (v *Vault) issueBank(in *isa.Instruction, mask uint64, nPE int) (*entry, er
 			v.Stats.PGSMAcc++
 		}
 		if err != nil {
+			// Deliberately not recycled: earlier iterations may have
+			// enqueued requests the controller still references, and the
+			// error aborts the run anyway.
 			return nil, err
 		}
 		// Requests that completed by now free their queue slots before
@@ -809,11 +999,7 @@ func (v *Vault) issueBank(in *isa.Instruction, mask uint64, nPE int) (*entry, er
 		// One column request per 128-bit column the span touches: an
 		// unaligned vector access costs two column accesses.
 		for col := spanLo &^ (dram.AccessBytes - 1); col < spanHi; col += dram.AccessBytes {
-			req := &dram.Request{
-				Bank:  pe.Index % v.Cfg.PEsPerPG,
-				Addr:  col,
-				Write: in.Op.IsBankStore(),
-			}
+			req := v.newReq(pe.Index%v.Cfg.PEsPerPG, col, in.Op.IsBankStore())
 			// DRAM request queue back-pressure stalls the pipeline
 			// (paper Sec. V-C, memory order enforcement rationale).
 			for !pg.Ctrl.Enqueue(v.now, req) {
@@ -821,8 +1007,7 @@ func (v *Vault) issueBank(in *isa.Instruction, mask uint64, nPE int) (*entry, er
 				if next <= v.now {
 					next = v.now + 1
 				}
-				v.Stats.StallCycles[sim.StallDRAMQueue] += next - v.now
-				v.now = next
+				v.advanceTo(next, sim.StallDRAMQueue)
 				pg.Ctrl.AdvanceTo(v.now)
 			}
 			e.reqs = append(e.reqs, req)
@@ -833,8 +1018,9 @@ func (v *Vault) issueBank(in *isa.Instruction, mask uint64, nPE int) (*entry, er
 			}
 		}
 	}
-	if e.reqs == nil {
+	if len(e.reqs) == 0 {
 		// Empty mask: nothing to wait for.
+		v.freeEntry(e)
 		return nil, nil
 	}
 	return e, nil

@@ -314,18 +314,25 @@ func NewExperiments(sizeDiv int) *exp.Context {
 // ExperimentNames lists the regenerable experiments.
 func ExperimentNames() []string { return exp.ExperimentNames() }
 
-// ReadPGM / WritePGM move grayscale planes in and out as binary PGM.
-func ReadPGM(r io.Reader) (*Image, error)   { return pixel.ReadPGM(r) }
+// ReadPGM reads one grayscale plane from binary PGM.
+func ReadPGM(r io.Reader) (*Image, error) { return pixel.ReadPGM(r) }
+
+// WritePGM writes one grayscale plane as binary PGM.
 func WritePGM(w io.Writer, im *Image) error { return pixel.WritePGM(w, im) }
 
-// ReadPPM / WritePPM move RGB images as three planes in binary PPM.
+// ReadPPM reads an RGB image as three planes from binary PPM.
 func ReadPPM(r io.Reader) (rp, gp, bp *Image, err error) { return pixel.ReadPPM(r) }
-func WritePPM(w io.Writer, rp, gp, bp *Image) error      { return pixel.WritePPM(w, rp, gp, bp) }
 
-// SaveArtifact / LoadArtifact serialize compiled kernels in the
-// shippable host-offload format (run-only; no recompilation).
+// WritePPM writes three planes as one binary PPM RGB image.
+func WritePPM(w io.Writer, rp, gp, bp *Image) error { return pixel.WritePPM(w, rp, gp, bp) }
+
+// SaveArtifact serializes a compiled kernel in the shippable
+// host-offload format (run-only; no recompilation).
 func SaveArtifact(w io.Writer, art *Artifact) error { return compiler.SaveArtifact(w, art) }
-func LoadArtifact(r io.Reader) (*Artifact, error)   { return compiler.LoadArtifact(r) }
+
+// LoadArtifact reads an artifact previously written by SaveArtifact,
+// validating it against the hostile-input checks in internal/compiler.
+func LoadArtifact(r io.Reader) (*Artifact, error) { return compiler.LoadArtifact(r) }
 
 // Assemble parses SIMB assembly text.
 func Assemble(src string) (*Program, error) { return isa.Assemble(src) }

@@ -20,7 +20,23 @@ fi
 
 go vet ./...
 go build ./...
+
+# Documentation gates. doccheck requires a doc comment on every
+# exported identifier of the documented core packages (root ipim,
+# internal/sim, internal/cube, internal/vault); linkcheck verifies the
+# relative links in README/DESIGN/EXPERIMENTS/ROADMAP and docs/*.md
+# resolve. Both live in scripts/ and compile under `go build ./...`.
+go run ./scripts/doccheck
+go run ./scripts/linkcheck
+
 go test -race -cover -coverprofile=coverage.out -timeout 30m ./...
+
+# Benchmark smoke: one iteration of the full-machine benchmark so the
+# bench harness (and the fast-forward hot path it measures) can't rot
+# between PRs. -benchtime=1x keeps it to a build-and-run check; any
+# panic or error fails CI. Real numbers come from `go test -bench` per
+# docs/BENCHMARKS.md.
+go test -run='^$' -bench='^BenchmarkFullMachineRunSame$' -benchtime=1x .
 
 # Fuzz smoke: a short real fuzzing run (not just the seed corpus, which
 # plain `go test` already replays) so the fuzz targets can't bit-rot

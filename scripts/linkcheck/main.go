@@ -1,0 +1,75 @@
+// Command linkcheck verifies that the relative links in the repo's
+// markdown documentation resolve: every non-URL link target in
+// README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md, and docs/*.md must
+// name an existing file or directory (anchors are stripped before the
+// check; http(s) and mailto links are skipped — the docs must stay
+// checkable offline).
+//
+// Usage:
+//
+//	go run ./scripts/linkcheck [file.md ...]
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var defaultDocs = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"}
+
+// linkRe matches inline markdown links [text](target). Images share the
+// syntax, so they are checked too.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = defaultDocs
+		docs, _ := filepath.Glob("docs/*.md")
+		files = append(files, docs...)
+	}
+	broken := 0
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		base := filepath.Dir(f)
+		for i, line := range strings.Split(string(b), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skip(target) {
+					continue
+				}
+				if frag := strings.IndexByte(target, '#'); frag >= 0 {
+					target = target[:frag]
+					if target == "" {
+						continue // same-file anchor
+					}
+				}
+				p := filepath.Join(base, filepath.FromSlash(target))
+				if _, err := os.Stat(p); err != nil {
+					fmt.Printf("%s:%d: broken link %q (%s does not exist)\n", f, i+1, m[1], p)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken relative links\n", broken)
+		os.Exit(1)
+	}
+}
+
+// skip reports whether a link target is outside the checker's scope:
+// absolute URLs, mail links, and in-page anchors.
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -12,9 +12,16 @@
 //
 // Observability: GET /healthz (liveness), GET /readyz (readiness:
 // 503 while draining or degraded), GET /metrics (Prometheus text
-// format), GET /v1/workloads. SIGINT/SIGTERM drains in-flight requests
+// format), GET /v1/workloads, GET /v1/tune (background-tuning state
+// and the stored winners). SIGINT/SIGTERM drains in-flight requests
 // before exiting. POST /v1/simb runs raw SIMB assembly under the same
 // deadline and -max-cycles budget machinery as /v1/process.
+//
+// With -tune-workers N, requests for an uncompiled (workload, size,
+// opts) key are served with the default schedule while a background
+// autotuner searches for a faster one; winners beating -tune-margin
+// are swapped into the artifact cache (X-Ipim-Schedule: tuned) and
+// recorded in -tune-db for future boots.
 package main
 
 import (
@@ -58,6 +65,12 @@ func main() {
 	retries := flag.Int("retries", 2, "max in-place retries of a run hit by a transient injected fault (negative = off)")
 	degrade := flag.Float64("degrade", 0,
 		"degraded-mode threshold: mean uncorrected ECC errors per request that trips 503 load shedding (0 = off)")
+	tuneWorkers := flag.Int("tune-workers", 0,
+		"background schedule-tuning search workers (0 = tuning off)")
+	tuneDB := flag.String("tune-db", "",
+		"persistent tuning-results journal (JSONL, shared with ipim-tune -db; empty = memory-only)")
+	tuneMargin := flag.Float64("tune-margin", 1.02,
+		"minimum default/tuned cycle ratio before a tuned artifact replaces the cached default")
 	flag.Parse()
 
 	mcfg, err := ipim.ConfigByName(*cfgName)
@@ -88,6 +101,9 @@ func main() {
 		Faults:             plan,
 		MaxRetries:         *retries,
 		DegradeThreshold:   *degrade,
+		TuneWorkers:        *tuneWorkers,
+		TuneDB:             *tuneDB,
+		TuneMargin:         *tuneMargin,
 	})
 	if err != nil {
 		log.Fatal(err)

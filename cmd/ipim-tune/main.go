@@ -1,53 +1,166 @@
 // Command ipim-tune searches the iPIM schedule space (tile shape, PGSM
-// staging) for a kernel by compiling and cycle-simulating each
-// candidate, printing the ranking — the empirical analogue of Halide's
-// auto-scheduler for this backend.
+// staging, DRAM page and scheduling policies) for a workload by
+// compiling and cycle-simulating each candidate, printing the ranking —
+// the empirical analogue of Halide's auto-scheduler for this backend.
 //
 // Usage:
 //
-//	ipim-tune                      # tune the default blur kernel
-//	ipim-tune -W 256 -H 128        # probe image size
+//	ipim-tune                                # tune GaussianBlur, grid search
+//	ipim-tune -workload Downsample -W 256 -H 128
+//	ipim-tune -strategy hill -seed 0x7E57    # seeded local search
+//	ipim-tune -workers 4 -db tune.jsonl      # parallel, persist the winner
+//	ipim-tune -json                          # machine-readable report
+//
+// With -db, the winning schedule is appended to the JSONL results
+// store that ipim-serve -tune-db reads, so offline tuning warms the
+// serving daemon's lazy artifact upgrades.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"ipim"
-	"ipim/internal/halide"
-	"ipim/internal/tune"
+	"ipim/internal/autotune"
+	"ipim/internal/cliutil"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ipim-tune: ")
+	wlName := flag.String("workload", "GaussianBlur", "Table II workload to tune")
+	cfgName := flag.String("config", "onevault", "machine config: default, onevault, tiny, tiny-onevault")
 	width := flag.Int("W", 256, "probe image width")
 	height := flag.Int("H", 128, "probe image height")
+	strategy := flag.String("strategy", "grid", "search strategy: grid, hill")
+	workers := flag.Int("workers", 1, "parallel evaluation workers (results identical at any setting)")
+	seedSpec := flag.String("seed", "0x7E57", "probe image / search seed (decimal or 0x hex)")
+	dbPath := flag.String("db", "", "results-store journal to record the winner in (JSONL; empty = don't persist)")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of the table")
+	maxCycles := flag.Int64("max-cycles", 0, "per-candidate simulated-cycle budget (0 = unlimited)")
 	flag.Parse()
 
-	builder := func(c tune.Candidate) *halide.Pipeline {
-		g := halide.SeparableGaussian("tg", nil, 1)
-		if c.LoadPGSM {
-			g.LoadPGSM()
-		}
-		return halide.NewPipeline("gauss", g).IPIMTile(c.TileW, c.TileH)
+	if err := cliutil.Check("strategy", *strategy, autotune.StrategyNames()); err != nil {
+		log.Fatal(err)
 	}
-
-	cfg := ipim.OneVaultConfig()
-	results, err := tune.Search(cfg, builder, *width, *height, nil)
+	seed, err := cliutil.Seed("seed", *seedSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("schedule search for a radius-1 separable Gaussian on %dx%d:\n\n", *width, *height)
-	fmt.Printf("%-24s %12s %10s\n", "schedule", "cycles", "vs best")
-	best := results[0].Cycles
-	for _, r := range results {
+	wl, err := cliutil.Workload(*wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := ipim.ConfigByName(*cfgName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := autotune.PipelineProblem(cfg, func() *ipim.Pipeline { return wl.Build().Pipe }, *width, *height)
+	p.Seed = seed
+	p.Label = wl.Name
+	strat, err := autotune.NewStrategy(*strategy, autotune.DefaultSpace(), seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := &autotune.Engine{Workers: *workers, MaxCycles: *maxCycles}
+	report, err := eng.Search(context.Background(), p, strat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *dbPath != "" {
+		if err := persist(*dbPath, cfg, p, seed, report); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		emitJSON(wl.Name, *width, *height, seed, report)
+		return
+	}
+	best := report.Best()
+	fmt.Printf("schedule search (%s) for %s on %dx%d: %d candidates\n\n",
+		report.Strategy, wl.Name, *width, *height, report.Evaluated)
+	fmt.Printf("%-40s %12s %10s\n", "schedule", "cycles", "vs best")
+	for _, r := range report.Results {
 		if r.Err != nil {
-			fmt.Printf("%-24s %12s %10s  (%v)\n", r.Candidate, "-", "-", r.Err)
+			fmt.Printf("%-40s %12s %10s  (%v)\n", r.Candidate, "-", "-", r.Err)
 			continue
 		}
-		fmt.Printf("%-24s %12d %9.2fx\n", r.Candidate, r.Cycles, float64(r.Cycles)/float64(best))
+		fmt.Printf("%-40s %12d %9.2fx\n", r.Candidate, r.Cycles, float64(r.Cycles)/float64(best.Cycles))
 	}
-	fmt.Printf("\nbest schedule: %s\n", results[0].Candidate)
+	fmt.Printf("\nbest schedule: %s (%d cycles)\n", best.Candidate, best.Cycles)
+	if imp := report.Improvement(); imp > 0 {
+		fmt.Printf("default schedule: %d cycles — winner is %.2fx faster\n",
+			report.Default.Cycles, imp)
+	}
+}
+
+// persist records the winner in the shared results store keyed exactly
+// as ipim-serve keys its lookups.
+func persist(path string, cfg ipim.Config, p autotune.Problem, seed uint64, report *autotune.Report) error {
+	store, err := autotune.OpenStore(path)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	best := report.Best()
+	rec := autotune.Record{
+		Key:           autotune.KeyFor(&cfg, p.Opts, p.Default(), p.W, p.H),
+		Label:         p.Label,
+		Strategy:      report.Strategy,
+		Seed:          seed,
+		Best:          best.Candidate,
+		BestCycles:    best.Cycles,
+		DefaultCycles: report.Default.Cycles,
+		Evaluated:     report.Evaluated,
+		UpdatedUnix:   time.Now().Unix(),
+	}
+	if err := store.Put(rec); err != nil {
+		return err
+	}
+	log.Printf("recorded winner in %s (%d live keys)", path, store.Len())
+	return nil
+}
+
+// jsonResult is one candidate row of the -json report.
+type jsonResult struct {
+	Candidate autotune.Candidate `json:"candidate"`
+	Schedule  string             `json:"schedule"`
+	Cycles    int64              `json:"cycles,omitempty"`
+	Error     string             `json:"error,omitempty"`
+}
+
+func emitJSON(workload string, w, h int, seed uint64, report *autotune.Report) {
+	rows := make([]jsonResult, 0, len(report.Results))
+	for _, r := range report.Results {
+		row := jsonResult{Candidate: r.Candidate, Schedule: r.Candidate.String(), Cycles: r.Cycles}
+		if r.Err != nil {
+			row.Error = r.Err.Error()
+		}
+		rows = append(rows, row)
+	}
+	out := struct {
+		Workload      string       `json:"workload"`
+		W             int          `json:"w"`
+		H             int          `json:"h"`
+		Seed          uint64       `json:"seed"`
+		Strategy      string       `json:"strategy"`
+		Evaluated     int          `json:"evaluated"`
+		DefaultCycles int64        `json:"default_cycles"`
+		Improvement   float64      `json:"improvement"`
+		Results       []jsonResult `json:"results"`
+	}{workload, w, h, seed, report.Strategy, report.Evaluated,
+		report.Default.Cycles, report.Improvement(), rows}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
 }

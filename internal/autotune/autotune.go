@@ -1,0 +1,229 @@
+// Package autotune is the iPIM schedule auto-tuner: a parallel,
+// deterministic search over the schedule space — ipim_tile shape, PGSM
+// staging, and the DRAM page/scheduling policies — that compiles and
+// cycle-simulates each candidate on a probe image, the empirical
+// analogue of a production Halide auto-scheduler for this backend.
+//
+// The package has three layers:
+//
+//   - a search Engine that evaluates candidates on a pool of reused
+//     machines (one reset machine per worker, never a fresh cube.New
+//     per candidate) with results that are bit-identical at any worker
+//     count for a fixed seed and strategy — the PR 2 determinism
+//     contract extended to tuning;
+//   - pluggable search strategies behind one Strategy interface
+//     (exhaustive Grid, batched HillClimb);
+//   - a persistent, versioned results Store — an append-only JSONL
+//     journal with an in-memory index keyed by (pipeline fingerprint,
+//     image shape, config digest), crash-safe via temp-file+rename
+//     compaction.
+//
+// internal/serve builds on all three to upgrade cached artifacts
+// lazily: unknown keys are served with the default schedule immediately
+// while a background job searches, records, and swaps in the winner.
+package autotune
+
+import (
+	"fmt"
+
+	"ipim/internal/compiler"
+	"ipim/internal/dram"
+	"ipim/internal/halide"
+	"ipim/internal/sim"
+)
+
+// DefaultProbeSeed seeds the synthetic probe image when a Problem does
+// not choose its own seed (the historical internal/tune constant).
+const DefaultProbeSeed = 0x7E57
+
+// Candidate is one point of the schedule space: the paper's two
+// schedule primitives plus the two DRAM policy knobs of Table III.
+type Candidate struct {
+	// TileW, TileH select the ipim_tile(x, y, xi, yi, W, H) shape.
+	TileW int `json:"tile_w"`
+	TileH int `json:"tile_h"`
+	// LoadPGSM stages inputs through the process-group scratchpad
+	// (applied uniformly to every materialized stage).
+	LoadPGSM bool `json:"load_pgsm"`
+	// Page and Sched select the DRAM row-buffer and request-scheduling
+	// policies. Both steer timing only, never data, so any candidate's
+	// pixel output is bit-identical to the default schedule's.
+	Page  dram.PagePolicy  `json:"page"`
+	Sched dram.SchedPolicy `json:"sched"`
+}
+
+func (c Candidate) String() string {
+	s := fmt.Sprintf("tile %dx%d", c.TileW, c.TileH)
+	if c.LoadPGSM {
+		s += " + load_pgsm"
+	}
+	if c.Page != dram.OpenPage {
+		s += " + close-page"
+	}
+	if c.Sched != dram.FRFCFS {
+		s += " + fcfs"
+	}
+	return s
+}
+
+// Space bounds the candidate grid: the cross product of the listed
+// values in each dimension. Grid order (and therefore result ranking
+// tie-breaks) is deterministic: tile width outermost, then tile height,
+// PGSM, page policy, scheduling policy.
+type Space struct {
+	TileW, TileH []int
+	PGSM         []bool
+	Pages        []dram.PagePolicy
+	Scheds       []dram.SchedPolicy
+}
+
+// DefaultSpace returns the standard search space: the historical tile
+// grid enlarged with both DRAM page and scheduling policies.
+func DefaultSpace() Space {
+	return Space{
+		TileW:  []int{8, 16},
+		TileH:  []int{4, 8, 16},
+		PGSM:   []bool{false, true},
+		Pages:  []dram.PagePolicy{dram.OpenPage, dram.ClosePage},
+		Scheds: []dram.SchedPolicy{dram.FRFCFS, dram.FCFS},
+	}
+}
+
+// FixPolicies restricts the space's DRAM dimensions to one setting
+// (e.g. a serving daemon that must match its machine configuration can
+// still tune tile shape and staging).
+func (s Space) FixPolicies(page dram.PagePolicy, sched dram.SchedPolicy) Space {
+	s.Pages = []dram.PagePolicy{page}
+	s.Scheds = []dram.SchedPolicy{sched}
+	return s
+}
+
+// Grid expands the space into the full candidate list in canonical
+// order.
+func (s Space) Grid() []Candidate {
+	out := make([]Candidate, 0, s.Size())
+	for _, tw := range s.TileW {
+		for _, th := range s.TileH {
+			for _, pgsm := range s.PGSM {
+				for _, page := range s.Pages {
+					for _, sched := range s.Scheds {
+						out = append(out, Candidate{
+							TileW: tw, TileH: th, LoadPGSM: pgsm,
+							Page: page, Sched: sched,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Size returns the candidate count of the full grid.
+func (s Space) Size() int {
+	return len(s.TileW) * len(s.TileH) * len(s.PGSM) * len(s.Pages) * len(s.Scheds)
+}
+
+// Apply imposes a candidate schedule on a freshly built pipeline:
+// re-tiles it and sets PGSM staging on every materialized stage. The
+// pipeline is mutated and returned. Schedules never change a pipeline's
+// semantics, only how it maps onto the machine; the engine additionally
+// verifies every candidate's output against the golden reference before
+// ranking it.
+func Apply(p *halide.Pipeline, c Candidate) *halide.Pipeline {
+	p.IPIMTile(c.TileW, c.TileH)
+	if stages, err := p.Stages(); err == nil {
+		for _, st := range stages {
+			st.SetLoadPGSM(c.LoadPGSM)
+		}
+	}
+	return p
+}
+
+// Builder constructs a fresh pipeline with a candidate schedule
+// applied. It must build from scratch on every call: pipelines carry
+// schedule state.
+type Builder func(c Candidate) *halide.Pipeline
+
+// Problem is one tuning task: the machine, the pipeline family, and the
+// probe geometry.
+type Problem struct {
+	// Cfg is the base machine configuration. Its Page/Sched policies
+	// define the default candidate; each evaluated candidate overrides
+	// them.
+	Cfg sim.Config
+	// Opts selects the compiler backend configuration (set explicitly;
+	// PipelineProblem uses compiler.Opt).
+	Opts compiler.Options
+	// Build constructs the pipeline for one candidate.
+	Build Builder
+	// Default, when non-nil, builds the unmodified-schedule pipeline:
+	// the baseline an improvement margin is measured against (what a
+	// serving daemon ships before tuning lands).
+	Default func() *halide.Pipeline
+	// W, H is the probe image geometry (and, for a serving daemon, the
+	// request geometry being tuned for).
+	W, H int
+	// Seed seeds the synthetic probe image; 0 means DefaultProbeSeed.
+	Seed uint64
+	// Label is an optional human-readable tag recorded in the results
+	// database (e.g. the workload name).
+	Label string
+}
+
+// PipelineProblem adapts a schedule-free pipeline builder into a
+// Problem: candidates re-tile the built pipeline and toggle PGSM
+// staging uniformly (see Apply), with the unmodified build as the
+// default baseline.
+func PipelineProblem(cfg sim.Config, build func() *halide.Pipeline, w, h int) Problem {
+	return Problem{
+		Cfg:     cfg,
+		Opts:    compiler.Opt,
+		Build:   func(c Candidate) *halide.Pipeline { return Apply(build(), c) },
+		Default: build,
+		W:       w,
+		H:       h,
+	}
+}
+
+// Result is one evaluated candidate.
+type Result struct {
+	Candidate Candidate `json:"candidate"`
+	// Cycles is the simulated cycle count (0 when infeasible).
+	Cycles int64 `json:"cycles"`
+	// Err is non-nil when the candidate is infeasible on this machine
+	// (compile failure, budget exhaustion, or output divergence).
+	Err error `json:"-"`
+}
+
+// Feasible reports whether the candidate compiled, ran within budget,
+// and matched the golden reference.
+func (r Result) Feasible() bool { return r.Err == nil }
+
+// Report is the outcome of one search.
+type Report struct {
+	// Results holds every evaluated candidate ranked fastest-first,
+	// infeasible candidates last (ties broken by evaluation order, so
+	// the ranking is deterministic).
+	Results []Result
+	// Default is the unmodified-schedule baseline (zero value when the
+	// problem declared no Default builder).
+	Default Result
+	// Evaluated counts evaluated candidates (excluding the baseline).
+	Evaluated int
+	// Strategy names the strategy that drove the search.
+	Strategy string
+}
+
+// Best returns the winning result. Only valid when the search returned
+// no error (at least one feasible candidate).
+func (r *Report) Best() Result { return r.Results[0] }
+
+// Improvement returns DefaultCycles/BestCycles — how many times faster
+// the winner is than the baseline — or 0 when either is unknown.
+func (r *Report) Improvement() float64 {
+	if len(r.Results) == 0 || !r.Results[0].Feasible() || !r.Default.Feasible() || r.Default.Cycles == 0 || r.Results[0].Cycles == 0 {
+		return 0
+	}
+	return float64(r.Default.Cycles) / float64(r.Results[0].Cycles)
+}

@@ -1,0 +1,346 @@
+package autotune
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ipim/internal/dram"
+)
+
+func testRecord(pipeline uint64, cycles int64) Record {
+	return Record{
+		Key:        Key{Pipeline: pipeline, W: 64, H: 32, Config: 7},
+		Label:      "blur",
+		Strategy:   "grid",
+		Best:       Candidate{TileW: 8, TileH: 8, Sched: dram.FCFS},
+		BestCycles: cycles,
+	}
+}
+
+func openTemp(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tune.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func countLines(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, path := openTemp(t)
+	for i := uint64(1); i <= 3; i++ {
+		if err := s.Put(testRecord(i, int64(100*i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 3 {
+		t.Fatalf("reloaded %d keys, want 3", s2.Len())
+	}
+	rec, ok := s2.Get(Key{Pipeline: 2, W: 64, H: 32, Config: 7})
+	if !ok || rec.BestCycles != 200 || rec.Best.Sched != dram.FCFS {
+		t.Fatalf("round-trip lost data: %+v (ok=%v)", rec, ok)
+	}
+	if rec.Schema != SchemaVersion {
+		t.Fatalf("schema not stamped: %d", rec.Schema)
+	}
+}
+
+func TestStoreSupersedeAndCompact(t *testing.T) {
+	s, path := openTemp(t)
+	for cycles := int64(300); cycles >= 100; cycles -= 100 {
+		if err := s.Put(testRecord(1, cycles)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (supersede)", s.Len())
+	}
+	if got := countLines(t, path); got != 3 {
+		t.Fatalf("journal has %d lines before compaction, want 3", got)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countLines(t, path); got != 1 {
+		t.Fatalf("journal has %d lines after compaction, want 1", got)
+	}
+	// The store stays appendable after the rename swap.
+	if err := s.Put(testRecord(9, 900)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("post-compaction reload has %d keys, want 2", s2.Len())
+	}
+	if rec, _ := s2.Get(Key{Pipeline: 1, W: 64, H: 32, Config: 7}); rec.BestCycles != 100 {
+		t.Fatalf("compaction kept cycles=%d, want the latest (100)", rec.BestCycles)
+	}
+}
+
+func TestStoreCloseCompactsGrownJournal(t *testing.T) {
+	s, path := openTemp(t)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(testRecord(1, int64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countLines(t, path); got != 1 {
+		t.Fatalf("Close left %d journal lines, want 1", got)
+	}
+}
+
+func TestStoreTornTailRecovery(t *testing.T) {
+	s, path := openTemp(t)
+	if err := s.Put(testRecord(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		tail string
+	}{
+		{"unterminated", `{"schema":1,"key":{"pi`},
+		{"terminated-garbage", "not json at all\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, append(append([]byte(nil), intact...), tc.tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := OpenStore(path)
+			if err != nil {
+				t.Fatalf("torn tail not recovered: %v", err)
+			}
+			if s2.Len() != 1 {
+				t.Fatalf("recovered %d keys, want 1", s2.Len())
+			}
+			// The torn bytes were truncated away and appends land cleanly.
+			if err := s2.Put(testRecord(2, 200)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s3, err := OpenStore(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s3.Len() != 2 {
+				t.Fatalf("post-recovery journal has %d keys, want 2", s3.Len())
+			}
+			s3.Close()
+			// Reset the journal for the next subtest.
+			if err := os.WriteFile(path, intact, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestStoreRejectsMidFileCorruption(t *testing.T) {
+	s, path := openTemp(t)
+	if err := s.Put(testRecord(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte("garbage line\n"), intact...)
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("err = %v, want corruption diagnosis", err)
+	}
+}
+
+func TestStoreRejectsForeignSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.jsonl")
+	rec := testRecord(1, 100)
+	rec.Schema = 99
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(line, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenStore(path)
+	if err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if !strings.Contains(err.Error(), "schema 99") {
+		t.Fatalf("err = %v, want schema diagnosis", err)
+	}
+}
+
+// TestStoreConcurrency exercises Put/Get/Snapshot races; run under
+// -race (scripts/ci.sh does).
+func TestStoreConcurrency(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	const writers, perWriter = 4, 16
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := s.Put(testRecord(uint64(w*perWriter+i+1), int64(i+1))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Get(Key{Pipeline: 1, W: 64, H: 32, Config: 7})
+				s.Snapshot()
+				s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", s.Len(), writers*perWriter)
+	}
+}
+
+func TestStoreSnapshotDeterministic(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	for _, pipeline := range []uint64{5, 1, 9, 3} {
+		if err := s.Put(testRecord(pipeline, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d records, want 4", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Key.Pipeline >= snap[i].Key.Pipeline {
+			t.Fatalf("snapshot unsorted at %d: %v", i, snap)
+		}
+	}
+}
+
+func TestStoreMemoryOnly(t *testing.T) {
+	s, err := OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testRecord(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(Key{Pipeline: 1, W: 64, H: 32, Config: 7}); !ok {
+		t.Fatal("memory-only store lost the record")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordImprovement(t *testing.T) {
+	r := Record{BestCycles: 100, DefaultCycles: 150}
+	if got := r.Improvement(); got != 1.5 {
+		t.Fatalf("Improvement = %v, want 1.5", got)
+	}
+	if got := (Record{BestCycles: 100}).Improvement(); got != 0 {
+		t.Fatalf("Improvement without baseline = %v, want 0", got)
+	}
+}
+
+func TestOpenStoreCreatesMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 0 {
+		t.Fatalf("fresh store has %d keys", s.Len())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal not created: %v", err)
+	}
+}
+
+// ExampleStore shows the offline-tune / online-serve handshake: one
+// process records a winner, another looks it up by key.
+func ExampleStore() {
+	path := filepath.Join(os.TempDir(), "ipim-tune-example.jsonl")
+	defer os.Remove(path)
+	s, _ := OpenStore(path)
+	_ = s.Put(Record{
+		Key:        Key{Pipeline: 42, W: 64, H: 32, Config: 7},
+		Best:       Candidate{TileW: 8, TileH: 8},
+		BestCycles: 831,
+	})
+	s.Close()
+
+	s2, _ := OpenStore(path)
+	defer s2.Close()
+	rec, ok := s2.Get(Key{Pipeline: 42, W: 64, H: 32, Config: 7})
+	fmt.Println(ok, rec.Best.TileW, rec.BestCycles)
+	// Output: true 8 831
+}

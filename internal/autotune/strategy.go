@@ -1,0 +1,253 @@
+package autotune
+
+import "fmt"
+
+// Strategy proposes candidate batches. The engine evaluates one batch
+// (in parallel, in deterministic order), feeds every result obtained so
+// far back in, and asks for the next; an empty batch ends the search.
+// Because Next sees only the accumulated result list — never the
+// evaluation timing — a strategy is deterministic at any worker count
+// by construction. Strategies carry iteration state and are single-use:
+// build a fresh one per Search.
+type Strategy interface {
+	// Name identifies the strategy in reports and the results store.
+	Name() string
+	// Next proposes the next batch given all results so far, in
+	// evaluation order. Returning an empty batch ends the search.
+	Next(evaluated []Result) []Candidate
+}
+
+// StrategyNames lists the strategies NewStrategy accepts, in display
+// order.
+func StrategyNames() []string { return []string{"grid", "hill"} }
+
+// NewStrategy builds a named strategy over a space. seed drives any
+// stochastic choices (hill-climb restart points); the same seed always
+// yields the same search.
+func NewStrategy(name string, space Space, seed uint64) (Strategy, error) {
+	switch name {
+	case "grid":
+		return NewGrid(space), nil
+	case "hill":
+		return NewHillClimb(space, seed), nil
+	}
+	return nil, fmt.Errorf("autotune: unknown strategy %q (valid: grid, hill)", name)
+}
+
+// Grid is the exhaustive strategy: one batch holding the whole space.
+type Grid struct {
+	space Space
+	done  bool
+}
+
+// NewGrid builds the exhaustive strategy.
+func NewGrid(space Space) *Grid { return &Grid{space: space} }
+
+// Name implements Strategy.
+func (g *Grid) Name() string { return "grid" }
+
+// Next implements Strategy: the full grid once, then done.
+func (g *Grid) Next([]Result) []Candidate {
+	if g.done {
+		return nil
+	}
+	g.done = true
+	return g.space.Grid()
+}
+
+// HillClimb is a batched local search: a seeded set of start points,
+// then rounds that expand the unvisited single-dimension neighbors of
+// the best feasible candidate found so far, stopping when a round stops
+// improving (or the round budget runs out). It evaluates a fraction of
+// the grid on large spaces while finding the same winners on the small
+// ones (the determinism tests pin both properties).
+type HillClimb struct {
+	space Space
+	seed  uint64
+
+	// MaxRounds bounds the neighbor-expansion rounds (default 8).
+	MaxRounds int
+	// Starts is the number of seeded start points (default 3, clamped
+	// to the space size).
+	Starts int
+
+	round     int
+	visited   map[Candidate]bool
+	lastBest  Candidate
+	havePrior bool
+}
+
+// NewHillClimb builds the hill-climb strategy; seed picks the start
+// points.
+func NewHillClimb(space Space, seed uint64) *HillClimb {
+	return &HillClimb{space: space, seed: seed, MaxRounds: 8, Starts: 3,
+		visited: map[Candidate]bool{}}
+}
+
+// Name implements Strategy.
+func (h *HillClimb) Name() string { return "hill" }
+
+// Next implements Strategy.
+func (h *HillClimb) Next(evaluated []Result) []Candidate {
+	grid := h.space.Grid()
+	if len(grid) == 0 {
+		return nil
+	}
+	if h.round == 0 {
+		h.round++
+		return h.startBatch(grid)
+	}
+	if h.round > h.MaxRounds {
+		return nil
+	}
+	best, ok := bestFeasible(evaluated)
+	if !ok {
+		// Nothing feasible among the starts: fall back to the full grid
+		// so the search degrades to exhaustive rather than giving up.
+		h.round = h.MaxRounds + 1
+		return h.unvisited(grid)
+	}
+	if h.havePrior && best == h.lastBest {
+		return nil // converged: the last round did not improve
+	}
+	h.lastBest, h.havePrior = best, true
+	h.round++
+	return h.neighbors(best)
+}
+
+// startBatch picks the seeded start points: the canonical first grid
+// candidate plus Starts-1 pseudo-random draws.
+func (h *HillClimb) startBatch(grid []Candidate) []Candidate {
+	n := h.Starts
+	if n < 1 {
+		n = 1
+	}
+	if n > len(grid) {
+		n = len(grid)
+	}
+	batch := []Candidate{grid[0]}
+	h.visited[grid[0]] = true
+	rng := h.seed
+	for len(batch) < n {
+		rng = splitmix64(rng)
+		c := grid[rng%uint64(len(grid))]
+		if !h.visited[c] {
+			h.visited[c] = true
+			batch = append(batch, c)
+		} else {
+			// Collided with a visited point: walk forward to the next
+			// unvisited grid slot (deterministic, always terminates
+			// because n <= len(grid)).
+			for i := range grid {
+				if !h.visited[grid[i]] {
+					h.visited[grid[i]] = true
+					batch = append(batch, grid[i])
+					break
+				}
+			}
+		}
+	}
+	return batch
+}
+
+// neighbors returns the unvisited candidates that differ from c in
+// exactly one dimension (adjacent tile sizes, toggled staging, the
+// other policies).
+func (h *HillClimb) neighbors(c Candidate) []Candidate {
+	var out []Candidate
+	add := func(n Candidate) {
+		if !h.visited[n] {
+			h.visited[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, tw := range adjacent(h.space.TileW, c.TileW) {
+		n := c
+		n.TileW = tw
+		add(n)
+	}
+	for _, th := range adjacent(h.space.TileH, c.TileH) {
+		n := c
+		n.TileH = th
+		add(n)
+	}
+	for _, pgsm := range h.space.PGSM {
+		if pgsm != c.LoadPGSM {
+			n := c
+			n.LoadPGSM = pgsm
+			add(n)
+		}
+	}
+	for _, page := range h.space.Pages {
+		if page != c.Page {
+			n := c
+			n.Page = page
+			add(n)
+		}
+	}
+	for _, sched := range h.space.Scheds {
+		if sched != c.Sched {
+			n := c
+			n.Sched = sched
+			add(n)
+		}
+	}
+	return out
+}
+
+// unvisited filters the grid down to candidates not yet proposed.
+func (h *HillClimb) unvisited(grid []Candidate) []Candidate {
+	var out []Candidate
+	for _, c := range grid {
+		if !h.visited[c] {
+			h.visited[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// adjacent returns the values neighboring v in the ordered list vals.
+func adjacent(vals []int, v int) []int {
+	for i, x := range vals {
+		if x == v {
+			var out []int
+			if i > 0 {
+				out = append(out, vals[i-1])
+			}
+			if i+1 < len(vals) {
+				out = append(out, vals[i+1])
+			}
+			return out
+		}
+	}
+	// v is off-grid (e.g. the default schedule's tile): every listed
+	// value is a neighbor.
+	return vals
+}
+
+// bestFeasible returns the fastest feasible result's candidate,
+// breaking cycle ties by evaluation order.
+func bestFeasible(evaluated []Result) (Candidate, bool) {
+	var best Result
+	found := false
+	for _, r := range evaluated {
+		if !r.Feasible() {
+			continue
+		}
+		if !found || r.Cycles < best.Cycles {
+			best, found = r, true
+		}
+	}
+	return best.Candidate, found
+}
+
+// splitmix64 is the SplitMix64 mixing function (public domain,
+// Steele/Lea/Flood): one deterministic 64-bit draw per call.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

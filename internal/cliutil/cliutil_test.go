@@ -40,6 +40,34 @@ func TestCheckMatchesLookupShape(t *testing.T) {
 	}
 }
 
+func TestSeed(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want uint64
+	}{
+		{"0", 0},
+		{"12345", 12345},
+		{"0x7E57", 0x7E57},
+		{"0xdeadbeef", 0xdeadbeef},
+		{"18446744073709551615", ^uint64(0)},
+	} {
+		got, err := Seed("seed", tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("Seed(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "-1", "7e57", "0x", "seed", "1.5"} {
+		_, err := Seed("seed", bad)
+		if err == nil {
+			t.Errorf("Seed(%q) accepted", bad)
+			continue
+		}
+		if msg := err.Error(); !strings.Contains(msg, "-seed") || !strings.Contains(msg, bad) {
+			t.Errorf("Seed(%q) error %q not in canonical shape", bad, msg)
+		}
+	}
+}
+
 // Every domain resolver must accept its full advertised choice set and
 // reject garbage with the listing error.
 func TestDomainResolvers(t *testing.T) {

@@ -1,0 +1,99 @@
+package compiler
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"ipim/internal/halide"
+	"ipim/internal/sim"
+)
+
+// PipelineFingerprint returns a structural digest of a pipeline's
+// algorithm that is independent of its tunable schedule. Two pipelines
+// that compute the same function via the same stage structure hash
+// equal even when their ipim_tile shapes or load_pgsm staging differ —
+// exactly the equivalence the autotuner's results database needs, so
+// that a schedule tuned for one request keys every later request for
+// the same algorithm.
+//
+// Included: the expression DAG (ops, constants, coordinate transforms,
+// producer references with compute_root materialization), output
+// scaling, clamped-stage semantics, and the histogram shape. Excluded:
+// func/pipeline names, TileW/TileH, and load_pgsm flags (the tuned
+// dimensions).
+func PipelineFingerprint(p *halide.Pipeline) uint64 {
+	h := fnv.New64a()
+	fp := &fingerprinter{w: h, ids: map[*halide.Func]int{}}
+	fmt.Fprintf(h, "pipe|scale=%d/%d|clamp=%v|hist=%v/%d|",
+		p.OutNum, p.OutDen, p.ClampedStages, p.Histogram, p.Bins)
+	if p.Output != nil {
+		fp.fun(p.Output)
+	}
+	return h.Sum64()
+}
+
+// fingerprinter assigns stable integer identities to Funcs in
+// first-visit order so the digest depends only on DAG structure, not on
+// pointer values or declaration names.
+type fingerprinter struct {
+	w   io.Writer
+	ids map[*halide.Func]int
+}
+
+func (fp *fingerprinter) fun(f *halide.Func) {
+	if id, ok := fp.ids[f]; ok {
+		fmt.Fprintf(fp.w, "ref#%d|", id)
+		return
+	}
+	id := len(fp.ids)
+	fp.ids[f] = id
+	fmt.Fprintf(fp.w, "func#%d|root=%v|", id, f.IsComputeRoot())
+	fp.expr(f.E)
+}
+
+func (fp *fingerprinter) expr(e halide.Expr) {
+	switch t := e.(type) {
+	case halide.Const:
+		// Hash the exact bit pattern: 1.0/3 and 0.333 are different
+		// algorithms.
+		fmt.Fprintf(fp.w, "k%08x|", math.Float32bits(t.V))
+	case halide.Access:
+		fmt.Fprintf(fp.w, "acc(%d,%d,%d)(%d,%d,%d)|",
+			t.CX.Scale, t.CX.Offset, t.CX.Div, t.CY.Scale, t.CY.Offset, t.CY.Div)
+		if t.Func == nil {
+			fmt.Fprintf(fp.w, "in|")
+		} else {
+			fp.fun(t.Func)
+		}
+	case halide.Bin:
+		fmt.Fprintf(fp.w, "bin%d(", t.Op)
+		fp.expr(t.A)
+		fp.expr(t.B)
+		fmt.Fprintf(fp.w, ")|")
+	case halide.Select:
+		fmt.Fprintf(fp.w, "sel(")
+		fp.expr(t.Cond)
+		fp.expr(t.Then)
+		fp.expr(t.Else)
+		fmt.Fprintf(fp.w, ")|")
+	default:
+		fmt.Fprintf(fp.w, "?%T|", e)
+	}
+}
+
+// ConfigDigest hashes the machine configuration and compiler options a
+// tuning result was measured under, excluding the DRAM page and
+// scheduling policies — those are tuned dimensions carried inside each
+// candidate, so results keyed by this digest remain addressable
+// whichever policies the search selects. Any other config change (PE
+// counts, timings, register file sizes, compiler baseline) yields a new
+// digest and therefore a fresh tuning entry.
+func ConfigDigest(cfg *sim.Config, opts Options) uint64 {
+	c := *cfg
+	c.Page, c.Sched = 0, 0
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v|%+v", c, opts)
+	return h.Sum64()
+}

@@ -1,0 +1,116 @@
+package compiler
+
+import (
+	"testing"
+
+	"ipim/internal/dram"
+	"ipim/internal/halide"
+	"ipim/internal/sim"
+	"ipim/internal/workloads"
+)
+
+func fpBlurPipe() *halide.Pipeline {
+	bx := halide.NewFunc("bx").Define(
+		halide.Mul(halide.Add(halide.In(-1, 0), halide.In(1, 0)), halide.K(0.5)))
+	out := halide.NewFunc("by").Define(
+		halide.Mul(halide.Add(bx.At(0, -1), bx.At(0, 1)), halide.K(0.5)))
+	return halide.NewPipeline("blur", out)
+}
+
+func TestPipelineFingerprintScheduleIndependent(t *testing.T) {
+	base := PipelineFingerprint(fpBlurPipe())
+
+	// The tuned schedule dimensions must not move the fingerprint.
+	retiled := fpBlurPipe().IPIMTile(16, 4)
+	retiled.Output.SetLoadPGSM(true)
+	if got := PipelineFingerprint(retiled); got != base {
+		t.Fatalf("retiled+pgsm fingerprint %x != base %x", got, base)
+	}
+
+	// Renaming stages must not move it either (structural identity).
+	renamed := fpBlurPipe()
+	renamed.Output.Name = "other"
+	if got := PipelineFingerprint(renamed); got != base {
+		t.Fatalf("renamed fingerprint %x != base %x", got, base)
+	}
+}
+
+func TestPipelineFingerprintAlgorithmSensitive(t *testing.T) {
+	base := PipelineFingerprint(fpBlurPipe())
+
+	// A different constant is a different algorithm.
+	altK := fpBlurPipe()
+	altK.Output.E = halide.Mul(altK.Output.E, halide.K(2))
+	if PipelineFingerprint(altK) == base {
+		t.Fatal("scaled algorithm collided with base")
+	}
+
+	// compute_root changes materialization, hence lowering.
+	rooted := fpBlurPipe()
+	// The producer is reachable through the output's expression.
+	var prod *halide.Func
+	_ = walkFuncs(rooted.Output.E, func(f *halide.Func) { prod = f })
+	if prod == nil {
+		t.Fatal("no producer found")
+	}
+	prod.ComputeRoot()
+	if PipelineFingerprint(rooted) == base {
+		t.Fatal("compute_root variant collided with base")
+	}
+
+	// Every Table II workload must have a distinct fingerprint.
+	seen := map[uint64]string{}
+	for _, wl := range workloads.All() {
+		fp := PipelineFingerprint(wl.Build().Pipe)
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("workloads %s and %s share fingerprint %x", prev, wl.Name, fp)
+		}
+		seen[fp] = wl.Name
+		// And be stable across rebuilds.
+		if again := PipelineFingerprint(wl.Build().Pipe); again != fp {
+			t.Fatalf("workload %s fingerprint unstable: %x then %x", wl.Name, fp, again)
+		}
+	}
+}
+
+// walkFuncs visits every producer Func in an expression tree.
+func walkFuncs(e halide.Expr, fn func(*halide.Func)) error {
+	switch t := e.(type) {
+	case halide.Access:
+		if t.Func != nil {
+			fn(t.Func)
+			return walkFuncs(t.Func.E, fn)
+		}
+	case halide.Bin:
+		if err := walkFuncs(t.A, fn); err != nil {
+			return err
+		}
+		return walkFuncs(t.B, fn)
+	case halide.Select:
+		if err := walkFuncs(t.Cond, fn); err != nil {
+			return err
+		}
+		if err := walkFuncs(t.Then, fn); err != nil {
+			return err
+		}
+		return walkFuncs(t.Else, fn)
+	}
+	return nil
+}
+
+func TestConfigDigestIgnoresTunedPolicies(t *testing.T) {
+	a := sim.TestTiny()
+	b := sim.TestTiny()
+	b.Page, b.Sched = dram.ClosePage, dram.FCFS
+	if ConfigDigest(&a, Opt) != ConfigDigest(&b, Opt) {
+		t.Fatal("digest moved with the tuned DRAM policies")
+	}
+	c := sim.TestTiny()
+	c.PGsPerVault *= 2
+	if ConfigDigest(&a, Opt) == ConfigDigest(&c, Opt) {
+		t.Fatal("digest ignored a machine-shape change")
+	}
+	if ConfigDigest(&a, Opt) == ConfigDigest(&a, Baseline1) {
+		t.Fatal("digest ignored the compiler options")
+	}
+}

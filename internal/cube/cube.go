@@ -137,6 +137,23 @@ func (m *Machine) SetFastForward(on bool) {
 // FastForward reports whether idle-cycle fast-forward is enabled.
 func (m *Machine) FastForward() bool { return !m.stepwise }
 
+// SetDRAMPolicy switches every per-PG memory controller to the given
+// row-buffer and scheduling policies. Policies steer request timing
+// only, never data (internal/dram is timing-only), so outputs are
+// bit-identical across settings; the schedule auto-tuner and the
+// serving daemon use this to evaluate and serve tuned DRAM policies on
+// a pooled machine without rebuilding it. Not safe to call during an
+// active Run — change policies only between runs, like SetFastForward.
+func (m *Machine) SetDRAMPolicy(page dram.PagePolicy, sched dram.SchedPolicy) {
+	for _, cube := range m.Vaults {
+		for _, v := range cube {
+			for _, pg := range v.PGs {
+				pg.Ctrl.SetPolicies(page, sched)
+			}
+		}
+	}
+}
+
 // FastForwardedCycles totals, over every vault, the idle cycles crossed
 // in event jumps without simulating them individually (simulated
 // cycles, cumulative over the machine's lifetime; zero with

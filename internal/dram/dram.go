@@ -236,6 +236,19 @@ func (c *Controller) ResetTiming() {
 	c.lastBusy = 0
 }
 
+// SetPolicies switches the row-buffer and scheduling policies. Only
+// safe while the controller is quiescent (queue empty, between runs):
+// the schedule auto-tuner and the serving daemon use it to evaluate and
+// serve tuned DRAM policies on a pooled machine without rebuilding it.
+// Policies steer timing only, never data, so outputs are unaffected.
+func (c *Controller) SetPolicies(page PagePolicy, sched SchedPolicy) {
+	c.page = page
+	c.sched = sched
+}
+
+// Policies reports the current row-buffer and scheduling policies.
+func (c *Controller) Policies() (PagePolicy, SchedPolicy) { return c.page, c.sched }
+
 // QueueLen reports current queue occupancy.
 func (c *Controller) QueueLen() int { return len(c.queue) }
 

@@ -164,6 +164,14 @@ func (f *Func) LoadPGSM() *Func {
 	return f
 }
 
+// SetLoadPGSM sets or clears PGSM staging explicitly. The schedule
+// auto-tuner uses it to explore both sides of the load_pgsm directive
+// on pipelines whose builders already chose one.
+func (f *Func) SetLoadPGSM(on bool) *Func {
+	f.loadPGSM = on
+	return f
+}
+
 // IsComputeRoot reports whether the Func is materialized.
 func (f *Func) IsComputeRoot() bool { return f.computeRoot }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"ipim"
+	"ipim/internal/autotune"
 )
 
 // cacheKey identifies one compiled artifact: the workload, the input
@@ -27,6 +28,10 @@ type cacheEntry struct {
 	ready chan struct{}
 	art   *ipim.Artifact
 	err   error
+	// sched is the tuned schedule the artifact was compiled with, or
+	// nil for the default schedule. Set only by swap, which replaces
+	// the whole entry, so art and sched are always consistent.
+	sched *autotune.Candidate
 }
 
 // artifactCache is an LRU cache of compiled artifacts with
@@ -39,7 +44,7 @@ type artifactCache struct {
 	ll      *list.List // front = most recently used
 	entries map[cacheKey]*cacheEntry
 
-	hits, misses, evictions int64
+	hits, misses, evictions, swaps int64
 }
 
 func newArtifactCache(capacity int) *artifactCache {
@@ -56,15 +61,16 @@ func newArtifactCache(capacity int) *artifactCache {
 // get returns the artifact for key, compiling it at most once per
 // cache residency. hit reports whether the caller was served without
 // initiating a compile (including waiting on another request's
-// in-flight compile).
-func (c *artifactCache) get(key cacheKey, compile func() (*ipim.Artifact, error)) (art *ipim.Artifact, hit bool, err error) {
+// in-flight compile). sched is non-nil when the background tuner has
+// swapped in a tuned-schedule artifact for this key.
+func (c *artifactCache) get(key cacheKey, compile func() (*ipim.Artifact, error)) (art *ipim.Artifact, sched *autotune.Candidate, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(e.elem)
 		c.hits++
 		c.mu.Unlock()
 		<-e.ready
-		return e.art, true, e.err
+		return e.art, e.sched, true, e.err
 	}
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	e.elem = c.ll.PushFront(e)
@@ -91,12 +97,47 @@ func (c *artifactCache) get(key cacheKey, compile func() (*ipim.Artifact, error)
 		c.mu.Unlock()
 	}
 	close(e.ready)
-	return e.art, false, e.err
+	return e.art, nil, false, e.err
+}
+
+// swap atomically replaces the cached artifact for key with a tuned
+// one. The entry keeps its LRU position when key is resident; an
+// evicted (or never-seen) key is re-inserted at the front. A key whose
+// compile is still in flight is left alone: the tuner retries on no
+// schedule anyway, and fighting an in-flight entry would publish art
+// before its waiters' ready fires.
+func (c *artifactCache) swap(key cacheKey, art *ipim.Artifact, sched *autotune.Candidate) {
+	ne := &cacheEntry{key: key, ready: make(chan struct{}), art: art, sched: sched}
+	close(ne.ready)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		select {
+		case <-old.ready:
+		default:
+			return // compile in flight; don't race its publication
+		}
+		ne.elem = old.elem
+		ne.elem.Value = ne
+		c.entries[key] = ne
+		c.swaps++
+		return
+	}
+	ne.elem = c.ll.PushFront(ne)
+	c.entries[key] = ne
+	c.swaps++
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		victim := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.entries, victim.key)
+		c.evictions++
+	}
 }
 
 // cacheStats is a point-in-time counter snapshot.
 type cacheStats struct {
-	Entries, Hits, Misses, Evictions int64
+	Entries, Hits, Misses, Evictions, Swaps int64
 }
 
 func (c *artifactCache) stats() cacheStats {
@@ -107,5 +148,6 @@ func (c *artifactCache) stats() cacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Swaps:     c.swaps,
 	}
 }

@@ -24,7 +24,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got, hit, err := c.get(key, func() (*ipim.Artifact, error) {
+			got, _, hit, err := c.get(key, func() (*ipim.Artifact, error) {
 				compiles.Add(1)
 				return art, nil
 			})
@@ -58,11 +58,11 @@ func TestCacheErrorNotCached(t *testing.T) {
 	c := newArtifactCache(4)
 	key := cacheKey{Workload: "w", W: 8, H: 8, Opts: ipim.Opt}
 	boom := errors.New("boom")
-	if _, _, err := c.get(key, func() (*ipim.Artifact, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, _, err := c.get(key, func() (*ipim.Artifact, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("want compile error, got %v", err)
 	}
 	art := &ipim.Artifact{}
-	got, hit, err := c.get(key, func() (*ipim.Artifact, error) { return art, nil })
+	got, _, hit, err := c.get(key, func() (*ipim.Artifact, error) { return art, nil })
 	if err != nil || got != art || hit {
 		t.Fatalf("retry after failure: got=%v hit=%v err=%v", got, hit, err)
 	}
@@ -79,7 +79,7 @@ func TestCacheLRUEviction(t *testing.T) {
 		return &ipim.Artifact{}, nil
 	}
 	for _, w := range []int{1, 2, 3} { // 3 keys through a cap-2 cache
-		if _, _, err := c.get(mk(w), compile); err != nil {
+		if _, _, _, err := c.get(mk(w), compile); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -89,14 +89,14 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	// Key 1 was the LRU victim: touching it again recompiles.
 	before := compiles.Load()
-	if _, hit, err := c.get(mk(1), compile); err != nil || hit {
+	if _, _, hit, err := c.get(mk(1), compile); err != nil || hit {
 		t.Fatalf("evicted key: hit=%v err=%v", hit, err)
 	}
 	if compiles.Load() != before+1 {
 		t.Error("evicted key did not recompile")
 	}
 	// Key 3 is still resident.
-	if _, hit, err := c.get(mk(3), compile); err != nil || !hit {
+	if _, _, hit, err := c.get(mk(3), compile); err != nil || !hit {
 		t.Fatalf("resident key: hit=%v err=%v", hit, err)
 	}
 }

@@ -48,6 +48,7 @@ type metrics struct {
 	budgetExceededCount func() int64
 	busySeconds         func() float64
 	degraded            func() bool
+	tuneSnapshot        func() tuneSnapshot // nil when tuning is disabled
 }
 
 // routeHist is one route's latency histogram: per-bucket counts (last
@@ -194,6 +195,25 @@ func (mt *metrics) write(w io.Writer) {
 		fmt.Fprintf(w, "# HELP ipim_artifact_cache_evictions_total LRU evictions.\n")
 		fmt.Fprintf(w, "# TYPE ipim_artifact_cache_evictions_total counter\n")
 		fmt.Fprintf(w, "ipim_artifact_cache_evictions_total %d\n", cs.Evictions)
+		fmt.Fprintf(w, "# HELP ipim_artifact_cache_swaps_total Artifacts upgraded in place by the background tuner.\n")
+		fmt.Fprintf(w, "# TYPE ipim_artifact_cache_swaps_total counter\n")
+		fmt.Fprintf(w, "ipim_artifact_cache_swaps_total %d\n", cs.Swaps)
+	}
+
+	if mt.tuneSnapshot != nil {
+		ts := mt.tuneSnapshot()
+		fmt.Fprintf(w, "# HELP ipim_tune_jobs_queued Background tuning jobs waiting or running.\n")
+		fmt.Fprintf(w, "# TYPE ipim_tune_jobs_queued gauge\n")
+		fmt.Fprintf(w, "ipim_tune_jobs_queued %d\n", ts.Queued)
+		fmt.Fprintf(w, "# HELP ipim_tune_jobs_total Background tuning jobs, by outcome.\n")
+		fmt.Fprintf(w, "# TYPE ipim_tune_jobs_total counter\n")
+		fmt.Fprintf(w, "ipim_tune_jobs_total{outcome=\"completed\"} %d\n", ts.Completed)
+		fmt.Fprintf(w, "ipim_tune_jobs_total{outcome=\"improved\"} %d\n", ts.Improved)
+		fmt.Fprintf(w, "ipim_tune_jobs_total{outcome=\"failed\"} %d\n", ts.Failed)
+		fmt.Fprintf(w, "ipim_tune_jobs_total{outcome=\"dropped\"} %d\n", ts.Dropped)
+		fmt.Fprintf(w, "# HELP ipim_tune_improvement_ratio Default-vs-tuned cycle ratio of the last completed search.\n")
+		fmt.Fprintf(w, "# TYPE ipim_tune_improvement_ratio gauge\n")
+		fmt.Fprintf(w, "ipim_tune_improvement_ratio %g\n", ts.LastImprovement)
 	}
 
 	fmt.Fprintf(w, "# HELP ipim_faults_injected_total Faults injected into simulated runs (DRAM flip events + link faults).\n")

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"ipim"
+	"ipim/internal/autotune"
 	"ipim/internal/host"
 )
 
@@ -99,6 +100,27 @@ type Config struct {
 	DegradeThreshold float64
 	DegradeWindow    int           // default 16 requests
 	DegradeCooldown  time.Duration // default 5s
+
+	// TuneWorkers enables background schedule tuning: unknown artifact
+	// keys are queued for an internal/autotune search using this many
+	// parallel evaluation workers, and winners that clear TuneMargin
+	// are swapped into the artifact cache (X-Ipim-Schedule: tuned).
+	// 0 (the default) disables tuning.
+	TuneWorkers int
+	// TuneDB is the persistent results-store journal (JSONL). Empty:
+	// memory-only — tuning restarts from scratch on every boot. A warm
+	// journal (e.g. written by ipim-tune -db) short-circuits searches.
+	TuneDB string
+	// TuneMargin is the minimum improvement ratio
+	// (default-schedule cycles / tuned cycles) a search winner needs
+	// before the artifact is swapped (default 1.02; 1.0 swaps on any
+	// non-regression).
+	TuneMargin float64
+	// TuneStrategy picks the search strategy (default "hill").
+	TuneStrategy string
+	// TuneQueueCap bounds the background tuning queue (default 16; a
+	// full queue drops the enqueue, to be retried by a later request).
+	TuneQueueCap int
 }
 
 func (c *Config) fillDefaults() {
@@ -150,6 +172,15 @@ func (c *Config) fillDefaults() {
 	if c.DegradeCooldown == 0 {
 		c.DegradeCooldown = 5 * time.Second
 	}
+	if c.TuneMargin == 0 {
+		c.TuneMargin = 1.02
+	}
+	if c.TuneStrategy == "" {
+		c.TuneStrategy = "hill"
+	}
+	if c.TuneQueueCap == 0 {
+		c.TuneQueueCap = 16
+	}
 }
 
 // Server is the HTTP image-processing service. Create with New, mount
@@ -161,6 +192,7 @@ type Server struct {
 	metrics *metrics
 	meter   *host.Meter
 	degrade *degradeState
+	tuner   *tuner // nil when background tuning is disabled
 	mux     *http.ServeMux
 
 	draining chan struct{} // closed when Shutdown begins
@@ -204,12 +236,22 @@ func New(cfg Config) (*Server, error) {
 		_, shedding := s.degrade.active()
 		return shedding
 	}
+	t, err := newTuner(&s.cfg, s.cache, s.pool)
+	if err != nil {
+		p.drain(context.Background())
+		return nil, err
+	}
+	s.tuner = t
+	if t != nil {
+		s.metrics.tuneSnapshot = t.snapshot
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("/v1/process", s.handleProcess)
 	s.mux.HandleFunc("/v1/simb", s.handleSimb)
+	s.mux.HandleFunc("/v1/tune", s.handleTune)
 	return s, nil
 }
 
@@ -222,6 +264,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-s.draining:
 	default:
 		close(s.draining)
+	}
+	// Cancel any in-flight background tuning first: it is the lowest
+	// priority work and must never hold up the drain.
+	if err := s.tuner.close(); err != nil {
+		s.cfg.Logger.Printf("tune: store close: %v", err)
 	}
 	return s.pool.drain(ctx)
 }
@@ -252,7 +299,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // (unknown paths collapse into one label so cardinality stays fixed).
 func metricsRoute(path string) string {
 	switch path {
-	case "/healthz", "/readyz", "/metrics", "/v1/workloads", "/v1/process", "/v1/simb":
+	case "/healthz", "/readyz", "/metrics", "/v1/workloads", "/v1/process", "/v1/simb", "/v1/tune":
 		return path
 	}
 	return "other"
@@ -443,7 +490,7 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	// request goroutine — it is host-side work; only simulator runs
 	// occupy pooled machines.
 	key := cacheKey{Workload: wl.Name, W: imgW, H: imgH, Opts: opts}
-	art, hit, err := s.cache.get(key, func() (*ipim.Artifact, error) {
+	art, sched, hit, err := s.cache.get(key, func() (*ipim.Artifact, error) {
 		cfg := s.cfg.Machine
 		return ipim.Compile(&cfg, wl.Build().Pipe, imgW, imgH, opts)
 	})
@@ -451,13 +498,23 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "compile: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Hand the key to the background tuner (single-flight per key;
+	// no-op when tuning is disabled or the key was already submitted).
+	s.tuner.maybeEnqueue(key, wl)
 
 	// Run on a pooled machine, retrying transient injected faults with
-	// exponential backoff under the request deadline.
+	// exponential backoff under the request deadline. A tuned artifact
+	// carries its schedule's DRAM policies; they are timing-only (never
+	// data), applied for this run and restored before the machine goes
+	// back to the pool.
 	res := &runResult{}
 	run := func() error {
 		*res = runResult{}
 		return s.pool.submit(ctx, func(ctx context.Context, m *ipim.Machine) error {
+			if sched != nil {
+				m.SetDRAMPolicy(sched.Page, sched.Sched)
+				defer m.SetDRAMPolicy(s.cfg.Machine.Page, s.cfg.Machine.Sched)
+			}
 			return s.runOn(ctx, m, art, planes, budget, res)
 		})
 	}
@@ -518,6 +575,7 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Ipim-Config", optName)
 	h.Set("X-Ipim-Image", fmt.Sprintf("%dx%d", imgW, imgH))
 	h.Set("X-Ipim-Cache", cacheLabel(hit))
+	h.Set("X-Ipim-Schedule", scheduleLabel(sched))
 	h.Set("X-Ipim-Cycles", strconv.FormatInt(res.cycles, 10))
 	h.Set("X-Ipim-Instructions", strconv.FormatInt(res.issued, 10))
 	h.Set("X-Ipim-Kernel-Ns", strconv.FormatInt(res.cycles, 10)) // 1 GHz: 1 cycle = 1 ns
@@ -713,4 +771,11 @@ func cacheLabel(hit bool) string {
 		return "hit"
 	}
 	return "miss"
+}
+
+func scheduleLabel(sched *autotune.Candidate) string {
+	if sched != nil {
+		return "tuned"
+	}
+	return "default"
 }

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ipim"
+	"ipim/internal/autotune"
+)
+
+// postProcess issues one /v1/process request and returns the response
+// body and the X-Ipim-Schedule header.
+func postProcess(t *testing.T, ts *httptest.Server, workload string, body []byte) ([]byte, string) {
+	t.Helper()
+	resp, err := http.Post(processURL(ts.URL, workload, ""), "image/x-portable-graymap",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	return out, resp.Header.Get("X-Ipim-Schedule")
+}
+
+// tuneStatus fetches and decodes GET /v1/tune.
+func tuneStatus(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/tune: status %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// waitForTuned polls until a request for the workload is served with
+// the tuned schedule, returning that response body.
+func waitForTuned(t *testing.T, ts *httptest.Server, workload string, body []byte) []byte {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		out, sched := postProcess(t, ts, workload, body)
+		if sched == "tuned" {
+			return out
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("no request observed X-Ipim-Schedule: tuned before the deadline")
+	return nil
+}
+
+// TestBackgroundTuningSoak is the PR acceptance soak: a request stream
+// observes X-Ipim-Schedule: default first, then tuned once the
+// background search lands — with bit-identical pixel output before and
+// after the artifact swap.
+func TestBackgroundTuningSoak(t *testing.T) {
+	s := testServer(t, func(c *Config) {
+		c.TuneWorkers = 2
+		c.TuneMargin = 1.0 // swap on any non-regression: the test must always converge
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	body := pgmBody(t, 32, 16)
+
+	first, sched := postProcess(t, ts, "GaussianBlur", body)
+	if sched != "default" {
+		t.Fatalf("first request schedule = %q, want default", sched)
+	}
+	tuned := waitForTuned(t, ts, "GaussianBlur", body)
+	if !bytes.Equal(first, tuned) {
+		t.Fatal("tuned artifact changed the pixel output")
+	}
+
+	status := tuneStatus(t, ts)
+	if status["enabled"] != true {
+		t.Fatalf("/v1/tune enabled = %v", status["enabled"])
+	}
+	st := status["status"].(map[string]any)
+	if st["completed"].(float64) < 1 || st["improved"].(float64) < 1 {
+		t.Fatalf("tuner status = %+v, want >=1 completed and improved", st)
+	}
+	if recs := status["records"].([]any); len(recs) != 1 {
+		t.Fatalf("store has %d records, want 1", len(recs))
+	}
+
+	// The upgrade shows up across the observability surface too.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"ipim_tune_jobs_total{outcome=\"improved\"} 1",
+		"ipim_artifact_cache_swaps_total 1",
+		"ipim_tune_improvement_ratio",
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestTuningDisabledByDefault: without TuneWorkers every request stays
+// on the default schedule and /v1/tune reports disabled.
+func TestTuningDisabledByDefault(t *testing.T) {
+	s := testServer(t, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	_, sched := postProcess(t, ts, "GaussianBlur", pgmBody(t, 32, 16))
+	if sched != "default" {
+		t.Fatalf("schedule = %q, want default", sched)
+	}
+	status := tuneStatus(t, ts)
+	if status["enabled"] != false {
+		t.Fatalf("/v1/tune enabled = %v, want false", status["enabled"])
+	}
+}
+
+// TestTuneDBPersistence: a second server opening the same journal
+// reuses the recorded winner — the first request after the warm boot
+// upgrades without a fresh search (evaluated count stays put).
+func TestTuneDBPersistence(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "tune.jsonl")
+	body := pgmBody(t, 32, 16)
+
+	s1 := testServer(t, func(c *Config) {
+		c.TuneWorkers = 2
+		c.TuneMargin = 1.0
+		c.TuneDB = db
+	})
+	ts1 := httptest.NewServer(s1)
+	postProcess(t, ts1, "GaussianBlur", body)
+	waitForTuned(t, ts1, "GaussianBlur", body)
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	s1.Shutdown(ctx)
+	cancel()
+
+	s2 := testServer(t, func(c *Config) {
+		c.TuneWorkers = 2
+		c.TuneMargin = 1.0
+		c.TuneDB = db
+	})
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+
+	// The journal is loaded at boot: /v1/tune lists the record before
+	// any request arrives.
+	status := tuneStatus(t, ts2)
+	recs, ok := status["records"].([]any)
+	if !ok || len(recs) != 1 {
+		t.Fatalf("warm boot exposes %d records, want 1", len(recs))
+	}
+	// And the first key upgrade comes straight from the store.
+	waitForTuned(t, ts2, "GaussianBlur", body)
+	st := tuneStatus(t, ts2)["status"].(map[string]any)
+	if st["improved"].(float64) < 1 {
+		t.Fatalf("warm-boot tuner status = %+v, want >=1 improved", st)
+	}
+}
+
+// TestTunerSkipsHistogram: histogram workloads have no image output to
+// verify, so they are never enqueued.
+func TestTunerSkipsHistogram(t *testing.T) {
+	s := testServer(t, func(c *Config) {
+		c.TuneWorkers = 1
+		c.TuneMargin = 1.0
+	})
+	wl, err := ipim.WorkloadByName("Histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.tuner.maybeEnqueue(cacheKey{Workload: wl.Name, W: 32, H: 16, Opts: ipim.Opt}, wl)
+	if n := s.tuner.snapshot().Queued; n != 0 {
+		t.Fatalf("histogram workload enqueued (%d queued)", n)
+	}
+}
+
+// TestTunerSingleFlight: repeated enqueues of one key admit one job.
+func TestTunerSingleFlight(t *testing.T) {
+	s := testServer(t, func(c *Config) {
+		c.TuneWorkers = 1
+		c.TuneMargin = 1.0
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	body := pgmBody(t, 32, 16)
+	for i := 0; i < 4; i++ {
+		postProcess(t, ts, "GaussianBlur", body)
+	}
+	waitForTuned(t, ts, "GaussianBlur", body)
+	st := s.tuner.snapshot()
+	if st.Completed != 1 || st.Dropped != 0 {
+		t.Fatalf("tuner ran %d jobs (%d dropped), want exactly 1", st.Completed, st.Dropped)
+	}
+}
+
+// TestCacheSwap covers the artifact swap paths directly: resident key,
+// in-flight key (left alone), and evicted key (re-inserted).
+func TestCacheSwap(t *testing.T) {
+	c := newArtifactCache(2)
+	key := cacheKey{Workload: "w", W: 32, H: 16, Opts: ipim.Opt}
+	def := &ipim.Artifact{}
+	if _, _, _, err := c.get(key, func() (*ipim.Artifact, error) { return def, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	tunedArt := &ipim.Artifact{}
+	cand := &autotune.Candidate{TileW: 16, TileH: 8}
+	c.swap(key, tunedArt, cand)
+	art, sched, hit, err := c.get(key, func() (*ipim.Artifact, error) {
+		t.Fatal("swap lost the entry: recompile triggered")
+		return nil, nil
+	})
+	if err != nil || !hit || art != tunedArt || sched != cand {
+		t.Fatalf("post-swap get = (%p, %v, %v, %v), want the tuned artifact", art, sched, hit, err)
+	}
+	if st := c.stats(); st.Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", st.Swaps)
+	}
+
+	// Swapping a never-resident (or evicted) key inserts it.
+	other := cacheKey{Workload: "w2", W: 32, H: 16, Opts: ipim.Opt}
+	c.swap(other, tunedArt, cand)
+	if _, sched, hit, _ := c.get(other, nil); !hit || sched != cand {
+		t.Fatal("swap did not insert the evicted key")
+	}
+
+	// An in-flight compile is left alone.
+	inflight := cacheKey{Workload: "w3", W: 32, H: 16, Opts: ipim.Opt}
+	started, unblock := make(chan struct{}), make(chan struct{})
+	go c.get(inflight, func() (*ipim.Artifact, error) {
+		close(started)
+		<-unblock
+		return def, nil
+	})
+	<-started
+	c.swap(inflight, tunedArt, cand)
+	close(unblock)
+	if art, sched, _, _ := c.get(inflight, nil); art != def || sched != nil {
+		t.Fatal("swap raced an in-flight compile")
+	}
+}

@@ -38,6 +38,14 @@ go test -race -cover -coverprofile=coverage.out -timeout 30m ./...
 # docs/BENCHMARKS.md.
 go test -run='^$' -bench='^BenchmarkFullMachineRunSame$' -benchtime=1x .
 
+# Autotuner smoke: a real parallel grid search through the ipim-tune
+# CLI (tiny machine, small probe) plus the serve background-tuning
+# integration path. The unit suite covers both under -race above; this
+# slot keeps the shipped binary's flag surface and the end-to-end
+# search loop from rotting.
+go run ./cmd/ipim-tune -config tiny -W 32 -H 16 -strategy grid -workers 4 -json > /dev/null
+go test ./internal/serve -run '^TestBackgroundTuningSoak$' -count=1
+
 # Fuzz smoke: a short real fuzzing run (not just the seed corpus, which
 # plain `go test` already replays) so the fuzz targets can't bit-rot
 # between PRs. Keep -fuzztime small; this is a build/harness check, not

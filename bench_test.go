@@ -358,6 +358,49 @@ func BenchmarkSimCore(b *testing.B) {
 	}
 }
 
+// BenchmarkSimCoreFunctional is BenchmarkSimCore with the machine in
+// FunctionalMode: same three workloads, same machine reuse, but the
+// per-cycle pipeline model is skipped entirely and instructions execute
+// at issue order. The ratio of the two benchmarks' sim-instrs/s is the
+// functional-mode speedup recorded in BENCH_funcmode.json (the pixel
+// outputs are bit-identical by the funcmode_test.go harness, so the
+// comparison is apples-to-apples work).
+func BenchmarkSimCoreFunctional(b *testing.B) {
+	for _, name := range []string{"Shift", "GaussianBlur", "Brighten"} {
+		b.Run(name, func(b *testing.B) {
+			cfg := OneVaultConfig()
+			wl, err := WorkloadByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			img := Synth(wl.BenchW, wl.BenchH, 1)
+			pipe := wl.Build().Pipe
+			art, err := Compile(&cfg, pipe, img.W, img.H, Opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := NewMachine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.SetMode(FunctionalMode)
+			if err := compiler.LoadInput(m, art, img); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var issued int64
+			for i := 0; i < b.N; i++ {
+				stats, err := compiler.Execute(m, art)
+				if err != nil {
+					b.Fatal(err)
+				}
+				issued += stats.Issued
+			}
+			b.ReportMetric(float64(issued)/b.Elapsed().Seconds(), "sim-instrs/s")
+		})
+	}
+}
+
 // BenchmarkCompiler measures compilation speed of the heaviest pipeline
 // (LocalLaplacian, ~20 stages).
 func BenchmarkCompiler(b *testing.B) {

@@ -262,6 +262,67 @@ func TestMaxPhaseStepsCatchesNeverSync(t *testing.T) {
 	assertReusableAfterAbort(t, m)
 }
 
+// TestFunctionalCancelAdversarialPrograms: FunctionalMode has no cycle
+// clock, so cancellation must ride the issued-instruction counter — an
+// adversarial never-syncing program on a functional machine must still
+// be interrupted by the context deadline, and the machine must come
+// back Reset-equivalent (mode restored to cycle for the comparison).
+func TestFunctionalCancelAdversarialPrograms(t *testing.T) {
+	for name := range adversarialPrograms {
+		for _, par := range []int{1, 4} {
+			t.Run(name, func(t *testing.T) {
+				prog := assembleAdversarial(t, name)
+				m, err := NewMachine(TinyConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.SetParallelism(par)
+				m.SetMode(FunctionalMode)
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				defer cancel()
+				t0 := time.Now()
+				_, err = m.RunSameContext(ctx, prog)
+				elapsed := time.Since(t0)
+				if !errors.Is(err, ErrCancelled) {
+					t.Fatalf("err = %v, want ErrCancelled", err)
+				}
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Errorf("err = %v, must wrap the context cause", err)
+				}
+				if elapsed > 10*time.Second {
+					t.Errorf("cancellation took %v — the functional interrupt poll never fired", elapsed)
+				}
+				m.SetMode(DefaultMode)
+				assertReusableAfterAbort(t, m)
+			})
+		}
+	}
+}
+
+// TestFunctionalMaxCyclesIsInstructionBudget: with no clock to measure
+// against, a functional run reinterprets MaxCycles as an
+// issued-instruction bound — conservative (an instruction costs at
+// least a cycle), deterministic, and it must actually terminate the
+// never-syncing corpus.
+func TestFunctionalMaxCyclesIsInstructionBudget(t *testing.T) {
+	prog := assembleAdversarial(t, "infinite-loop")
+	m, err := NewMachine(TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetMode(FunctionalMode)
+	m.SetBudget(RunOptions{MaxCycles: 10_000})
+	_, err = m.RunSame(prog)
+	if !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("err = %v, want ErrCycleBudget", err)
+	}
+	if !strings.Contains(err.Error(), "instructions into the run") {
+		t.Errorf("functional budget error should name the instruction bound: %q", err)
+	}
+	m.SetMode(DefaultMode)
+	assertReusableAfterAbort(t, m)
+}
+
 // TestBudgetAbortThenReuse: a MaxCycles abort on a REAL workload (not
 // just the adversarial corpus) also leaves the machine equivalent to
 // fresh.

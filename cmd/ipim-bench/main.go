@@ -31,6 +31,8 @@ func main() {
 		"fault-injection spec applied to every simulated machine (empty = off; the faults sweep manages its own plans)")
 	maxCycles := flag.Int64("max-cycles", 0,
 		"hard per-run simulated-cycle budget for every experiment machine (0 = unlimited)")
+	mode := flag.String("mode", "cycle",
+		"execution mode for the Table II suite machines: cycle (full timing simulation) or functional (fast correctness pass; cycle-derived columns read zero)")
 	flag.Parse()
 
 	if *expName != "all" {
@@ -38,6 +40,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ipim-bench:", err)
 			os.Exit(1)
 		}
+	}
+	if err := cliutil.Check("mode", *mode, []string{"cycle", "functional"}); err != nil {
+		fmt.Fprintln(os.Stderr, "ipim-bench:", err)
+		os.Exit(1)
 	}
 	plan, err := ipim.ParseFaultPlan(*faultSpec)
 	if err != nil {
@@ -49,6 +55,9 @@ func main() {
 	c.SizeDiv = *div
 	c.Faults = plan
 	c.MaxCycles = *maxCycles
+	if *mode == "functional" {
+		c.Mode = ipim.FunctionalMode
+	}
 
 	if *jsonPath != "" {
 		// Open the output before the ~15 s suite run so a bad path

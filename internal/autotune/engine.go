@@ -151,10 +151,37 @@ func (e *Engine) eval(ctx context.Context, m *cube.Machine, p Problem, pipe *hal
 		r.Err = err
 		return r
 	}
+	// Functional pre-screen: run the candidate once in FunctionalMode —
+	// several times cheaper than a timed run — and verify its output
+	// against the golden reference before paying for cycle-accurate
+	// simulation. Schedule-dependent miscompiles are rejected here
+	// without ever advancing a DRAM clock; functional and cycle outputs
+	// are bit-identical by construction, so the timed run below needs no
+	// second verification.
+	m.Reset()
+	m.SetDRAMPolicy(c.Page, c.Sched)
+	m.SetBudget(sim.RunOptions{Mode: sim.FunctionalMode})
+	if err := compiler.LoadInput(m, art, img); err != nil {
+		r.Err = err
+		return r
+	}
+	if _, err := compiler.ExecuteContext(ctx, m, art); err != nil {
+		r.Err = err
+		return r
+	}
+	out, err := compiler.ReadOutput(m, art)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	if pixel.MaxAbsDiff(out, ref) != 0 {
+		r.Err = fmt.Errorf("autotune: candidate %s diverged from reference", c)
+		return r
+	}
 	// Reset rewinds the machine's timing state to fresh-out-of-New, so
 	// a candidate's measurement is independent of which candidates this
-	// worker evaluated before it — a precondition for worker-count
-	// determinism.
+	// worker evaluated before it (and of the pre-screen above) — a
+	// precondition for worker-count determinism.
 	m.Reset()
 	m.SetDRAMPolicy(c.Page, c.Sched)
 	m.SetBudget(sim.RunOptions{MaxCycles: e.MaxCycles})
@@ -165,17 +192,6 @@ func (e *Engine) eval(ctx context.Context, m *cube.Machine, p Problem, pipe *hal
 	stats, err := compiler.ExecuteContext(ctx, m, art)
 	if err != nil {
 		r.Err = err
-		return r
-	}
-	out, err := compiler.ReadOutput(m, art)
-	if err != nil {
-		r.Err = err
-		return r
-	}
-	// Guard against schedule-dependent miscompiles: only candidates
-	// whose output matches the reference bit-exactly are ranked.
-	if pixel.MaxAbsDiff(out, ref) != 0 {
-		r.Err = fmt.Errorf("autotune: candidate %s diverged from reference", c)
 		return r
 	}
 	r.Cycles = stats.Cycles

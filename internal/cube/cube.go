@@ -76,6 +76,15 @@ type Machine struct {
 	// budget bounds every run until changed (zero = unlimited). Set via
 	// SetBudget.
 	budget sim.RunOptions
+
+	// mode is the machine's default execution mode (SetMode); a run's
+	// RunOptions.Mode overrides it. DefaultMode means CycleMode.
+	mode sim.Mode
+
+	// memoOff disables the block timing memoizer on every vault. Set
+	// via SetTimingMemo; forced on when IPIM_NO_MEMO=1 is set in the
+	// environment.
+	memoOff bool
 }
 
 // New builds a machine for the configuration.
@@ -114,7 +123,63 @@ func New(cfg sim.Config) (*Machine, error) {
 	if m.stepwise {
 		m.SetFastForward(false)
 	}
+	if os.Getenv("IPIM_NO_MEMO") == "1" {
+		m.SetTimingMemo(false)
+	}
 	return m, nil
+}
+
+// SetMode selects the machine's default execution mode for subsequent
+// runs: CycleMode (the default; DefaultMode is equivalent) or
+// FunctionalMode (functional outputs only, no cycle accounting — see
+// sim.Mode). A per-run RunOptions.Mode installed via SetBudget
+// overrides it. Not safe to call during an active Run.
+func (m *Machine) SetMode(mode sim.Mode) { m.mode = mode }
+
+// Mode reports the machine's default execution mode.
+func (m *Machine) Mode() sim.Mode { return m.mode }
+
+// runMode resolves the mode one run executes under: the budget's
+// override if set, else the machine default.
+func (m *Machine) runMode() sim.Mode {
+	if m.budget.Mode != sim.DefaultMode {
+		return m.budget.Mode
+	}
+	return m.mode
+}
+
+// SetTimingMemo enables (the default) or disables the block-level
+// timing memoizer on every vault; disabling also flushes every cached
+// block. Memoized and unmemoized cycle runs produce bit-identical
+// sim.Stats and outputs (the differential tests at the repository root
+// pin this); the switch exists as the reference semantics those tests
+// compare against, mirroring SetFastForward. IPIM_NO_MEMO=1 in the
+// environment forces it off at construction. Not safe to call during
+// an active Run.
+func (m *Machine) SetTimingMemo(on bool) {
+	m.memoOff = !on
+	for _, cube := range m.Vaults {
+		for _, v := range cube {
+			v.SetTimingMemo(on)
+		}
+	}
+}
+
+// TimingMemo reports whether the block timing memoizer is enabled.
+func (m *Machine) TimingMemo() bool { return !m.memoOff }
+
+// TimingMemoStats totals the vaults' memoizer hit and miss counts over
+// the machine's lifetime (host-side diagnostics, not part of
+// sim.Stats).
+func (m *Machine) TimingMemoStats() (hits, misses int64) {
+	for _, cube := range m.Vaults {
+		for _, v := range cube {
+			h, ms := v.TimingMemoStats()
+			hits += h
+			misses += ms
+		}
+	}
+	return hits, misses
 }
 
 // SetFastForward enables (the default) or disables idle-cycle
@@ -150,6 +215,11 @@ func (m *Machine) SetDRAMPolicy(page dram.PagePolicy, sched dram.SchedPolicy) {
 			for _, pg := range v.PGs {
 				pg.Ctrl.SetPolicies(page, sched)
 			}
+			// Policies are part of every memo block's key, so stale
+			// blocks could never match — but a policy swap means the
+			// cached timings are for schedules the caller no longer
+			// wants evaluated; drop them.
+			v.FlushTimingMemo()
 		}
 	}
 }
@@ -413,8 +483,10 @@ func (m *Machine) RunContext(ctx context.Context, programs map[[2]int]*isa.Progr
 			}
 		}
 	}
+	mode := m.runMode()
+	functional := mode == sim.FunctionalMode
 	for _, v := range active {
-		v.BeginRun(m.budget, interrupt)
+		v.BeginRun(m.budget, mode, interrupt)
 	}
 	defer func() {
 		for _, v := range active {
@@ -460,9 +532,11 @@ func (m *Machine) RunContext(ctx context.Context, programs map[[2]int]*isa.Progr
 		if allDone {
 			break
 		}
-		if anyPhase {
+		if anyPhase && !functional {
 			// Barrier: align all participants to the slowest plus the
-			// master-slave round trip.
+			// master-slave round trip. Functional runs skip it: no
+			// clock advances, so there is nothing to align (and
+			// aligning would charge sync stalls no one simulated).
 			var t int64
 			for _, v := range active {
 				if v.Now() > t {

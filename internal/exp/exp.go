@@ -103,6 +103,12 @@ type Context struct {
 	// sim.ErrCycleBudget instead of hanging the suite.
 	MaxCycles int64
 
+	// Mode selects the execution mode for every simulated machine
+	// (default: cycle-accurate). FunctionalMode turns the suite into a
+	// fast correctness pass: pixels are bit-identical but every
+	// cycle-derived column reads zero.
+	Mode sim.Mode
+
 	cache map[string]*runResult
 }
 
@@ -159,6 +165,7 @@ func (c *Context) run(wl workloads.Workload, opts compiler.Options, cfg sim.Conf
 		return nil, err
 	}
 	m.SetFaultPlan(c.Faults)
+	m.SetMode(c.Mode)
 	if c.MaxCycles > 0 {
 		m.SetBudget(sim.RunOptions{MaxCycles: c.MaxCycles})
 	}

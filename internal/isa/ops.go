@@ -235,9 +235,18 @@ func EvalI(op ALUOp, a, b, acc int32) int32 {
 	panic(fmt.Sprintf("isa: EvalI: non-int op %v", op))
 }
 
+// CanonNaN is the bit pattern every NaN-valued float ALU result is
+// normalized to: the canonical quiet NaN, as RISC-V FPUs produce.
+// Input NaN payloads are NOT propagated. Without this normalization
+// the architectural result of e.g. NaN+NaN would depend on which
+// operand x86 ADDSS happened to keep — a choice the Go compiler makes
+// per inlining context, so the "same" program could produce different
+// bits in different execution modes (or even under the race detector).
+const CanonNaN uint32 = 0x7FC00000
+
 // EvalLane evaluates a comp op for one vector lane holding raw 32-bit
 // data, dispatching on the op's type. Float lanes are reinterpreted as
-// IEEE-754 bit patterns.
+// IEEE-754 bit patterns; NaN results are normalized to CanonNaN.
 func EvalLane(op ALUOp, a, b, acc uint32) uint32 {
 	switch op {
 	case I2F:
@@ -257,6 +266,9 @@ func EvalLane(op ALUOp, a, b, acc uint32) uint32 {
 	}
 	if op.IsFloat() {
 		r := EvalF(op, math.Float32frombits(a), math.Float32frombits(b), math.Float32frombits(acc))
+		if r != r {
+			return CanonNaN
+		}
 		return math.Float32bits(r)
 	}
 	return uint32(EvalI(op, int32(a), int32(b), int32(acc)))

@@ -447,6 +447,13 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	mode, err := requestMode(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	budget.Mode = mode
+	functional := mode == ipim.FunctionalMode
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
@@ -576,10 +583,16 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Ipim-Image", fmt.Sprintf("%dx%d", imgW, imgH))
 	h.Set("X-Ipim-Cache", cacheLabel(hit))
 	h.Set("X-Ipim-Schedule", scheduleLabel(sched))
-	h.Set("X-Ipim-Cycles", strconv.FormatInt(res.cycles, 10))
+	h.Set("X-Ipim-Mode", mode.String())
+	if !functional {
+		// Functional runs carry no cycle clock, so the timing- and
+		// energy-accounting headers would be zeros; omit them rather
+		// than report numbers that mean nothing.
+		h.Set("X-Ipim-Cycles", strconv.FormatInt(res.cycles, 10))
+		h.Set("X-Ipim-Kernel-Ns", strconv.FormatInt(res.cycles, 10)) // 1 GHz: 1 cycle = 1 ns
+		h.Set("X-Ipim-Energy-Pj", strconv.FormatFloat(res.energyJ*1e12, 'g', -1, 64))
+	}
 	h.Set("X-Ipim-Instructions", strconv.FormatInt(res.issued, 10))
-	h.Set("X-Ipim-Kernel-Ns", strconv.FormatInt(res.cycles, 10)) // 1 GHz: 1 cycle = 1 ns
-	h.Set("X-Ipim-Energy-Pj", strconv.FormatFloat(res.energyJ*1e12, 'g', -1, 64))
 	h.Set("X-Ipim-Transfer-Ns", strconv.FormatFloat(transferNS, 'f', 0, 64))
 	if s.cfg.Faults.Enabled() {
 		h.Set("X-Ipim-Faults-Corrected", strconv.FormatInt(res.corrected, 10))
@@ -736,6 +749,21 @@ func (s *Server) requestBudget(q url.Values) (ipim.RunOptions, error) {
 		}
 	}
 	return b, nil
+}
+
+// requestMode resolves the execution mode from the mode query
+// parameter: "cycle" (the default) runs the full timing simulation;
+// "functional" runs functionally only — identical pixels, several
+// times faster, no cycle/energy accounting in the response.
+func requestMode(q url.Values) (ipim.Mode, error) {
+	switch mq := q.Get("mode"); mq {
+	case "", "cycle":
+		return ipim.CycleMode, nil
+	case "functional":
+		return ipim.FunctionalMode, nil
+	default:
+		return ipim.DefaultMode, fmt.Errorf("bad mode %q (want functional or cycle)", mq)
+	}
 }
 
 // statusClientClosedRequest is nginx's non-standard 499 "client closed

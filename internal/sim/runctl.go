@@ -7,6 +7,42 @@ package sim
 
 import "errors"
 
+// Mode selects how a run executes the loaded programs.
+type Mode uint8
+
+const (
+	// DefaultMode defers to the machine's configured mode (SetMode);
+	// a machine whose mode was never set runs cycle-accurate.
+	DefaultMode Mode = iota
+
+	// CycleMode is the full timing simulation: every instruction goes
+	// through hazard checks, DRAM scheduling, TSV serialization and the
+	// NoC, producing complete sim.Stats.
+	CycleMode
+
+	// FunctionalMode executes instructions functionally only: register,
+	// scratchpad, bank and pixel outputs are bit-identical to CycleMode,
+	// but no clocks advance and no timing state is touched. Stats carry
+	// instruction counts (Issued, InstByCategory, Syncs) with Cycles = 0.
+	// MaxCycles budgets are reinterpreted as an issued-instruction bound
+	// (every instruction costs at least one cycle, so the bound is
+	// conservative); MaxPhaseSteps and cancellation work unchanged.
+	FunctionalMode
+)
+
+// String returns the mode's short name as used by CLI flags and the
+// serve API ("cycle", "functional"; DefaultMode prints "default").
+func (m Mode) String() string {
+	switch m {
+	case CycleMode:
+		return "cycle"
+	case FunctionalMode:
+		return "functional"
+	default:
+		return "default"
+	}
+}
+
 // RunOptions bounds one machine run. The zero value means unlimited:
 // no budget checks run and the execution loop is untouched, so a
 // zero-budget RunContext is bit-identical to Run.
@@ -30,6 +66,10 @@ type RunOptions struct {
 	// never-syncing programs whose backward branches are cheap in
 	// cycles but unbounded in instructions.
 	MaxPhaseSteps int64
+
+	// Mode overrides the machine's execution mode for runs under this
+	// options value (DefaultMode = no override; see sim.Mode).
+	Mode Mode
 }
 
 // Enabled reports whether any budget is set.

@@ -1,0 +1,624 @@
+package vault
+
+// In-package unit tests for the functional execution mode and the block
+// timing memoizer. The root-package differential matrix
+// (funcmode_test.go) pins whole-machine equivalence; these tests pin the
+// pieces directly: every specialized comp kernel against isa.EvalLane on
+// adversarial bit patterns, each execFunc dispatch path against the
+// cycle-mode interpreter on a single vault, the functional budget
+// reinterpretation, and the memoizer's hit/flush/bypass machinery.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ipim/internal/engine"
+	"ipim/internal/fault"
+	"ipim/internal/isa"
+	"ipim/internal/sim"
+)
+
+// kernelPatterns are adversarial 32-bit lane values: NaNs, infinities,
+// denormals, signed zeros, integer extremes, float values at the F2I
+// clamp boundaries, and shift counts around the mod-32 wrap.
+var kernelPatterns = []uint32{
+	0x00000000, 0x80000000, // +0, -0
+	0x3F800000, 0xBF800000, // +1, -1
+	0x7F800000, 0xFF800000, // +Inf, -Inf
+	0x7FC00000, 0xFFC00000, // quiet NaNs
+	0x7F800001,             // signaling NaN pattern
+	0x00000001, 0x807FFFFF, // denormals
+	0x7F7FFFFF, 0xFF7FFFFF, // +-MaxFloat32
+	0x4EFFFFFF, 0x4F000000, // floats straddling MaxInt32
+	0xCF000000, 0xCF000001, // floats straddling MinInt32
+	0x7FFFFFFF, 0x80000001, // MaxInt32, MinInt32+1 as ints
+	0xFFFFFFFF,             // -1 as int, NaN as float
+	0x0000001F, 0x00000020, // shift counts at the mod-32 wrap
+	0x40490FDB, // pi
+	0xC2F6E979, // -123.456
+	0x501502F9, // 1e10
+}
+
+// TestCompKernelsBitExact proves every specialized functional-mode comp
+// kernel computes exactly what the cycle-mode reference (isa.EvalLane)
+// computes, lane for lane, across the adversarial pattern matrix.
+func TestCompKernelsBitExact(t *testing.T) {
+	n := len(kernelPatterns)
+	for op := isa.ALUOp(1); op.ValidForComp(); op++ {
+		k := compKernelFor(op)
+		if k == nil {
+			t.Fatalf("comp op %v has no functional kernel", op)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var a, b, acc, d engine.Vector
+				for l := 0; l < isa.VecLanes; l++ {
+					a[l] = kernelPatterns[(i+l)%n]
+					b[l] = kernelPatterns[(j+l)%n]
+					acc[l] = kernelPatterns[(i+j+l)%n]
+				}
+				d = acc
+				k(&d, &a, &b)
+				for l := 0; l < isa.VecLanes; l++ {
+					want := isa.EvalLane(op, a[l], b[l], acc[l])
+					if d[l] != want {
+						t.Fatalf("%v lane %d: a=%#x b=%#x acc=%#x: kernel=%#x EvalLane=%#x",
+							op, l, a[l], b[l], acc[l], d[l], want)
+					}
+				}
+			}
+		}
+	}
+	if compKernelFor(isa.ALUInvalid) != nil {
+		t.Fatal("kernel table maps the invalid op")
+	}
+	if compKernelFor(isa.ALUOp(250)) != nil {
+		t.Fatal("kernel table maps an out-of-range op")
+	}
+}
+
+// assembleProg assembles and finalizes a program or fails the test.
+func assembleProg(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// seedArch fills a fresh vault's architectural state deterministically:
+// DataRF lanes from the adversarial pattern pool, spare AddrRF entries
+// with small integers, a4..a7 with aligned bank/PGSM addresses for
+// indirect tests, the low bank bytes, and the low VSM bytes. The same
+// sequence lands on every vault it is applied to.
+func seedArch(v *Vault) {
+	u := uint32(0x9E3779B9)
+	next := func() uint32 { u = u*1664525 + 1013904223; return u }
+	for _, pg := range v.PGs {
+		for _, pe := range pg.PEs {
+			for r := range pe.DataRF {
+				for l := range pe.DataRF[r] {
+					pe.DataRF[r][l] = kernelPatterns[int(next()>>8)%len(kernelPatterns)]
+				}
+			}
+			for r := 8; r < len(pe.AddrRF); r++ {
+				pe.AddrRF[r] = int32(next() % 1024)
+			}
+			pe.AddrRF[4], pe.AddrRF[5] = 0x40, 0x80
+			pe.AddrRF[6], pe.AddrRF[7] = 0x100, 0x30
+			var buf [512]byte
+			for i := range buf {
+				buf[i] = byte(next() >> 16)
+			}
+			if err := pe.WriteBank(0, buf[:]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := 0; i < 256; i++ {
+		v.VSM[i] = byte(i*7 + 3)
+	}
+}
+
+// runVaultMode runs p to completion on a fresh seeded vault in the given
+// mode and returns the vault.
+func runVaultMode(t *testing.T, cfg *sim.Config, p *isa.Program, mode sim.Mode) *Vault {
+	t.Helper()
+	v := New(cfg, 0, 0, nil)
+	seedArch(v)
+	if err := v.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	v.BeginRun(sim.RunOptions{}, mode, nil)
+	defer v.EndRun()
+	for {
+		done, err := v.RunPhase()
+		if err != nil {
+			t.Fatalf("%v mode: %v", mode, err)
+		}
+		if done {
+			return v
+		}
+	}
+}
+
+// compareArch fails the test wherever two vaults' architectural state
+// (CRF, per-PE register files, bank bytes, PGSM, VSM) differs.
+func compareArch(t *testing.T, vc, vf *Vault) {
+	t.Helper()
+	if !reflect.DeepEqual(vc.CRF, vf.CRF) {
+		t.Errorf("CRF diverged:\n cycle %v\n func  %v", vc.CRF, vf.CRF)
+	}
+	if !bytes.Equal(vc.VSM, vf.VSM) {
+		t.Error("VSM bytes diverged")
+	}
+	for gi := range vc.PGs {
+		if !bytes.Equal(vc.PGs[gi].PGSM, vf.PGs[gi].PGSM) {
+			t.Errorf("PG %d PGSM diverged", gi)
+		}
+		for pi := range vc.PGs[gi].PEs {
+			cpe, fpe := vc.PGs[gi].PEs[pi], vf.PGs[gi].PEs[pi]
+			if !reflect.DeepEqual(cpe.DataRF, fpe.DataRF) {
+				t.Errorf("PE %d/%d DataRF diverged", gi, pi)
+			}
+			if !reflect.DeepEqual(cpe.AddrRF, fpe.AddrRF) {
+				t.Errorf("PE %d/%d AddrRF diverged", gi, pi)
+			}
+			cb, err := cpe.ReadBank(0, 0x400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, err := fpe.ReadBank(0, 0x400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(cb, fb) {
+				t.Errorf("PE %d/%d bank bytes diverged", gi, pi)
+			}
+		}
+	}
+}
+
+// diffSrc runs src in cycle mode and functional mode on identically
+// seeded vaults and requires identical architectural outcomes.
+func diffSrc(t *testing.T, src string) {
+	t.Helper()
+	cfg := sim.TestTiny()
+	p := assembleProg(t, src)
+	vc := runVaultMode(t, &cfg, p, sim.CycleMode)
+	vf := runVaultMode(t, &cfg, p, sim.FunctionalMode)
+	compareArch(t, vc, vf)
+	if vc.Stats.Issued != vf.Stats.Issued {
+		t.Errorf("Issued: cycle %d, functional %d", vc.Stats.Issued, vf.Stats.Issued)
+	}
+	if vf.Stats.Cycles != 0 {
+		t.Errorf("functional mode advanced the clock to %d", vf.Stats.Cycles)
+	}
+}
+
+// compSweepSrc emits one comp instruction per ALU op in the given mode,
+// each with its own destination so no result is overwritten before the
+// final comparison.
+func compSweepSrc(mode, opts string) string {
+	var b strings.Builder
+	for op, i := isa.ALUOp(1), 0; op.ValidForComp(); op, i = op+1, i+1 {
+		fmt.Fprintf(&b, "comp %s %s d%d, d%d, d%d, %s\n",
+			op, mode, 8+i, i%8, (i+3)%8, opts)
+	}
+	return b.String()
+}
+
+func TestFunctionalCompSweepVVFull(t *testing.T) {
+	diffSrc(t, compSweepSrc("vv", "vm=0xf, sm=*"))
+}
+
+func TestFunctionalCompSweepVSFull(t *testing.T) {
+	diffSrc(t, compSweepSrc("vs", "vm=0xf, sm=*"))
+}
+
+func TestFunctionalCompSweepPartialSimbMask(t *testing.T) {
+	// Full vector mask but only PEs 1 and 2 selected: the fused loops'
+	// all-PEs precondition fails and the kernel loop runs masked.
+	diffSrc(t, compSweepSrc("vv", "vm=0xf, sm=0x6"))
+	diffSrc(t, compSweepSrc("vs", "vm=0xf, sm=0x6"))
+}
+
+func TestFunctionalCompSweepPartialVecMask(t *testing.T) {
+	// Partial vector mask: the functional executor must fall back to the
+	// generic per-PE interpreter.
+	diffSrc(t, compSweepSrc("vv", "vm=0x5, sm=*"))
+	diffSrc(t, compSweepSrc("vs", "vm=0xa, sm=0x7"))
+}
+
+func TestFunctionalCompAliasing(t *testing.T) {
+	// dst aliasing src1/src2, including the VS broadcast whose lane 0 is
+	// overwritten mid-instruction unless the broadcast is materialized
+	// first.
+	diffSrc(t, `
+comp iadd vs d2, d0, d2, vm=0xf, sm=*
+comp fmul vs d3, d3, d3, vm=0xf, sm=0x7
+comp fmin vs d4, d1, d4, vm=0xf, sm=*
+comp imac vv d5, d5, d5, vm=0xf, sm=*
+comp fmac vs d6, d6, d6, vm=0xf, sm=*
+`)
+}
+
+func TestFunctionalCalcARF(t *testing.T) {
+	diffSrc(t, `
+calc_arf iadd a8, a9, #12, sm=*
+calc_arf iadd a9, a10, #-4, sm=0x5
+calc_arf isub a10, a11, #3, sm=*
+calc_arf shl a11, a12, #2, sm=0x3
+calc_arf iadd a12, a13, a14, sm=*
+calc_arf mov a13, a8, a8, sm=0x9
+`)
+}
+
+func TestFunctionalMemoryOps(t *testing.T) {
+	diffSrc(t, `
+ld_rf d1, 0x0, sm=*
+ld_rf d2, 0x10, vm=0x5, sm=*
+calc_arf iadd a4, a0, #64, sm=*
+ld_rf d3, @a4, sm=*
+st_rf d1, 0x200, sm=*
+st_rf d2, 0x210, vm=0x3, sm=0x7
+ld_pgsm 0x0, 0x20, sm=*
+st_pgsm 0x240, 0x20, sm=*
+ld_pgsm @a4, @a6, sm=0x5
+st_pgsm @a5, @a7, sm=0xa
+rd_pgsm d4, 0x20, sm=*
+rd_pgsm d5, 0x20, vm=0x3, sm=*
+wr_pgsm d1, 0x40, sm=*
+wr_pgsm d2, 0x60, vm=0x9, sm=0x3
+rd_pgsm d6, @a7, sm=0x6
+mov_drf d7, a4, lane=1, sm=*
+mov_arf a15, d1, lane=2, sm=*
+reset d8, sm=*
+seti_vsm 0x10, #305419896
+rd_vsm d9, 0x10, sm=*
+rd_vsm d10, 0x0, vm=0x3, sm=0x5
+wr_vsm d1, 0x80, sm=*
+`)
+}
+
+func TestFunctionalControlFlow(t *testing.T) {
+	diffSrc(t, `
+seti_crf c1, #3
+seti_crf c0, =loop
+loop:
+comp iadd vv d10, d10, d1, vm=0xf, sm=*
+sync 1
+calc_crf isub c1, c1, #1
+cjump c1, c0
+seti_crf c2, #0
+cjump c2, c0
+calc_crf iadd c5, c1, c2
+calc_crf imul c6, c5, #7
+seti_crf c3, =end
+jump c3
+seti_crf c4, #99
+end:
+sync 1
+`)
+}
+
+// TestFunctionalErrorParity runs programs that fault mid-stream in both
+// modes and requires the same error text (the pc/op wrapping and the
+// underlying cause are mode-independent).
+func TestFunctionalErrorParity(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"vsm-oob-read", "rd_vsm d0, 0x3fffc, sm=0x1", "VSM access"},
+		{"vsm-oob-write", "wr_vsm d0, 0x3fffc, sm=0x1", "VSM access"},
+		{"seti-vsm-oob", "seti_vsm 0x3fffd, #1", "beyond"},
+		{"jump-oob", "seti_crf c0, #9999\njump c0", "jump target"},
+	}
+	cfg := sim.TestTiny()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := assembleProg(t, tc.src)
+			errs := [2]error{}
+			for mi, mode := range []sim.Mode{sim.CycleMode, sim.FunctionalMode} {
+				v := New(&cfg, 0, 0, nil)
+				if err := v.Load(p); err != nil {
+					t.Fatal(err)
+				}
+				v.BeginRun(sim.RunOptions{}, mode, nil)
+				for {
+					done, err := v.RunPhase()
+					if err != nil {
+						errs[mi] = err
+						break
+					}
+					if done {
+						break
+					}
+				}
+				v.EndRun()
+				if errs[mi] == nil {
+					t.Fatalf("%v mode: program did not fault", mode)
+				}
+				if !strings.Contains(errs[mi].Error(), tc.want) {
+					t.Fatalf("%v mode: error %q does not mention %q", mode, errs[mi], tc.want)
+				}
+			}
+			if errs[0].Error() != errs[1].Error() {
+				t.Fatalf("error text diverged:\n cycle      %q\n functional %q", errs[0], errs[1])
+			}
+		})
+	}
+}
+
+func TestFunctionalReqWithoutRemote(t *testing.T) {
+	cfg := sim.TestTiny()
+	p := assembleProg(t, "req chip=0, vault=1, pg=0, pe=1, dram=0x0, vsm=0x0")
+	v := New(&cfg, 0, 0, nil)
+	if err := v.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	v.BeginRun(sim.RunOptions{}, sim.FunctionalMode, nil)
+	defer v.EndRun()
+	_, err := v.RunPhase()
+	if err == nil || !strings.Contains(err.Error(), "no remote fabric attached") {
+		t.Fatalf("req without remote: %v", err)
+	}
+}
+
+// spinProg is an infinite loop that never syncs: the subject for every
+// budget and interrupt test.
+func spinProg(t *testing.T) *isa.Program {
+	t.Helper()
+	return assembleProg(t, "seti_crf c0, =loop\nloop:\njump c0")
+}
+
+func TestFunctionalMaxPhaseSteps(t *testing.T) {
+	cfg := sim.TestTiny()
+	v := New(&cfg, 0, 0, nil)
+	if err := v.Load(spinProg(t)); err != nil {
+		t.Fatal(err)
+	}
+	v.BeginRun(sim.RunOptions{MaxPhaseSteps: 64}, sim.FunctionalMode, nil)
+	defer v.EndRun()
+	_, err := v.RunPhase()
+	if !errors.Is(err, sim.ErrCycleBudget) {
+		t.Fatalf("want ErrCycleBudget, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "in one phase without sync") {
+		t.Fatalf("unexpected budget message: %v", err)
+	}
+}
+
+func TestFunctionalMaxCyclesAsInstructionBound(t *testing.T) {
+	cfg := sim.TestTiny()
+	v := New(&cfg, 0, 0, nil)
+	if err := v.Load(spinProg(t)); err != nil {
+		t.Fatal(err)
+	}
+	v.BeginRun(sim.RunOptions{MaxCycles: 100}, sim.FunctionalMode, nil)
+	defer v.EndRun()
+	_, err := v.RunPhase()
+	if !errors.Is(err, sim.ErrCycleBudget) {
+		t.Fatalf("want ErrCycleBudget, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "instructions into the run") {
+		t.Fatalf("functional MaxCycles should trip as an instruction bound: %v", err)
+	}
+}
+
+func TestFunctionalInterruptHook(t *testing.T) {
+	cfg := sim.TestTiny()
+	errStop := errors.New("stop requested")
+	calls := 0
+	v := New(&cfg, 0, 0, nil)
+	if err := v.Load(spinProg(t)); err != nil {
+		t.Fatal(err)
+	}
+	v.BeginRun(sim.RunOptions{}, sim.FunctionalMode, func() error {
+		calls++
+		if calls >= 2 {
+			return errStop
+		}
+		return nil
+	})
+	defer v.EndRun()
+	_, err := v.RunPhase()
+	if !errors.Is(err, errStop) {
+		t.Fatalf("interrupt error not propagated: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("interrupt hook called %d times, want 2", calls)
+	}
+}
+
+// memoTestSrc is a two-phase program whose reloads leave CRF/ARF and the
+// controllers in a repeatable steady state, so re-running it on the same
+// vault (the serve/autotune pattern) can hit the block cache.
+const memoTestSrc = `
+ld_rf d0, 0x0, sm=*
+comp iadd vv d1, d0, d0, vm=0xf, sm=*
+st_rf d1, 0x40, sm=*
+sync 1
+ld_rf d2, 0x40, sm=*
+`
+
+// runLoaded reloads p and runs it to completion on v.
+func runLoaded(t *testing.T, v *Vault, p *isa.Program) {
+	t.Helper()
+	if err := v.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		done, err := v.RunPhase()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// TestTimingMemoHitsAndStaysBitIdentical reruns one program on a
+// memoized vault and a memo-disabled vault: the memoizer must start
+// replaying blocks after the entry states converge, while every stat —
+// including the clock — stays bit-identical to full re-simulation.
+func TestTimingMemoHitsAndStaysBitIdentical(t *testing.T) {
+	cfg := sim.TestTiny()
+	p := assembleProg(t, memoTestSrc)
+	vm := New(&cfg, 0, 0, nil) // memoizer on by default
+	vs := New(&cfg, 0, 0, nil)
+	vs.SetTimingMemo(false)
+	const runs = 5
+	for r := 0; r < runs; r++ {
+		runLoaded(t, vm, p)
+		runLoaded(t, vs, p)
+	}
+	hits, misses := vm.TimingMemoStats()
+	if hits == 0 {
+		t.Fatalf("no memo hits after %d identical reloads (misses %d)", runs, misses)
+	}
+	if misses == 0 {
+		t.Fatal("memoizer reported zero misses; the first run cannot hit")
+	}
+	h, m := vs.TimingMemoStats()
+	if h != 0 || m != 0 {
+		t.Fatalf("disabled memoizer recorded activity: hits=%d misses=%d", h, m)
+	}
+	vm.FoldDRAMStats()
+	vs.FoldDRAMStats()
+	if !reflect.DeepEqual(vm.Stats, vs.Stats) {
+		t.Fatalf("memoized stats diverged from stepwise:\n memo %+v\n full %+v", vm.Stats, vs.Stats)
+	}
+	compareArch(t, vs, vm)
+}
+
+func TestTimingMemoFlushAndDisable(t *testing.T) {
+	cfg := sim.TestTiny()
+	p := assembleProg(t, memoTestSrc)
+	v := New(&cfg, 0, 0, nil)
+	for r := 0; r < 4; r++ {
+		runLoaded(t, v, p)
+	}
+	hits, misses := v.TimingMemoStats()
+	if v.memo.blocks == nil {
+		t.Fatal("no blocks cached after repeated runs")
+	}
+
+	// Flush drops the blocks but preserves the lifetime counters, and
+	// the next run records fresh misses.
+	v.FlushTimingMemo()
+	if v.memo.blocks != nil || v.memo.size != 0 {
+		t.Fatal("flush left blocks behind")
+	}
+	if h, m := v.TimingMemoStats(); h != hits || m != misses {
+		t.Fatalf("flush reset counters: %d/%d -> %d/%d", hits, misses, h, m)
+	}
+	runLoaded(t, v, p)
+	if _, m := v.TimingMemoStats(); m <= misses {
+		t.Fatalf("post-flush run did not miss (misses still %d)", m)
+	}
+
+	// Disabling freezes the counters entirely and empties the cache.
+	v.SetTimingMemo(false)
+	hits, misses = v.TimingMemoStats()
+	runLoaded(t, v, p)
+	if h, m := v.TimingMemoStats(); h != hits || m != misses {
+		t.Fatalf("disabled memoizer still counting: %d/%d -> %d/%d", hits, misses, h, m)
+	}
+	v.SetTimingMemo(true)
+	runLoaded(t, v, p)
+	if _, m := v.TimingMemoStats(); m == misses {
+		t.Fatal("re-enabled memoizer inactive")
+	}
+}
+
+// TestMemoUsableGating walks every condition that must bypass the block
+// cache: disabled memoizer, stepwise timing, an attached tracer, a fault
+// plan, and an armed budget.
+func TestMemoUsableGating(t *testing.T) {
+	cfg := sim.TestTiny()
+	v := New(&cfg, 0, 0, nil)
+	if !v.memoUsable() {
+		t.Fatal("fresh vault must be memo-usable")
+	}
+	v.SetTimingMemo(false)
+	if v.memoUsable() {
+		t.Fatal("usable while disabled")
+	}
+	v.SetTimingMemo(true)
+
+	v.SetFastForward(false)
+	if v.memoUsable() {
+		t.Fatal("usable in stepwise mode")
+	}
+	v.SetFastForward(true)
+
+	v.SetTracer(&Tracer{})
+	if v.memoUsable() {
+		t.Fatal("usable with a tracer attached")
+	}
+	v.SetTracer(nil)
+
+	v.SetFaultPlan(&fault.Plan{Seed: 1, DRAMBitFlipRate: 0.5})
+	if v.memoUsable() {
+		t.Fatal("usable with a fault plan")
+	}
+	v.SetFaultPlan(nil)
+
+	v.budget = sim.RunOptions{MaxCycles: 10}
+	if v.memoUsable() {
+		t.Fatal("usable with an armed budget")
+	}
+	v.budget = sim.RunOptions{}
+
+	if !v.memoUsable() {
+		t.Fatal("vault should be memo-usable again after clearing every gate")
+	}
+}
+
+// TestMemoFlushedOnFaultPlanChange pins the invalidation rule: cached
+// timing deltas recorded without a fault plan must not survive one being
+// attached (or detached — the decision stream indexes shift).
+func TestMemoFlushedOnFaultPlanChange(t *testing.T) {
+	cfg := sim.TestTiny()
+	p := assembleProg(t, memoTestSrc)
+	v := New(&cfg, 0, 0, nil)
+	for r := 0; r < 3; r++ {
+		runLoaded(t, v, p)
+	}
+	if v.memo.blocks == nil {
+		t.Fatal("no blocks cached")
+	}
+	v.SetFaultPlan(&fault.Plan{Seed: 7, DRAMBitFlipRate: 0.01})
+	if v.memo.blocks != nil {
+		t.Fatal("fault plan attach did not flush the block cache")
+	}
+	v.SetFaultPlan(nil)
+}
+
+// TestMemoAbortFlushes pins Abort's contract of returning the vault to
+// a clean reusable state with the block cache dropped.
+func TestMemoAbortFlushes(t *testing.T) {
+	cfg := sim.TestTiny()
+	p := assembleProg(t, memoTestSrc)
+	v := New(&cfg, 0, 0, nil)
+	for r := 0; r < 3; r++ {
+		runLoaded(t, v, p)
+	}
+	if v.memo.blocks == nil {
+		t.Fatal("no blocks cached")
+	}
+	v.Abort()
+	if v.memo.blocks != nil {
+		t.Fatal("Abort did not flush the block cache")
+	}
+}

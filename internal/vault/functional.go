@@ -1,0 +1,336 @@
+package vault
+
+import (
+	"fmt"
+
+	"ipim/internal/dram"
+	"ipim/internal/isa"
+	"ipim/internal/sim"
+)
+
+// Functional execution: the instruction-stream interpreter with every
+// timing concern removed. execFunc applies exactly the architectural
+// mutations the cycle-mode issue path applies — register files,
+// scratchpads, bank bytes, control flow, and the fault-injection
+// decision stream — but never touches the clock, the issued queue, the
+// DRAM controllers' schedules, the TSV timeline or the NoC. Two callers
+// share it: FunctionalMode runs (runPhaseFunctional) and the timing
+// memoizer's cache-hit replay (memo.go), which re-executes a block
+// functionally and applies recorded timing deltas.
+
+// runPhaseFunctional is RunPhase's FunctionalMode loop: execute to the
+// next sync or end of program with no cycle accounting. Stats carry
+// instruction counts only (Issued, InstByCategory, Syncs); Cycles and
+// every stall/activity counter stay untouched. Error wrapping matches
+// the cycle-mode loop exactly so budget and fault errors are
+// mode-independent where their content is (the differential fuzz
+// harness pins this).
+func (v *Vault) runPhaseFunctional() (bool, error) {
+	for {
+		if v.pc >= len(v.prog.Ins) {
+			v.done = true
+			return true, nil
+		}
+		if v.limited {
+			if err := v.checkRunControlFunc(); err != nil {
+				return false, err
+			}
+		}
+		in := &v.prog.Ins[v.pc]
+		if in.Op == isa.OpSync {
+			v.Stats.Issued++
+			v.Stats.InstByCategory[isa.CatSync]++
+			v.Stats.Syncs++
+			v.pc++
+			return false, nil
+		}
+		v.Stats.Issued++
+		v.Stats.InstByCategory[isa.CategoryOf(in.Op)]++
+		if err := v.execFunc(in); err != nil {
+			return false, fmt.Errorf("vault %d/%d: pc=%d %s: %w", v.CubeID, v.ID, v.pc, in.Op, err)
+		}
+	}
+}
+
+// checkRunControlFunc is checkRunControl for functional runs, where no
+// clock exists to measure MaxCycles against: the cycle budget is
+// reinterpreted as an issued-instruction bound (every instruction costs
+// at least one cycle, so a program that exceeds N instructions would
+// certainly have exceeded N cycles — the bound is conservative, never
+// late). MaxPhaseSteps counts loop iterations exactly like cycle mode,
+// so it trips at the identical pc with the identical message in both
+// modes; the interrupt hook is polled on the same InterruptEvery
+// cadence.
+func (v *Vault) checkRunControlFunc() error {
+	v.phaseSteps++
+	if b := v.budget.MaxPhaseSteps; b > 0 && v.phaseSteps > b {
+		return fmt.Errorf("vault %d/%d: pc=%d: %w: %d instructions in one phase without sync (budget %d)",
+			v.CubeID, v.ID, v.pc, sim.ErrCycleBudget, v.phaseSteps-1, b)
+	}
+	if b := v.budget.MaxCycles; b > 0 {
+		if v.funcIssued++; v.funcIssued > b {
+			return fmt.Errorf("vault %d/%d: pc=%d: %w: %d instructions into the run (budget %d)",
+				v.CubeID, v.ID, v.pc, sim.ErrCycleBudget, v.funcIssued-1, b)
+		}
+	}
+	if v.interrupt != nil {
+		if v.sinceCheck++; v.sinceCheck >= InterruptEvery {
+			v.sinceCheck = 0
+			if err := v.interrupt(); err != nil {
+				return fmt.Errorf("vault %d/%d: pc=%d: %w", v.CubeID, v.ID, v.pc, err)
+			}
+		}
+	}
+	return nil
+}
+
+// execFunc executes one non-sync instruction functionally, managing pc
+// itself (sequential fall-through or taken jump). It mirrors the
+// mutation set of issue() case for case — same transfer calls in the
+// same order, same error returns, same fault-injection rolls against
+// the same vault-owned counters — so functional outputs are
+// bit-identical to cycle mode under any fault plan. It deliberately
+// touches no stats: runPhaseFunctional counts issues itself, and the
+// memoizer's replay path gets every counter from the recorded delta.
+func (v *Vault) execFunc(in *isa.Instruction) error {
+	mask := in.SimbMask
+	nPE := v.Cfg.PEsPerVault()
+	switch in.Op {
+	case isa.OpComp:
+		v.execFuncComp(in, mask, 0, nPE)
+
+	case isa.OpCalcARF:
+		v.execFuncCalcARF(in, mask, 0, nPE)
+
+	case isa.OpLdRF, isa.OpStRF, isa.OpLdPGSM, isa.OpStPGSM:
+		if err := v.execFuncBank(in, mask, 0, nPE); err != nil {
+			return err
+		}
+
+	case isa.OpRdPGSM, isa.OpWrPGSM:
+		rd := in.Op == isa.OpRdPGSM
+		full := in.VecMask == isa.VecMaskAll
+		for i := 0; i < nPE; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			pg, pe := v.peByIndex(i)
+			addr := pe.EffectiveAddr(in.Addr, in.Indirect)
+			var err error
+			switch {
+			case rd && full:
+				err = pg.VectorFromPGSMFull(pe, addr, in.Dst)
+			case rd:
+				err = pg.VectorFromPGSM(pe, addr, in.Dst, in.VecMask)
+			case full:
+				err = pg.VectorToPGSMFull(pe, addr, in.Dst)
+			default:
+				err = pg.VectorToPGSM(pe, addr, in.Dst, in.VecMask)
+			}
+			if err != nil {
+				return err
+			}
+		}
+
+	case isa.OpMovDRF:
+		for i := 0; i < nPE; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			v.peList[i].pe.MovToDRF(in.Dst, in.Src1, in.Lane)
+		}
+
+	case isa.OpMovARF:
+		for i := 0; i < nPE; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			v.peList[i].pe.MovToARF(in.Dst, in.Src1, in.Lane)
+		}
+
+	case isa.OpReset:
+		for i := 0; i < nPE; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			v.peList[i].pe.Reset(in.Dst)
+		}
+
+	case isa.OpRdVSM, isa.OpWrVSM:
+		for i := 0; i < nPE; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			_, pe := v.peByIndex(i)
+			addr := pe.EffectiveAddr(in.Addr, in.Indirect)
+			if int(addr)+4*highLane(in.VecMask)+4 > len(v.VSM) {
+				return fmt.Errorf("VSM access at %#x beyond %d bytes", addr, len(v.VSM))
+			}
+			if in.Op == isa.OpRdVSM {
+				copyVSMToVector(v.VSM, addr, pe, in.Dst, in.VecMask)
+			} else {
+				copyVectorToVSM(pe, in.Dst, v.VSM, addr, in.VecMask)
+			}
+		}
+
+	case isa.OpSetiVSM:
+		if int(in.Addr)+4 > len(v.VSM) {
+			return fmt.Errorf("seti_vsm at %#x beyond %d bytes", in.Addr, len(v.VSM))
+		}
+		putU32(v.VSM, in.Addr, uint32(int32(in.Imm)))
+
+	case isa.OpReq:
+		if v.remote == nil {
+			return fmt.Errorf("req issued but no remote fabric attached")
+		}
+		data, err := v.remote.RemoteRead(in.DstChip, in.DstVault, in.DstPG, in.DstPE, in.Addr)
+		if err != nil {
+			return err
+		}
+		if int(in.Addr2)+len(data) > len(v.VSM) {
+			return fmt.Errorf("req response at VSM %#x beyond %d bytes", in.Addr2, len(v.VSM))
+		}
+		copy(v.VSM[in.Addr2:], data)
+		// No RemoteRoundTrip: the NoC is a timing model, and vsmReady
+		// only delays a later rd_vsm — the bytes are already placed.
+
+	case isa.OpCalcCRF:
+		a := v.CRF[in.Src1]
+		b := int32(in.Imm)
+		if !in.HasImm {
+			b = v.CRF[in.Src2]
+		}
+		v.CRF[in.Dst] = isa.EvalI(in.ALU, a, b, v.CRF[in.Dst])
+
+	case isa.OpSetiCRF:
+		v.CRF[in.Dst] = int32(in.Imm)
+
+	case isa.OpJump, isa.OpCJump:
+		taken := true
+		if in.Op == isa.OpCJump {
+			taken = v.CRF[in.Cond] != 0
+		}
+		if taken {
+			tgt := int(v.CRF[in.Src1])
+			if tgt < 0 || tgt > len(v.prog.Ins) {
+				return fmt.Errorf("jump target %d outside program of %d instructions", tgt, len(v.prog.Ins))
+			}
+			v.pc = tgt
+			return nil
+		}
+
+	default:
+		return fmt.Errorf("unhandled opcode %v", in.Op)
+	}
+	v.pc++
+	return nil
+}
+
+// execFuncBank is the functional half of issueBank: the same transfers
+// with the same error returns, plus the same per-column fault rolls in
+// the same order (faultN advances identically, so a fault plan corrupts
+// the same bits in both modes). No DRAM request is ever enqueued.
+func (v *Vault) execFuncBank(in *isa.Instruction, mask uint64, lo, hi int) error {
+	// Lane-span offsets and the fault-plan test depend only on the
+	// instruction, not the PE: hoist them out of the loop.
+	lo4 := uint32(4 * lowLane(in.VecMask))
+	hi4 := uint32(4*highLane(in.VecMask)) + 4
+	faulty := v.fp != nil && v.fp.DRAMBitFlipRate > 0 && !in.Op.IsBankStore()
+	if !faulty {
+		// Fault-free runs dispatch the op once and use the full-mask
+		// movers where the vector mask allows; the loop below stays the
+		// reference for fault plans, where the per-column rolls must
+		// land in cycle-mode order.
+		switch {
+		case in.Op == isa.OpLdRF && in.VecMask == isa.VecMaskAll:
+			for i := lo; i < hi; i++ {
+				if mask&(1<<uint(i)) == 0 {
+					continue
+				}
+				pe := v.peList[i].pe
+				if err := pe.LoadVectorFull(pe.EffectiveAddr(in.Addr, in.Indirect), in.Dst); err != nil {
+					return err
+				}
+			}
+			return nil
+		case in.Op == isa.OpStRF && in.VecMask == isa.VecMaskAll:
+			for i := lo; i < hi; i++ {
+				if mask&(1<<uint(i)) == 0 {
+					continue
+				}
+				pe := v.peList[i].pe
+				if err := pe.StoreVectorFull(pe.EffectiveAddr(in.Addr, in.Indirect), in.Dst); err != nil {
+					return err
+				}
+			}
+			return nil
+		case in.Op == isa.OpLdPGSM:
+			for i := lo; i < hi; i++ {
+				if mask&(1<<uint(i)) == 0 {
+					continue
+				}
+				pg, pe := v.peList[i].pg, v.peList[i].pe
+				err := pg.DMABankToPGSM(pe, pe.EffectiveAddr(in.Addr, in.Indirect),
+					pe.EffectiveAddr(in.Addr2, in.Indirect2), dram.AccessBytes)
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		case in.Op == isa.OpStPGSM:
+			for i := lo; i < hi; i++ {
+				if mask&(1<<uint(i)) == 0 {
+					continue
+				}
+				pg, pe := v.peList[i].pg, v.peList[i].pe
+				err := pg.DMAPGSMToBank(pe, pe.EffectiveAddr(in.Addr2, in.Indirect2),
+					pe.EffectiveAddr(in.Addr, in.Indirect), dram.AccessBytes)
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	for i := lo; i < hi; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		pg, pe := v.peByIndex(i)
+		bankAddr := pe.EffectiveAddr(in.Addr, in.Indirect)
+		spanLo := bankAddr + lo4
+		spanHi := bankAddr + hi4
+		var err error
+		var pgsmAddr uint32
+		switch in.Op {
+		case isa.OpLdRF:
+			err = pe.LoadVector(bankAddr, in.Dst, in.VecMask)
+		case isa.OpStRF:
+			err = pe.StoreVector(bankAddr, in.Dst, in.VecMask)
+		case isa.OpLdPGSM:
+			pgsmAddr = pe.EffectiveAddr(in.Addr2, in.Indirect2)
+			var b []byte
+			if b, err = pe.ReadBank(bankAddr, dram.AccessBytes); err == nil {
+				err = pg.WritePGSM(pgsmAddr, b)
+			}
+			spanLo, spanHi = bankAddr, bankAddr+dram.AccessBytes
+		case isa.OpStPGSM:
+			pgsmAddr = pe.EffectiveAddr(in.Addr2, in.Indirect2)
+			var b []byte
+			if b, err = pg.ReadPGSM(pgsmAddr, dram.AccessBytes); err == nil {
+				err = pe.WriteBank(bankAddr, b)
+			}
+			spanLo, spanHi = bankAddr, bankAddr+dram.AccessBytes
+		}
+		if err != nil {
+			return err
+		}
+		if faulty {
+			bank := pe.Index % v.Cfg.PEsPerPG
+			for col := spanLo &^ (dram.AccessBytes - 1); col < spanHi; col += dram.AccessBytes {
+				v.injectReadFault(in, pg, pe, bank, bankAddr, col, pgsmAddr)
+			}
+		}
+	}
+	return nil
+}

@@ -114,8 +114,11 @@ type Vault struct {
 	// Load; see instrDeps).
 	deps []instrDeps
 
-	// peList[i] is the (PG, PE) pair at vault-wide PE index i.
+	// peList[i] is the (PG, PE) pair at vault-wide PE index i; peFlat
+	// is the same order with only the PE pointers, packed densely for
+	// the functional executor's hot loops.
 	peList []peSlot
+	peFlat []*engine.PE
 
 	// Free lists for issued-queue entries and DRAM requests. Both kinds
 	// of object have exact lifetimes (an entry dies when it leaves
@@ -171,6 +174,19 @@ type Vault struct {
 	runStart   int64 // vault clock when the current run was armed
 	phaseSteps int64 // instructions issued in the current phase
 	sinceCheck int   // instructions since the interrupt hook last ran
+
+	// funcMode runs phases through the functional interpreter (no cycle
+	// accounting; see functional.go). Armed per run by BeginRun;
+	// funcIssued counts issued instructions for the run, standing in
+	// for the clock in MaxCycles budget checks.
+	funcMode   bool
+	funcIssued int64
+
+	// memo is the block-level timing memoizer for cycle mode (see
+	// memo.go); memoOff disables it (SetTimingMemo; the machine wires
+	// IPIM_NO_MEMO=1 through it).
+	memo    *timingMemo
+	memoOff bool
 }
 
 // New builds a vault.
@@ -184,6 +200,7 @@ func New(cfg *sim.Config, cubeID, vaultID int, remote Remote) *Vault {
 		remote:   remote,
 		vsmReady: make(map[uint32]int64),
 		done:     true,
+		memo:     &timingMemo{},
 	}
 	for pg := 0; pg < cfg.PGsPerVault; pg++ {
 		v.PGs = append(v.PGs, engine.NewPG(cfg, cubeID, vaultID, pg))
@@ -191,6 +208,7 @@ func New(cfg *sim.Config, cubeID, vaultID int, remote Remote) *Vault {
 	for i := 0; i < cfg.PEsPerVault(); i++ {
 		pg := v.PGs[i/cfg.PEsPerPG]
 		v.peList = append(v.peList, peSlot{pg: pg, pe: pg.PEs[i%cfg.PEsPerPG]})
+		v.peFlat = append(v.peFlat, pg.PEs[i%cfg.PEsPerPG])
 	}
 	if cfg.ICacheLines > 0 && cfg.ICacheLineInstr > 0 {
 		v.icache = make([]int64, cfg.ICacheLines)
@@ -354,6 +372,7 @@ func (v *Vault) FoldDRAMStats() {
 // resets the vault's fault event counters.
 func (v *Vault) SetFaultPlan(p *fault.Plan) {
 	v.fp = p
+	v.FlushTimingMemo()
 	v.faultN, v.execN = 0, 0
 	v.execSite = 0
 	v.bankSites = nil
@@ -429,15 +448,19 @@ func (v *Vault) AlignTo(t int64) {
 const InterruptEvery = 1024
 
 // BeginRun arms run control for one machine run: the budget (zero =
-// unlimited) and an optional interrupt hook polled every InterruptEvery
-// issued instructions. Budgets are measured from the vault's current
-// clock. The machine calls this after Load and disarms with EndRun.
-func (v *Vault) BeginRun(budget sim.RunOptions, interrupt func() error) {
+// unlimited), the resolved execution mode, and an optional interrupt
+// hook polled every InterruptEvery issued instructions. Budgets are
+// measured from the vault's current clock — or, in FunctionalMode,
+// from an issued-instruction counter standing in for the clock. The
+// machine calls this after Load and disarms with EndRun.
+func (v *Vault) BeginRun(budget sim.RunOptions, mode sim.Mode, interrupt func() error) {
 	v.budget = budget
 	v.interrupt = interrupt
 	v.runStart = v.now
 	v.phaseSteps = 0
 	v.sinceCheck = 0
+	v.funcIssued = 0
+	v.funcMode = mode == sim.FunctionalMode
 	v.limited = budget.Enabled() || interrupt != nil
 }
 
@@ -446,6 +469,7 @@ func (v *Vault) EndRun() {
 	v.budget = sim.RunOptions{}
 	v.interrupt = nil
 	v.limited = false
+	v.funcMode = false
 }
 
 // checkRunControl enforces the armed budgets and polls the interrupt
@@ -500,12 +524,16 @@ func (v *Vault) Abort() {
 	for _, pg := range v.PGs {
 		pg.Ctrl.ResetTiming()
 	}
+	v.FlushTimingMemo()
 	v.EndRun()
 }
 
 // RunPhase executes instructions until the program ends (done=true) or a
 // sync instruction retires (done=false; the machine aligns vaults and
-// calls RunPhase again).
+// calls RunPhase again). Dispatch: FunctionalMode phases run through the
+// functional interpreter (functional.go); cycle-mode phases go through
+// the block timing memoizer when it is usable (memo.go) and the plain
+// issue loop otherwise.
 func (v *Vault) RunPhase() (bool, error) {
 	if v.prog == nil {
 		return true, fmt.Errorf("vault: no program loaded")
@@ -521,6 +549,21 @@ func (v *Vault) RunPhase() (bool, error) {
 			return false, fmt.Errorf("vault %d/%d: phase roll %d: %w", v.CubeID, v.ID, n, fault.ErrTransient)
 		}
 	}
+	if v.funcMode {
+		return v.runPhaseFunctional()
+	}
+	if v.memoUsable() {
+		return v.memoPhase()
+	}
+	return v.runPhaseCycle(false)
+}
+
+// runPhaseCycle is the cycle-accurate issue loop. With record set, each
+// instruction is also shown to the memoizer's recorder before it issues
+// (the only difference — the issue path itself is shared verbatim, so
+// memoized runs are bit-identical to unmemoized ones on every miss by
+// construction).
+func (v *Vault) runPhaseCycle(record bool) (bool, error) {
 	for {
 		if v.pc >= len(v.prog.Ins) {
 			v.drain()
@@ -543,6 +586,9 @@ func (v *Vault) RunPhase() (bool, error) {
 			v.now++
 			v.Stats.Cycles = v.now
 			return false, nil
+		}
+		if record {
+			v.memo.note(v, in)
 		}
 		if err := v.issue(in); err != nil {
 			return false, fmt.Errorf("vault %d/%d: pc=%d %s: %w", v.CubeID, v.ID, v.pc, in.Op, err)

@@ -75,11 +75,30 @@ type (
 	// FaultPlan is a deterministic, seeded fault-injection campaign
 	// (attach with Machine.SetFaultPlan; see internal/fault).
 	FaultPlan = fault.Plan
-	// RunOptions bounds a run with hard execution budgets (install with
-	// Machine.SetBudget or pass to RunContext helpers). Budget checks
-	// use only vault-local state, so the error point is deterministic
-	// at any worker count.
+	// RunOptions bounds a run with hard execution budgets and can select
+	// its execution mode (install with Machine.SetBudget or pass to
+	// RunContext helpers). Budget checks use only vault-local state, so
+	// the error point is deterministic at any worker count.
 	RunOptions = sim.RunOptions
+	// Mode selects how a run executes: cycle-accurate timing simulation
+	// or pure-functional execution (select with Machine.SetMode or
+	// RunOptions.Mode).
+	Mode = sim.Mode
+)
+
+// Execution modes (see sim.Mode). FunctionalMode produces bit-identical
+// register/memory/pixel outputs with no cycle accounting — Stats carry
+// instruction counts with Cycles = 0 — and runs several times faster on
+// the host (BENCH_funcmode.json).
+const (
+	// DefaultMode defers to the machine's configured mode (cycle unless
+	// Machine.SetMode says otherwise).
+	DefaultMode = sim.DefaultMode
+	// CycleMode is the full timing simulation.
+	CycleMode = sim.CycleMode
+	// FunctionalMode executes functionally only: correct outputs, no
+	// clocks. MaxCycles budgets become issued-instruction bounds.
+	FunctionalMode = sim.FunctionalMode
 )
 
 // ErrTransientFault marks injected transient execution faults; runs
@@ -271,10 +290,11 @@ func RunHistogramContext(ctx context.Context, m *Machine, art *Artifact, img *Im
 	return bins, stats, nil
 }
 
-// applyBudget temporarily installs a non-zero budget override on the
-// machine, returning the function that restores the previous budget.
+// applyBudget temporarily installs a non-zero budget or execution-mode
+// override on the machine, returning the function that restores the
+// previous budget.
 func applyBudget(m *Machine, opts RunOptions) func() {
-	if !opts.Enabled() {
+	if !opts.Enabled() && opts.Mode == sim.DefaultMode {
 		return func() {}
 	}
 	prev := m.Budget()

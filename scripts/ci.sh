@@ -31,12 +31,21 @@ go run ./scripts/linkcheck
 
 go test -race -cover -coverprofile=coverage.out -timeout 30m ./...
 
-# Benchmark smoke: one iteration of the full-machine benchmark so the
-# bench harness (and the fast-forward hot path it measures) can't rot
-# between PRs. -benchtime=1x keeps it to a build-and-run check; any
-# panic or error fails CI. Real numbers come from `go test -bench` per
-# docs/BENCHMARKS.md.
+# Benchmark smoke: one iteration of the full-machine benchmark (the
+# fast-forward hot path) and of the functional-mode mirror, so neither
+# bench harness can rot between PRs. -benchtime=1x keeps these to
+# build-and-run checks; any panic or error fails CI. Real numbers come
+# from `go test -bench` per docs/BENCHMARKS.md.
 go test -run='^$' -bench='^BenchmarkFullMachineRunSame$' -benchtime=1x .
+go test -run='^$' -bench='^BenchmarkSimCoreFunctional$' -benchtime=1x .
+
+# Functional-mode smoke: the Table II suite under -mode functional on
+# shrunk images, through the shipped CLI. Cycle-derived columns read
+# zero by design. The funcmode_test.go differential matrix (and the
+# golden-model sweep it includes) is the real correctness gate; this
+# slot keeps the CLI surface and the functional end-to-end path from
+# rotting.
+go run ./cmd/ipim-bench -mode functional -div 8 -json - > /dev/null
 
 # Autotuner smoke: a real parallel grid search through the ipim-tune
 # CLI (tiny machine, small probe) plus the serve background-tuning
@@ -52,6 +61,7 @@ go test ./internal/serve -run '^TestBackgroundTuningSoak$' -count=1
 # a bug hunt.
 go test ./internal/isa -run='^$' -fuzz='^FuzzAssemble$' -fuzztime=10s
 go test ./internal/pixel -run='^$' -fuzz='^FuzzNetpbm$' -fuzztime=10s
+go test . -run='^$' -fuzz='^FuzzFunctionalVsTiming$' -fuzztime=10s
 
 # Coverage floor over the internal packages' own statements (cmd/ and
 # examples/ mains are exercised end-to-end by the examples smoke test

@@ -27,6 +27,7 @@ func main() {
 	expName := flag.String("exp", "all", "experiment to run: all, "+strings.Join(exp.ExperimentNames(), ", "))
 	div := flag.Int("div", 1, "divide bench image sizes by this factor (faster, same shapes)")
 	jsonPath := flag.String("json", "", "write machine-readable Table II suite results to this file ('-' = stdout) and exit")
+	jsonDNNPath := flag.String("json-dnn", "", "write machine-readable DNN/GEMM family results (baseline and multi-array schedules) to this file ('-' = stdout) and exit")
 	faultSpec := flag.String("faults", "",
 		"fault-injection spec applied to every simulated machine (empty = off; the faults sweep manages its own plans)")
 	maxCycles := flag.Int64("max-cycles", 0,
@@ -59,12 +60,12 @@ func main() {
 		c.Mode = ipim.FunctionalMode
 	}
 
-	if *jsonPath != "" {
+	writeJSON := func(path string, collect func() ([]exp.BenchRecord, error)) {
 		// Open the output before the ~15 s suite run so a bad path
 		// fails immediately.
 		out := os.Stdout
-		if *jsonPath != "-" {
-			f, err := os.Create(*jsonPath)
+		if path != "-" {
+			f, err := os.Create(path)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "ipim-bench:", err)
 				os.Exit(1)
@@ -72,7 +73,7 @@ func main() {
 			defer f.Close()
 			out = f
 		}
-		recs, err := c.BenchRecords()
+		recs, err := collect()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ipim-bench:", err)
 			os.Exit(1)
@@ -81,6 +82,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ipim-bench:", err)
 			os.Exit(1)
 		}
+	}
+	if *jsonPath != "" {
+		writeJSON(*jsonPath, c.BenchRecords)
+		return
+	}
+	if *jsonDNNPath != "" {
+		writeJSON(*jsonDNNPath, c.DNNBenchRecords)
 		return
 	}
 

@@ -20,9 +20,11 @@ package ipim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"ipim/internal/dram"
@@ -506,5 +508,90 @@ func TestNoMemoEnvOverride(t *testing.T) {
 	}
 	if h, ms := m.TimingMemoStats(); h != 0 || ms != 0 {
 		t.Errorf("IPIM_NO_MEMO=1 machine consulted the cache (%d hits, %d misses)", h, ms)
+	}
+}
+
+// TestHistogramAllModes pins RunHistogram as a mode invariant: the bins
+// must be bit-identical under the machine default, an explicit cycle
+// override, and the functional interpreter — and a tiny execution
+// budget must abort every mode with the same typed ErrCycleBudget,
+// worded in that mode's own unit (cycles vs. issued instructions).
+func TestHistogramAllModes(t *testing.T) {
+	cfg := TinyOneVaultConfig()
+	wl, err := WorkloadByName("Histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := Synth(2*wl.TestW, wl.TestH, 13)
+	art, err := Compile(&cfg, wl.Build().Pipe, img.W, img.H, Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ref []int32
+	for _, mc := range []struct {
+		name string
+		mode Mode
+	}{
+		{"default", DefaultMode},
+		{"cycle", CycleMode},
+		{"functional", FunctionalMode},
+	} {
+		t.Run(mc.name, func(t *testing.T) {
+			m, err := NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bins, stats, err := RunHistogramContext(context.Background(), m, art, img,
+				RunOptions{Mode: mc.mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mc.mode == FunctionalMode {
+				if stats.Cycles != 0 {
+					t.Errorf("functional histogram reports %d cycles; want 0", stats.Cycles)
+				}
+			} else if stats.Cycles == 0 {
+				t.Errorf("%s histogram carried no clock", mc.name)
+			}
+			if ref == nil {
+				ref = bins
+			} else if !reflect.DeepEqual(bins, ref) {
+				t.Errorf("%s bins diverge from the first mode's:\nwant %v\ngot  %v",
+					mc.name, ref, bins)
+			}
+		})
+	}
+
+	for _, bc := range []struct {
+		name string
+		mode Mode
+		want string
+	}{
+		{"cycle", CycleMode, "cycles into the run"},
+		{"functional", FunctionalMode, "instructions into the run"},
+	} {
+		t.Run("budget-"+bc.name, func(t *testing.T) {
+			m, err := NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _, err = RunHistogramContext(context.Background(), m, art, img,
+				RunOptions{Mode: bc.mode, MaxCycles: 8})
+			if !errors.Is(err, ErrCycleBudget) {
+				t.Fatalf("err = %v, want ErrCycleBudget", err)
+			}
+			if !strings.Contains(err.Error(), bc.want) {
+				t.Errorf("%s budget abort should say %q: %q", bc.name, bc.want, err)
+			}
+			// The abort left the machine reusable: the full run succeeds.
+			bins, _, err := RunHistogram(m, art, img)
+			if err != nil {
+				t.Fatalf("machine unusable after budget abort: %v", err)
+			}
+			if !reflect.DeepEqual(bins, ref) {
+				t.Errorf("post-abort bins diverge from the unbudgeted run")
+			}
+		})
 	}
 }

@@ -45,6 +45,12 @@ type Candidate struct {
 	// LoadPGSM stages inputs through the process-group scratchpad
 	// (applied uniformly to every materialized stage).
 	LoadPGSM bool `json:"load_pgsm"`
+	// MultiArray selects the multi-array stage-ahead schedule: PGSM
+	// staging for a PE's next tile is double-buffered and overlapped
+	// with the current tile's compute across the vault's PE arrays.
+	// Only effective with LoadPGSM staging and >1 tile per PE; the
+	// planner falls back to the baseline list schedule otherwise.
+	MultiArray bool `json:"multi_array,omitempty"`
 	// Page and Sched select the DRAM row-buffer and request-scheduling
 	// policies. Both steer timing only, never data, so any candidate's
 	// pixel output is bit-identical to the default schedule's.
@@ -56,6 +62,9 @@ func (c Candidate) String() string {
 	s := fmt.Sprintf("tile %dx%d", c.TileW, c.TileH)
 	if c.LoadPGSM {
 		s += " + load_pgsm"
+	}
+	if c.MultiArray {
+		s += " + multi_array"
 	}
 	if c.Page != dram.OpenPage {
 		s += " + close-page"
@@ -69,10 +78,11 @@ func (c Candidate) String() string {
 // Space bounds the candidate grid: the cross product of the listed
 // values in each dimension. Grid order (and therefore result ranking
 // tie-breaks) is deterministic: tile width outermost, then tile height,
-// PGSM, page policy, scheduling policy.
+// PGSM, multi-array, page policy, scheduling policy.
 type Space struct {
 	TileW, TileH []int
 	PGSM         []bool
+	MultiArray   []bool
 	Pages        []dram.PagePolicy
 	Scheds       []dram.SchedPolicy
 }
@@ -81,11 +91,12 @@ type Space struct {
 // grid enlarged with both DRAM page and scheduling policies.
 func DefaultSpace() Space {
 	return Space{
-		TileW:  []int{8, 16},
-		TileH:  []int{4, 8, 16},
-		PGSM:   []bool{false, true},
-		Pages:  []dram.PagePolicy{dram.OpenPage, dram.ClosePage},
-		Scheds: []dram.SchedPolicy{dram.FRFCFS, dram.FCFS},
+		TileW:      []int{8, 16},
+		TileH:      []int{4, 8, 16},
+		PGSM:       []bool{false, true},
+		MultiArray: []bool{false, true},
+		Pages:      []dram.PagePolicy{dram.OpenPage, dram.ClosePage},
+		Scheds:     []dram.SchedPolicy{dram.FRFCFS, dram.FCFS},
 	}
 }
 
@@ -105,12 +116,14 @@ func (s Space) Grid() []Candidate {
 	for _, tw := range s.TileW {
 		for _, th := range s.TileH {
 			for _, pgsm := range s.PGSM {
-				for _, page := range s.Pages {
-					for _, sched := range s.Scheds {
-						out = append(out, Candidate{
-							TileW: tw, TileH: th, LoadPGSM: pgsm,
-							Page: page, Sched: sched,
-						})
+				for _, ma := range s.multiArray() {
+					for _, page := range s.Pages {
+						for _, sched := range s.Scheds {
+							out = append(out, Candidate{
+								TileW: tw, TileH: th, LoadPGSM: pgsm, MultiArray: ma,
+								Page: page, Sched: sched,
+							})
+						}
 					}
 				}
 			}
@@ -119,9 +132,18 @@ func (s Space) Grid() []Candidate {
 	return out
 }
 
+// multiArray returns the multi-array dimension, defaulting to baseline
+// only so spaces predating the knob keep their exact historical grid.
+func (s Space) multiArray() []bool {
+	if len(s.MultiArray) == 0 {
+		return []bool{false}
+	}
+	return s.MultiArray
+}
+
 // Size returns the candidate count of the full grid.
 func (s Space) Size() int {
-	return len(s.TileW) * len(s.TileH) * len(s.PGSM) * len(s.Pages) * len(s.Scheds)
+	return len(s.TileW) * len(s.TileH) * len(s.PGSM) * len(s.multiArray()) * len(s.Pages) * len(s.Scheds)
 }
 
 // Apply imposes a candidate schedule on a freshly built pipeline:
@@ -132,6 +154,7 @@ func (s Space) Size() int {
 // ranking it.
 func Apply(p *halide.Pipeline, c Candidate) *halide.Pipeline {
 	p.IPIMTile(c.TileW, c.TileH)
+	p.MultiArraySchedule(c.MultiArray)
 	if stages, err := p.Stages(); err == nil {
 		for _, st := range stages {
 			st.SetLoadPGSM(c.LoadPGSM)

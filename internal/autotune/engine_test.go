@@ -221,13 +221,20 @@ func TestApplySetsSchedule(t *testing.T) {
 	if pipe.TileW != 8 || pipe.TileH != 8 {
 		t.Fatalf("tile = %dx%d, want 8x8", pipe.TileW, pipe.TileH)
 	}
+	if pipe.MultiArray {
+		t.Fatal("baseline candidate left the multi-array schedule on")
+	}
+	pipe = Apply(tuneBlur(), Candidate{TileW: 8, TileH: 8, LoadPGSM: true, MultiArray: true})
+	if !pipe.MultiArray {
+		t.Fatal("multi-array candidate did not set the schedule")
+	}
 }
 
 func TestSpaceGrid(t *testing.T) {
 	s := DefaultSpace()
 	grid := s.Grid()
-	if len(grid) != s.Size() || len(grid) != 48 {
-		t.Fatalf("grid has %d candidates, Size()=%d, want 48", len(grid), s.Size())
+	if len(grid) != s.Size() || len(grid) != 96 {
+		t.Fatalf("grid has %d candidates, Size()=%d, want 96", len(grid), s.Size())
 	}
 	seen := map[Candidate]bool{}
 	for _, c := range grid {
@@ -237,8 +244,19 @@ func TestSpaceGrid(t *testing.T) {
 		seen[c] = true
 	}
 	fixed := s.FixPolicies(dram.ClosePage, dram.FCFS)
-	if fixed.Size() != 12 {
-		t.Fatalf("fixed-policy space has %d candidates, want 12", fixed.Size())
+	if fixed.Size() != 24 {
+		t.Fatalf("fixed-policy space has %d candidates, want 24", fixed.Size())
+	}
+	// A space predating the multi-array knob keeps its historical grid.
+	legacy := Space{TileW: []int{8}, TileH: []int{4}, PGSM: []bool{false, true},
+		Pages: s.Pages, Scheds: s.Scheds}
+	if legacy.Size() != 8 || len(legacy.Grid()) != 8 {
+		t.Fatalf("legacy space has %d candidates (grid %d), want 8", legacy.Size(), len(legacy.Grid()))
+	}
+	for _, c := range legacy.Grid() {
+		if c.MultiArray {
+			t.Fatalf("legacy space proposed multi-array candidate %v", c)
+		}
 	}
 	for _, c := range fixed.Grid() {
 		if c.Page != dram.ClosePage || c.Sched != dram.FCFS {
@@ -253,6 +271,8 @@ func TestCandidateString(t *testing.T) {
 		want string
 	}{
 		{Candidate{TileW: 8, TileH: 4, LoadPGSM: true}, "tile 8x4 + load_pgsm"},
+		{Candidate{TileW: 8, TileH: 16, LoadPGSM: true, MultiArray: true},
+			"tile 8x16 + load_pgsm + multi_array"},
 		{Candidate{TileW: 16, TileH: 8, Page: dram.ClosePage, Sched: dram.FCFS},
 			"tile 16x8 + close-page + fcfs"},
 	} {
@@ -317,5 +337,5 @@ func ExampleEngine_Search() {
 		return
 	}
 	fmt.Println(report.Best().Err == nil, report.Evaluated)
-	// Output: true 48
+	// Output: true 96
 }

@@ -178,6 +178,13 @@ func (h *HillClimb) neighbors(c Candidate) []Candidate {
 			add(n)
 		}
 	}
+	for _, ma := range h.space.multiArray() {
+		if ma != c.MultiArray {
+			n := c
+			n.MultiArray = ma
+			add(n)
+		}
+	}
 	for _, page := range h.space.Pages {
 		if page != c.Page {
 			n := c

@@ -53,20 +53,18 @@ func Names[T any](m map[string]T) []string {
 }
 
 // Seed resolves a -seed flag value: a non-negative 64-bit integer in
-// decimal or 0x-prefixed hex. The error shape matches Lookup's.
+// decimal or hex with a 0x/0X prefix (either case, as strconv and C
+// both accept). The error shape matches Lookup's.
 func Seed(flagName, value string) (uint64, error) {
-	v, err := strconv.ParseUint(strings.TrimPrefix(value, "0x"), seedBase(value), 64)
+	digits, base := value, 10
+	if strings.HasPrefix(value, "0x") || strings.HasPrefix(value, "0X") {
+		digits, base = value[2:], 16
+	}
+	v, err := strconv.ParseUint(digits, base, 64)
 	if err != nil {
 		return 0, fmt.Errorf("bad -%s value %q (want a uint64, decimal or 0x hex)", flagName, value)
 	}
 	return v, nil
-}
-
-func seedBase(value string) int {
-	if strings.HasPrefix(value, "0x") {
-		return 16
-	}
-	return 10
 }
 
 // Options resolves the -opts compiler-configuration flag (the paper's

@@ -48,7 +48,11 @@ func TestSeed(t *testing.T) {
 		{"0", 0},
 		{"12345", 12345},
 		{"0x7E57", 0x7E57},
+		{"0X7E57", 0x7E57},
 		{"0xdeadbeef", 0xdeadbeef},
+		{"0XDEADBEEF", 0xdeadbeef},
+		{"0xDeAdBeEf", 0xdeadbeef},
+		{"0XdeadBEEF", 0xdeadbeef},
 		{"18446744073709551615", ^uint64(0)},
 	} {
 		got, err := Seed("seed", tc.in)
@@ -56,7 +60,7 @@ func TestSeed(t *testing.T) {
 			t.Errorf("Seed(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
 		}
 	}
-	for _, bad := range []string{"", "-1", "7e57", "0x", "seed", "1.5"} {
+	for _, bad := range []string{"", "-1", "7e57", "0x", "0X", "seed", "1.5"} {
 		_, err := Seed("seed", bad)
 		if err == nil {
 			t.Errorf("Seed(%q) accepted", bad)

@@ -27,8 +27,17 @@ import (
 // coordinates clamp to the producer's domain before the source tile is
 // resolved.
 
-// log2 returns log2(v) for a power of two.
-func log2(v int) int64 { return int64(bits.TrailingZeros(uint(v))) }
+// log2 returns log2(v) for a power of two. The exchange address
+// arithmetic shifts by these exponents, so a silent floor-log2 of a
+// non-power-of-two would corrupt addresses; the planner rejects such
+// geometry up front (ErrNonPow2Geometry), and this panics as a last
+// line of defense rather than miscompiling.
+func log2(v int) int64 {
+	if v <= 0 || v&(v-1) != 0 {
+		panic(fmt.Sprintf("compiler: log2 of non-power-of-two %d (planExchange must reject this geometry)", v))
+	}
+	return int64(bits.TrailingZeros(uint(v)))
+}
 
 // stripIndexConst is the compressed column index adjustment: a source
 // column lx' maps to strip index lx' (left strip) or lx'-(coreW-2H)

@@ -78,6 +78,20 @@ func (fp *fingerprinter) expr(e halide.Expr) {
 		fp.expr(t.Then)
 		fp.expr(t.Else)
 		fmt.Fprintf(fp.w, ")|")
+	case halide.Reduce:
+		// Term order is semantic (FP accumulation order), so hash it.
+		fmt.Fprintf(fp.w, "red%d(", len(t.Terms))
+		for _, term := range t.Terms {
+			fp.expr(term)
+		}
+		fmt.Fprintf(fp.w, ")|")
+	case halide.Tab:
+		fmt.Fprintf(fp.w, "tab(%d,%d,%d)(%d,%d,%d)[",
+			t.CX.Scale, t.CX.Offset, t.CX.Div, t.CY.Scale, t.CY.Offset, t.CY.Div)
+		for _, v := range t.Vals {
+			fmt.Fprintf(fp.w, "%08x,", math.Float32bits(v))
+		}
+		fmt.Fprintf(fp.w, "]|")
 	default:
 		fmt.Fprintf(fp.w, "?%T|", e)
 	}

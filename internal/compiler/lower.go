@@ -92,6 +92,12 @@ type kern struct {
 	simplified map[*halide.Func]halide.Expr
 	phase      int
 
+	// Multi-array (stage-ahead) state: the PGSM partition halves.
+	// pgsmBase aliases pgsmCur while the schedule is active, so body
+	// reads go through the alternating register; the loop epilogue
+	// rotates cur/next through tmp.
+	pgsmCur, pgsmNext, pgsmTmp int
+
 	// Halo-exchange state (see exchange.go).
 	exG         int // ARF vreg: vault-local PE index g
 	exVdst      int // ARF vreg: this tile's VSM strip base
@@ -229,11 +235,18 @@ func (k *kern) constVec(v float32) int {
 // comp emits a vector ALU op into a fresh vreg.
 func (k *kern) comp(op isa.ALUOp, src1, src2 int) int {
 	d := k.newD()
+	k.compInto(op, d, src1, src2)
+	return d
+}
+
+// compInto emits a vector ALU op into an existing vreg (in-place
+// accumulation; fmac additionally reads dst). The dependency passes
+// handle the resulting WAW/WAR edges.
+func (k *kern) compInto(op isa.ALUOp, dst, src1, src2 int) {
 	in := isa.New(isa.OpComp)
-	in.ALU, in.Dst, in.Src1, in.Src2 = op, d, src1, src2
+	in.ALU, in.Dst, in.Src1, in.Src2 = op, dst, src1, src2
 	in.SimbMask = k.simb
 	k.emit(in)
-	return d
 }
 
 var binOpALU = map[halide.BinOp]isa.ALUOp{
@@ -304,12 +317,29 @@ func (k *kern) lowerStage(sp *StagePlan) error {
 			anyStaged = true
 		}
 	}
-	k.pgsmBase = -1
+	k.pgsmBase, k.pgsmCur, k.pgsmNext, k.pgsmTmp = -1, -1, -1, -1
 	if anyStaged {
 		// Partition base = peID * (PGSMBytes / PEsPerPG); peID is the
 		// hardware-initialized A0.
 		part := int64(plan.Cfg.PGSMBytes / plan.Cfg.PEsPerPG)
 		k.pgsmBase = k.calcRI(isa.IMul, isa.ARFPeID, part)
+		if sp.StageAhead {
+			// Multi-array double buffer: split the partition into ping
+			// (offset 0) and pong (offset StageBytes) halves, stage the
+			// first tile's operands into ping here in the prologue, and
+			// alias pgsmBase to the rotating cur register so the body's
+			// compute reads follow the swap.
+			k.pgsmCur = k.addA(k.pgsmBase, 0)
+			k.pgsmNext = k.addA(k.pgsmBase, int64(sp.StageBytes))
+			k.pgsmTmp = k.liA(0)
+			k.pgsmBase = k.pgsmCur
+			for i := range sp.Uses {
+				u := &sp.Uses[i]
+				if u.Staged {
+					k.emitStaging(u)
+				}
+			}
+		}
 	}
 	if sp.Publish {
 		// Vault-local PE index g = pgID*PEsPerPG + peID, and the
@@ -337,12 +367,21 @@ func (k *kern) lowerStage(sp *StagePlan) error {
 	setl.ImmLabel = loop
 	k.emit(setl)
 
-	// Body: staging then compute, reorderable.
+	// Body: staging then compute, reorderable. Under the stage-ahead
+	// schedule the current tile's operands were staged by the previous
+	// iteration (or the prologue); the body instead prefetches the
+	// NEXT tile's operands into the idle half, which the list
+	// scheduler interleaves with this tile's compute.
 	k.startBlock(loop, true)
 	k.cse = map[cseKey]int{}
 	for i := range sp.Uses {
 		u := &sp.Uses[i]
-		if u.Staged {
+		if !u.Staged {
+			continue
+		}
+		if sp.StageAhead {
+			k.emitStagingNext(u)
+		} else {
 			k.emitStaging(u)
 		}
 	}
@@ -353,7 +392,7 @@ func (k *kern) lowerStage(sp *StagePlan) error {
 		k.emitPublish(sp)
 	}
 
-	// Loop control: bump bases, decrement, branch.
+	// Loop control: bump bases, swap staging halves, decrement, branch.
 	k.startBlock(-1, false)
 	bumped := map[int]bool{}
 	for _, reg := range orderedBaseRegs(k.baseReg, sp) {
@@ -361,6 +400,13 @@ func (k *kern) lowerStage(sp *StagePlan) error {
 			k.bumpA(reg.reg, int64(reg.slot)*1)
 			bumped[reg.reg] = true
 		}
+	}
+	if sp.StageAhead {
+		// Rotate cur/next through tmp: the half just prefetched becomes
+		// the compute half of the next iteration.
+		k.calcRIInto(isa.IAdd, k.pgsmTmp, k.pgsmCur, 0)
+		k.calcRIInto(isa.IAdd, k.pgsmCur, k.pgsmNext, 0)
+		k.calcRIInto(isa.IAdd, k.pgsmNext, k.pgsmTmp, 0)
 	}
 	if sp.Publish {
 		k.bumpA(k.exVdst, int64(plan.NumPEs*sp.Out.StripBytes()))
@@ -415,6 +461,39 @@ func (k *kern) emitStaging(u *UsePlan) {
 			ld.Addr2, ld.Indirect2 = uint32(aPgsm), true
 			ld.SimbMask = k.simb
 			k.emitTagged(ld, memTag{bank: k.bufTag(b), pgsm: k.bufTag(b), vsm: -1})
+		}
+	}
+}
+
+// stageNextTagBias offsets the pgsm alias tag of next-tile staging
+// writes. The idle half never aliases the compute half within one
+// iteration, so giving the prefetch a distinct tag removes the
+// staging-before-read edges and lets the list scheduler overlap the
+// DMA stream with compute — the multi-array schedule's entire win.
+// Spill tags use 1<<16; this bias keeps the spaces disjoint.
+const stageNextTagBias = 1 << 17
+
+// emitStagingNext prefetches the next loop slot's rows of a staged use
+// into the idle PGSM half (the stage-ahead schedule). The bank base is
+// clamped to the last slot so the final iteration redundantly re-stages
+// data nothing reads instead of running off the buffer.
+func (k *kern) emitStagingNext(u *UsePlan) {
+	b := u.Buf
+	rowBytes := b.Width() * 4
+	next := k.calcRI(isa.IAdd, k.baseReg[b], int64(b.Slot))
+	last := int64(b.Base) + int64(k.plan.TilesPerPE-1)*int64(b.Slot)
+	k.calcRIInto(isa.IMin, next, next, last)
+	for ly := u.Y.Lo; ly <= u.Y.Hi; ly++ {
+		rowOff := (ly - b.Y.Lo) * rowBytes
+		pgsmRow := int(u.PGSMOff) + (ly-u.Y.Lo)*rowBytes
+		for cb := 0; cb < rowBytes; cb += 16 {
+			aBank := k.addA(next, int64(rowOff+cb))
+			aPgsm := k.addA(k.pgsmNext, int64(pgsmRow+cb))
+			ld := isa.New(isa.OpLdPGSM)
+			ld.Addr, ld.Indirect = uint32(aBank), true
+			ld.Addr2, ld.Indirect2 = uint32(aPgsm), true
+			ld.SimbMask = k.simb
+			k.emitTagged(ld, memTag{bank: k.bufTag(b), pgsm: stageNextTagBias + k.bufTag(b), vsm: -1})
 		}
 	}
 }
@@ -501,6 +580,59 @@ func (k *kern) evalExpr(e halide.Expr, ln lanes) (int, error) {
 			return 0, fmt.Errorf("access to unplanned buffer %q", buf.Name)
 		}
 		return k.loadLanes(u, nl)
+	case halide.Reduce:
+		// Ordered accumulation into a private register: mov copies the
+		// first term's bits exactly (no NaN renormalization — mov is an
+		// integer-class op), then each following term folds in order.
+		// A multiply term becomes one fmac; EvalF(FMac) is acc + a*b
+		// with both roundings, bit-identical to the reference's
+		// add-of-mul.
+		first, err := k.evalExpr(t.Terms[0], ln)
+		if err != nil {
+			return 0, err
+		}
+		acc := k.comp(isa.Mov, first, first)
+		for _, term := range t.Terms[1:] {
+			if bin, ok := term.(halide.Bin); ok && bin.Op == halide.OpMul {
+				a, err := k.evalExpr(bin.A, ln)
+				if err != nil {
+					return 0, err
+				}
+				b, err := k.evalExpr(bin.B, ln)
+				if err != nil {
+					return 0, err
+				}
+				k.compInto(isa.FMac, acc, a, b)
+				continue
+			}
+			v, err := k.evalExpr(term, ln)
+			if err != nil {
+				return 0, err
+			}
+			k.compInto(isa.FAdd, acc, acc, v)
+		}
+		return acc, nil
+	case halide.Tab:
+		// Plan-time validation (checkTabs) guarantees the clamped
+		// index is identical across the four lanes and invariant over
+		// tiles; compute it per lane anyway and fail loudly if the
+		// schedule ever violates that, then splat the pool constant.
+		idx := -1
+		for i := 0; i < 4; i++ {
+			j := t.CX.Apply(ln[i][0]) + t.CY.Apply(ln[i][1])
+			if j < 0 {
+				j = 0
+			}
+			if j >= len(t.Vals) {
+				j = len(t.Vals) - 1
+			}
+			if i == 0 {
+				idx = j
+			} else if j != idx {
+				return 0, fmt.Errorf("tab index varies across lanes (%d vs %d)", idx, j)
+			}
+		}
+		return k.constVec(t.Vals[idx]), nil
 	}
 	return 0, fmt.Errorf("unknown expr node %T", e)
 }

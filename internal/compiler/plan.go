@@ -17,10 +17,26 @@
 package compiler
 
 import (
+	"errors"
 	"fmt"
 
 	"ipim/internal/halide"
 	"ipim/internal/sim"
+)
+
+// Typed plan-time validation errors. Callers match them with errors.Is;
+// the wrapping message carries the offending geometry.
+var (
+	// ErrNonPow2Geometry rejects halo-exchange plans whose PE count or
+	// per-stage core extents are not powers of two — the exchange
+	// address arithmetic (exchange.go log2) is only defined there.
+	ErrNonPow2Geometry = errors.New("power-of-two geometry required")
+	// ErrTabIndex rejects pipelines whose Tab (constant-table) index
+	// would vary across the vector lanes of a tile slot or depend on
+	// the tile origin: the lowering splats one pool constant per
+	// evaluation point, so the index must be slot-uniform and
+	// tile-invariant.
+	ErrTabIndex = errors.New("tab index not uniform under this schedule")
 )
 
 // Options selects the backend optimization configuration — exactly the
@@ -145,6 +161,34 @@ type StagePlan struct {
 	// PGSMWanted records that load_pgsm was requested; Staged flags on
 	// uses tell whether each region actually fit the PGSM partition.
 	PGSMWanted bool
+	// StageAhead marks the multi-array (MASIM-style) schedule for this
+	// stage: the PGSM partition is split into a ping/pong double
+	// buffer of StageBytes each, and the lowering stages tile k+1's
+	// operands into the idle half while tile k computes out of the
+	// active half. Set by finishPlan when Pipeline.MultiArray is on
+	// and the geometry allows it (overlapped mode, >1 tile per PE,
+	// staged operands fitting twice in the partition).
+	StageAhead bool
+	// StageBytes is the per-buffer footprint of one staging half.
+	StageBytes uint32
+}
+
+// ArrayPlan models one PE array of a vault explicitly: one process
+// group's PEs operating in lock step against a shared PGSM. The
+// multi-array schedule reasons about these arrays as independent
+// staging/compute pipelines — while array A's PEs compute, its DRAM
+// controllers prefetch the next tile's operands into the other PGSM
+// half, and the other arrays do the same out of phase.
+type ArrayPlan struct {
+	// PG is the array's process-group index within its vault.
+	PG int
+	// PEs is the number of PEs in the array (lock-step SIMB lanes).
+	PEs int
+	// PGSMBytes is the per-PE PGSM partition size in bytes.
+	PGSMBytes int
+	// Buffers is the staging depth per partition: 2 when the
+	// stage-ahead schedule double-buffers operands, 1 otherwise.
+	Buffers int
 }
 
 // Plan is the complete mapping of a pipeline onto the machine.
@@ -169,6 +213,11 @@ type Plan struct {
 	// Exchange marks halo-exchange mode (ClampedStages pipelines on a
 	// single-vault machine); see planExchange.
 	Exchange bool
+
+	// Arrays models the per-vault PE arrays (one entry per process
+	// group) the schedule runs on; every vault is identical. Buffers
+	// is 2 when any stage runs the stage-ahead schedule.
+	Arrays []ArrayPlan
 
 	// SpillBase is the start of the register-spill area in each bank.
 	SpillBase uint32
@@ -355,7 +404,7 @@ func (p *Plan) planExchange(stages []*halide.Func, isMat func(*halide.Func) bool
 		return fmt.Errorf("compiler: halo-exchange pipelines require a single-vault machine (have %d vaults); see DESIGN.md", cfg.TotalVaults())
 	}
 	if n&(n-1) != 0 {
-		return fmt.Errorf("compiler: halo exchange requires a power-of-two PE count, have %d", n)
+		return fmt.Errorf("compiler: halo exchange requires a power-of-two PE count, have %d: %w", n, ErrNonPow2Geometry)
 	}
 	if p.TilesX%n != 0 {
 		return fmt.Errorf("compiler: halo exchange requires TilesX (%d) divisible by the PE count (%d)", p.TilesX, n)
@@ -370,7 +419,7 @@ func (p *Plan) planExchange(stages []*halide.Func, isMat func(*halide.Func) bool
 		coreW := tw * sc[0].Num / sc[0].Den
 		coreH := th * sc[1].Num / sc[1].Den
 		if coreW < 4 || coreW&(coreW-1) != 0 || coreH < 1 || coreH&(coreH-1) != 0 {
-			return fmt.Errorf("compiler: stage %q core %dx%d must be power-of-two (width >= 4)", s.Name, coreW, coreH)
+			return fmt.Errorf("compiler: stage %q core %dx%d must be power-of-two (width >= 4): %w", s.Name, coreW, coreH, ErrNonPow2Geometry)
 		}
 		core := halide.Interval{Lo: 0, Hi: coreW - 1}
 		coreY := halide.Interval{Lo: 0, Hi: coreH - 1}
@@ -472,6 +521,7 @@ func (p *Plan) finishPlan(stages []*halide.Func, isMat func(*halide.Func) bool) 
 			return err
 		}
 		pgsmCursor := uint32(0)
+		anyStaged := false
 		for _, u := range uses {
 			var ub *BufPlan
 			if u.Buf == nil {
@@ -487,9 +537,20 @@ func (p *Plan) finishPlan(stages []*halide.Func, isMat func(*halide.Func) bool) 
 					up.Staged = true
 					up.PGSMOff = pgsmCursor
 					pgsmCursor += sz
+					anyStaged = true
 				}
 			}
 			sp.Uses = append(sp.Uses, up)
+		}
+		// Multi-array stage-ahead schedule: double-buffer the staged
+		// operands so tile k+1's staging overlaps tile k's compute.
+		// Requires overlapped mode (exchange-mode barriers serialize
+		// tiles anyway), a loop to hide latency in, and room for two
+		// staging halves in the partition.
+		if p.Pipe.MultiArray && !p.Exchange && p.TilesPerPE > 1 &&
+			anyStaged && 2*pgsmCursor <= uint32(partition) {
+			sp.StageAhead = true
+			sp.StageBytes = pgsmCursor
 		}
 		// PG-level strip fast path: the strips of every loop slot must
 		// fit the PGSM partition above this stage's staging region.
@@ -503,7 +564,82 @@ func (p *Plan) finishPlan(stages []*halide.Func, isMat func(*halide.Func) bool) 
 		p.Stages = append(p.Stages, sp)
 	}
 	p.OutBuf = p.Stages[len(p.Stages)-1].Out
+
+	// Validate constant-table indices against the chosen schedule. A
+	// stage whose output domain does not scale with y computes the
+	// same tile-local y range in every tile, so its tabs are tile-
+	// invariant even under multi-row tilings.
+	for _, sp := range p.Stages {
+		yFree := p.TilesY == 1 || sp.Out.SigmaY.Num == 0
+		if err := p.checkTabs(sp.F.E, sp.F.Name, isMat, yFree, true, true); err != nil {
+			return err
+		}
+	}
+
+	// Model the per-vault PE arrays the schedule runs on.
+	buffers := 1
+	for _, sp := range p.Stages {
+		if sp.StageAhead {
+			buffers = 2
+		}
+	}
+	p.Arrays = make([]ArrayPlan, cfg.PGsPerVault)
+	for pg := range p.Arrays {
+		p.Arrays[pg] = ArrayPlan{PG: pg, PEs: cfg.PEsPerPG, PGSMBytes: partition, Buffers: buffers}
+	}
 	return nil
+}
+
+// checkTabs walks a stage expression (recursing through inlined funcs,
+// composing coordinate dependence) and rejects Tab nodes whose index
+// would not be slot-uniform and tile-invariant under the plan's tiling.
+// yFree reports that tile-local y equals global y for this stage;
+// xDep/yDep report whether the current subtree's coordinates still vary
+// with the stage's tile-local x/y.
+func (p *Plan) checkTabs(e halide.Expr, stage string, isMat func(*halide.Func) bool, yFree, xDep, yDep bool) error {
+	switch t := e.(type) {
+	case halide.Const:
+		return nil
+	case halide.Access:
+		if t.Func == nil || isMat(t.Func) {
+			return nil
+		}
+		return p.checkTabs(t.Func.E, stage, isMat, yFree, xDep && t.CX.Scale != 0, yDep && t.CY.Scale != 0)
+	case halide.Bin:
+		if err := p.checkTabs(t.A, stage, isMat, yFree, xDep, yDep); err != nil {
+			return err
+		}
+		return p.checkTabs(t.B, stage, isMat, yFree, xDep, yDep)
+	case halide.Select:
+		for _, sub := range []halide.Expr{t.Cond, t.Then, t.Else} {
+			if err := p.checkTabs(sub, stage, isMat, yFree, xDep, yDep); err != nil {
+				return err
+			}
+		}
+		return nil
+	case halide.Reduce:
+		for _, term := range t.Terms {
+			if err := p.checkTabs(term, stage, isMat, yFree, xDep, yDep); err != nil {
+				return err
+			}
+		}
+		return nil
+	case halide.Tab:
+		// The four SIMD lanes of a slot span consecutive x, so any
+		// x-dependence breaks slot uniformity outright. Tiling along x
+		// would additionally shift the index per tile.
+		if xDep && t.CX.Scale != 0 {
+			return fmt.Errorf("compiler: stage %q: tab index depends on x: %w", stage, ErrTabIndex)
+		}
+		// A y-dependent index is only global-coordinate-correct when
+		// tile-local y equals global y (one tile row, or an output
+		// domain that does not scale with y).
+		if yDep && t.CY.Scale != 0 && !yFree {
+			return fmt.Errorf("compiler: stage %q: tab index depends on y but TilesY=%d: %w", stage, p.TilesY, ErrTabIndex)
+		}
+		return nil
+	}
+	return fmt.Errorf("compiler: unknown expr node %T in stage %q", e, stage)
 }
 
 func reduceScale(s halide.Scale) halide.Scale {

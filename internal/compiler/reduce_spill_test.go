@@ -1,0 +1,90 @@
+package compiler
+
+import (
+	"testing"
+
+	"ipim/internal/halide"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+)
+
+// deepReducePipe builds an adversarial workload for the register
+// allocator: the output multiplies two independent weighted-window
+// reductions, so the first accumulator stays live across the second's
+// entire FMac chain while the window loads compete for the same
+// registers.
+func deepReducePipe(pgsm bool) *halide.Pipeline {
+	win := func(seed, n int) halide.Expr {
+		return halide.Sum(n, n, func(rx, ry int) halide.Expr {
+			w := float32((seed+ry*n+rx)%7-3) / 4
+			return halide.Mul(halide.K(w), halide.In(rx-n/2, ry-n/2))
+		})
+	}
+	out := halide.NewFunc("deepreduce").Define(
+		halide.Add(halide.Mul(win(1, 5), win(2, 3)), halide.K(0.5)))
+	if pgsm {
+		out.LoadPGSM()
+	}
+	return halide.NewPipeline("deepreduce", out)
+}
+
+// TestReduceSpillingCorrectness forces the deep reduction chains
+// through a pressured register file and pins bit-exactness against the
+// reference interpreter (the TestSpillingCorrectness pattern, aimed at
+// reduction lowering).
+func TestReduceSpillingCorrectness(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rf   int
+		pgsm bool
+	}{
+		{"rf12-pgsm", 12, true},
+		{"rf8-min", 8, true},
+		{"rf12-dram", 12, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := sim.TestTiny()
+			cfg.DataRFEntries = tc.rf
+			img := pixel.Synth(32, 16, 0xAB)
+			pipe := deepReducePipe(tc.pgsm)
+			art, err := Compile(&cfg, pipe, img.W, img.H, Opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if art.Spills == 0 {
+				t.Fatalf("expected spills with a %d-entry DataRF", tc.rf)
+			}
+			runPipe(t, cfg, pipe, img, Opt)
+		})
+	}
+}
+
+// TestReduceSpillMatchesUnspilled pins that a spilled schedule of the
+// reduction computes the same pixels as an unpressured one: both runs
+// are compared bit-exactly against the same reference.
+func TestReduceSpillMatchesUnspilled(t *testing.T) {
+	img := pixel.Synth(32, 16, 0xAC)
+	pipe := deepReducePipe(true)
+
+	small := sim.TestTiny()
+	small.DataRFEntries = 8
+	big := sim.TestTiny()
+	big.DataRFEntries = 128
+
+	artSmall, err := Compile(&small, pipe, img.W, img.H, Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	artBig, err := Compile(&big, pipe, img.W, img.H, Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artSmall.Spills == 0 {
+		t.Fatal("8-entry DataRF did not spill the deep reduction")
+	}
+	if artBig.Spills != 0 {
+		t.Fatalf("128-entry DataRF spilled (%d): test no longer contrasts schedules", artBig.Spills)
+	}
+	runPipe(t, small, pipe, img, Opt)
+	runPipe(t, big, pipe, img, Opt)
+}

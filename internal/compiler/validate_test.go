@@ -1,0 +1,94 @@
+package compiler
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ipim/internal/halide"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+)
+
+// TestExchangeRejectsNonPow2Geometry pins the plan-time power-of-two
+// validation: a clamped-stage pipeline with a 12-wide tile used to
+// reach the exchange address arithmetic, whose log2 silently floored
+// non-powers-of-two and corrupted halo addresses. The planner must
+// reject the geometry with the typed error instead.
+func TestExchangeRejectsNonPow2Geometry(t *testing.T) {
+	cfg := sim.TestTinyOneVault()
+	pipe := chainPipe(2).IPIMTile(12, 16)
+	// 4 PEs x 12-wide tiles: TilesX divides evenly, so the plan fails
+	// on the core width itself, not on tile distribution.
+	_, err := Compile(&cfg, pipe, 48, 16, Opt)
+	if err == nil {
+		t.Fatal("non-power-of-two exchange geometry accepted")
+	}
+	if !errors.Is(err, ErrNonPow2Geometry) {
+		t.Fatalf("error %v does not wrap ErrNonPow2Geometry", err)
+	}
+	if !strings.Contains(err.Error(), "12") {
+		t.Errorf("error %q does not name the offending extent", err)
+	}
+	// The same pipeline at a power-of-two width compiles and runs.
+	pipe = chainPipe(2).IPIMTile(16, 16)
+	if _, err := Compile(&cfg, pipe, 64, 16, Opt); err != nil {
+		t.Fatalf("power-of-two geometry rejected: %v", err)
+	}
+}
+
+// TestLog2PanicsOnNonPow2 pins the last-resort guard itself: the
+// exchange shift arithmetic must never silently floor.
+func TestLog2PanicsOnNonPow2(t *testing.T) {
+	for _, v := range []int{0, -4, 3, 12, 48} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("log2(%d) did not panic", v)
+				}
+			}()
+			log2(v)
+		}()
+	}
+	for v, want := range map[int]int64{1: 0, 2: 1, 4: 2, 1024: 10} {
+		if got := log2(v); got != want {
+			t.Errorf("log2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// TestTabIndexValidation pins the Tab uniformity rules: a weight-table
+// index that varies inside a tile (x-dependent, or y-dependent when
+// tiles move vertically) cannot lower to a lane-uniform constant and
+// must be rejected at plan time with the typed error.
+func TestTabIndexValidation(t *testing.T) {
+	vals := []float32{1, 2, 3, 4}
+	build := func(cx, cy halide.Coord) *halide.Pipeline {
+		e := halide.Mul(halide.NewTab(vals, cx, cy), halide.In(0, 0))
+		out := halide.NewFunc("tabbed").Define(e).LoadPGSM()
+		return halide.NewPipeline("TabPipe", out).IPIMTile(8, 8)
+	}
+	cfg := sim.TestTiny()
+
+	// x-dependent index: rejected under any schedule.
+	_, err := Compile(&cfg, build(halide.CScale(1, 0, 1), halide.C(0)), 64, 8, Opt)
+	if !errors.Is(err, ErrTabIndex) {
+		t.Fatalf("x-dependent tab index: error %v does not wrap ErrTabIndex", err)
+	}
+
+	// y-dependent index: fine while the tile grid never moves in y...
+	pipe := build(halide.CScale(0, 0, 1), halide.CScale(1, 0, 2))
+	if _, err := Compile(&cfg, pipe, 64, 8, Opt); err != nil {
+		t.Fatalf("y-dependent tab index with TilesY=1 rejected: %v", err)
+	}
+	// ...and rejected as soon as it does (TilesY=2).
+	_, err = Compile(&cfg, build(halide.CScale(0, 0, 1), halide.CScale(1, 0, 2)), 64, 16, Opt)
+	if !errors.Is(err, ErrTabIndex) {
+		t.Fatalf("y-dependent tab index with TilesY=2: error %v does not wrap ErrTabIndex", err)
+	}
+
+	// The accepted case really computes Vals[y/2]*in bit-exactly
+	// (runPipe compares against the reference interpreter).
+	runPipe(t, cfg, build(halide.CScale(0, 0, 1), halide.CScale(1, 0, 2)),
+		pixel.Synth(64, 8, 5), Opt)
+}

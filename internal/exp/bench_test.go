@@ -44,3 +44,34 @@ func TestBenchRecordsAndJSON(t *testing.T) {
 		t.Error("JSON round-trip lost data")
 	}
 }
+
+func TestDNNBenchRecords(t *testing.T) {
+	c := NewContext()
+	c.SizeDiv = 8 // dnnSizeOf keeps >= 2 tiles/PE so stage-ahead stays engaged
+	recs, err := c.DNNBenchRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2*len(workloads.DNN()) {
+		t.Fatalf("got %d records, want %d", len(recs), 2*len(workloads.DNN()))
+	}
+	for i, r := range recs {
+		wantCfg := "opt"
+		if i%2 == 1 {
+			wantCfg = "opt+multi_array"
+		}
+		if r.Config != wantCfg {
+			t.Errorf("record %d config %q, want %q", i, r.Config, wantCfg)
+		}
+		if r.Cycles <= 0 || r.KernelNS != r.Cycles || r.EnergyJ <= 0 || r.IPC <= 0 {
+			t.Errorf("%s/%s: implausible accounting %+v", r.Workload, r.Config, r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("output is not valid JSON")
+	}
+}

@@ -109,7 +109,8 @@ type Context struct {
 	// cycle-derived column reads zero.
 	Mode sim.Mode
 
-	cache map[string]*runResult
+	cache    map[string]*runResult
+	dnnCache map[string]*dnnRun
 }
 
 // NewContext returns the default experiment context.
@@ -121,6 +122,7 @@ func NewContext() *Context {
 		Energy:   energy.DefaultModel(),
 		SizeDiv:  1,
 		cache:    map[string]*runResult{},
+		dnnCache: map[string]*dnnRun{},
 	}
 }
 

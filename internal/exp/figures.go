@@ -409,6 +409,8 @@ func (c *Context) ByName(name string) (*Table, error) {
 		return c.Simspeed()
 	case "faults":
 		return c.FaultSweep()
+	case "dnn":
+		return c.DNN()
 	}
 	return nil, fmt.Errorf("exp: unknown experiment %q (valid: %s)",
 		name, strings.Join(ExperimentNames(), ", "))
@@ -420,5 +422,5 @@ func ExperimentNames() []string {
 	return []string{"fig1", "table4", "fig6", "fig7", "fig8", "fig9",
 		"fig10a", "fig10b", "fig11", "fig12", "fig13", "stalls", "thermal",
 		"dram", "scaling", "offload", "exchange", "frames", "simspeed",
-		"faults"}
+		"faults", "dnn"}
 }

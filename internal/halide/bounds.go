@@ -152,6 +152,16 @@ func walkRequirements(e Expr, sx, sy Scale, rx, ry Interval, isMat func(*Func) b
 			return err
 		}
 		return walkRequirements(t.Else, sx, sy, rx, ry, isMat, uses)
+	case Reduce:
+		for _, term := range t.Terms {
+			if err := walkRequirements(term, sx, sy, rx, ry, isMat, uses); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Tab:
+		// Constant table: no buffer requirement.
+		return nil
 	}
 	return fmt.Errorf("halide: unknown expr node %T", e)
 }

@@ -104,10 +104,48 @@ type Select struct {
 	Cond, Then, Else Expr
 }
 
+// Reduce is the DSL's reduction-domain construct: the ordered sum of
+// its terms, accumulated left to right. The reference interpreter and
+// the backend both evaluate Terms[0] first and then add each following
+// term into the accumulator in order, so cycle simulation, functional
+// mode and the golden model agree bit-for-bit (float addition is not
+// associative; the order is part of the semantics). Terms is never
+// empty. Build one with Sum.
+type Reduce struct {
+	Terms []Expr
+}
+
+// Tab is a compile-time constant table indexed by the transformed
+// coordinates: value = Vals[clamp(CX(x) + CY(y), 0, len(Vals)-1)].
+// DNN workloads use it to attach weight matrices and bias vectors to a
+// pipeline without burning an input-image plane per constant. The
+// backend requires the index to be uniform across the vector lanes of
+// a tile slot (checked at plan time), which every y-indexed table
+// (CX.Scale == 0) satisfies under full-height tiling.
+type Tab struct {
+	Vals   []float32
+	CX, CY Coord
+}
+
 func (Const) isExpr()  {}
 func (Access) isExpr() {}
 func (Bin) isExpr()    {}
 func (Select) isExpr() {}
+func (Reduce) isExpr() {}
+func (Tab) isExpr()    {}
+
+// At evaluates the table at (x, y) with clamped indexing: the host-side
+// mirror of the backend lowering, shared by golden references.
+func (t Tab) At(x, y int) float32 {
+	i := t.CX.Apply(x) + t.CY.Apply(y)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.Vals) {
+		i = len(t.Vals) - 1
+	}
+	return t.Vals[i]
+}
 
 // Convenience constructors.
 
@@ -128,6 +166,31 @@ func Clamp(a Expr, lo, hi float32) Expr { return Min(Max(a, K(lo)), K(hi)) }
 
 // Sel builds a Select node.
 func Sel(cond, then, els Expr) Expr { return Select{cond, then, els} }
+
+// Sum builds a Reduce over a rw x rh reduction domain, materializing
+// body(rx, ry) for every point row-major (ry outer, rx inner). The
+// accumulation order is that materialization order. Panics on an empty
+// domain: a reduction must have at least one term.
+func Sum(rw, rh int, body func(rx, ry int) Expr) Expr {
+	if rw <= 0 || rh <= 0 {
+		panic(fmt.Sprintf("halide: Sum over empty %dx%d reduction domain", rw, rh))
+	}
+	terms := make([]Expr, 0, rw*rh)
+	for ry := 0; ry < rh; ry++ {
+		for rx := 0; rx < rw; rx++ {
+			terms = append(terms, body(rx, ry))
+		}
+	}
+	return Reduce{Terms: terms}
+}
+
+// NewTab builds a constant table node. vals must be non-empty.
+func NewTab(vals []float32, cx, cy Coord) Expr {
+	if len(vals) == 0 {
+		panic("halide: NewTab with no values")
+	}
+	return Tab{Vals: vals, CX: cx, CY: cy}
+}
 
 // Func is one pipeline stage: a name, a defining expression, and its
 // schedule directives.
@@ -218,6 +281,14 @@ type Pipeline struct {
 	// pointwise/stencil lowering. Bins is the histogram size.
 	Histogram bool
 	Bins      int
+
+	// MultiArray requests the MASIM-style multi-array schedule: the
+	// planner models each PE array's PGSM partition as a double buffer
+	// and the lowering overlaps next-tile operand staging with current-
+	// tile compute. The compiler falls back to the baseline list
+	// schedule when the geometry does not allow it (see
+	// compiler.Plan.Arrays).
+	MultiArray bool
 }
 
 // NewPipeline builds a pipeline with the default 8x8 ipim_tile
@@ -236,6 +307,13 @@ func (p *Pipeline) OutScale(num, den int) *Pipeline {
 // stages (see ClampedStages).
 func (p *Pipeline) ClampStages() *Pipeline {
 	p.ClampedStages = true
+	return p
+}
+
+// MultiArraySchedule sets or clears the multi-array (stage-ahead)
+// schedule. The schedule auto-tuner uses it as a search axis.
+func (p *Pipeline) MultiArraySchedule(on bool) *Pipeline {
+	p.MultiArray = on
 	return p
 }
 
@@ -352,6 +430,15 @@ func walkAccesses(e Expr, fn func(Access) error) error {
 			return err
 		}
 		return walkAccesses(t.Else, fn)
+	case Reduce:
+		for _, term := range t.Terms {
+			if err := walkAccesses(term, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Tab:
+		return nil
 	}
 	return fmt.Errorf("halide: unknown expr node %T", e)
 }
@@ -377,6 +464,18 @@ func OpCount(e Expr, isInlined func(*Func) bool) (flops, accesses int) {
 		fe, ae := OpCount(t.Else, isInlined)
 		// Blend lowering: cond*then + (1-cond)*else = 4 extra ops.
 		return fc + ft + fe + 4, ac + at + ae
+	case Reduce:
+		// One add per accumulated term beyond the first.
+		f, a := 0, 0
+		for _, term := range t.Terms {
+			ft, at := OpCount(term, isInlined)
+			f, a = f+ft, a+at
+		}
+		return f + len(t.Terms) - 1, a
+	case Tab:
+		// Constant lookup: no flops, and the table lives in the
+		// instruction stream rather than memory.
+		return 0, 0
 	}
 	return 0, 0
 }

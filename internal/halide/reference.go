@@ -152,6 +152,17 @@ func (ev *refEval) eval(e Expr, x, y int) float32 {
 		a := ev.eval(t.Then, x, y)
 		b := ev.eval(t.Else, x, y)
 		return c*a + (1-c)*b
+	case Reduce:
+		// Ordered accumulation — the term order is part of the
+		// semantics (FP32 addition is not associative) and matches the
+		// backend's fmac chain exactly.
+		acc := ev.eval(t.Terms[0], x, y)
+		for _, term := range t.Terms[1:] {
+			acc = acc + ev.eval(term, x, y)
+		}
+		return acc
+	case Tab:
+		return t.At(x, y)
 	}
 	panic(fmt.Sprintf("halide: eval of unknown node %T", e))
 }

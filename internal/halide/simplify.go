@@ -56,6 +56,24 @@ func Simplify(e Expr) Expr {
 			}
 		}
 		return Select{Cond: c, Then: then, Else: els}
+	case Reduce:
+		terms := make([]Expr, len(t.Terms))
+		for i, term := range t.Terms {
+			terms[i] = Simplify(term)
+		}
+		if len(terms) == 1 {
+			// A single-term reduction is just its term: the backend
+			// copies the first term into the accumulator bit-exactly,
+			// so dropping the wrapper cannot change any result.
+			return terms[0]
+		}
+		return Reduce{Terms: terms}
+	case Tab:
+		if len(t.Vals) == 1 {
+			// Every index clamps to the only entry.
+			return Const{V: t.Vals[0]}
+		}
+		return e
 	}
 	return e
 }
@@ -111,6 +129,28 @@ func sameExpr(a, b Expr) bool {
 	case Select:
 		tb, ok := b.(Select)
 		return ok && sameExpr(ta.Cond, tb.Cond) && sameExpr(ta.Then, tb.Then) && sameExpr(ta.Else, tb.Else)
+	case Reduce:
+		tb, ok := b.(Reduce)
+		if !ok || len(ta.Terms) != len(tb.Terms) {
+			return false
+		}
+		for i := range ta.Terms {
+			if !sameExpr(ta.Terms[i], tb.Terms[i]) {
+				return false
+			}
+		}
+		return true
+	case Tab:
+		tb, ok := b.(Tab)
+		if !ok || len(ta.Vals) != len(tb.Vals) || ta.CX != tb.CX || ta.CY != tb.CY {
+			return false
+		}
+		for i := range ta.Vals {
+			if ta.Vals[i] != tb.Vals[i] {
+				return false
+			}
+		}
+		return true
 	}
 	return false
 }
@@ -125,6 +165,12 @@ func CountNodes(e Expr) int {
 		return 1 + CountNodes(t.A) + CountNodes(t.B)
 	case Select:
 		return 1 + CountNodes(t.Cond) + CountNodes(t.Then) + CountNodes(t.Else)
+	case Reduce:
+		n := 1
+		for _, term := range t.Terms {
+			n += CountNodes(term)
+		}
+		return n
 	}
 	return 1
 }

@@ -1,0 +1,363 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ipim/internal/halide"
+	"ipim/internal/pixel"
+)
+
+// The DNN/GEMM workload family. Unlike the Table II image kernels,
+// these operators carry compile-time weight tensors (halide.Tab) and
+// reduction domains (halide.Sum), and they default to the multi-array
+// stage-ahead schedule. Feature/channel dimensions are fixed by each
+// operator's geometry; the image width (pixels or token columns)
+// scales. The family lives in its own registry (DNN/DNNByName) so the
+// paper's Table II experiments are untouched.
+//
+// Every workload pairs its pipeline with an independent host golden
+// reference (Host) written as plain loops in the exact accumulation
+// order the Sum semantics prescribe, so simulated outputs must match
+// bit-for-bit.
+
+// DNNWorkload is one member of the DNN/GEMM family.
+type DNNWorkload struct {
+	Name        string
+	Description string
+	// Build constructs a fresh pipeline (pipelines carry mutable
+	// schedule state, so each use gets its own instance).
+	Build func() *Workload1
+	// Host computes the golden reference on the host, bit-exact to
+	// the device program and the halide reference interpreter.
+	Host func(in *pixel.Image) *pixel.Image
+	// TestW/TestH and BenchW/BenchH mirror Workload's size fields;
+	// the heights are fixed by operator geometry and must be passed
+	// through unchanged.
+	TestW, TestH   int
+	BenchW, BenchH int
+}
+
+// dnnWeights derives a deterministic pseudo-random weight vector from
+// seed: sixteenths in [-0.5, 0.5], drawn from a 17-value palette so
+// the constant pool stays small however large the tensor is.
+func dnnWeights(seed uint64, n int) []float32 {
+	out := make([]float32, n)
+	x := seed
+	for i := range out {
+		x = x*6364136223846793005 + 1442695040888963407
+		out[i] = float32(int64((x>>33)%17)-8) / 16
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- GEMM
+
+// gemmK is the square weight dimension: out = W (K x K) x X (K x W).
+const gemmK = 16
+
+func gemmWeights() []float32 { return dnnWeights(0x47454D4D, gemmK*gemmK) }
+
+// buildGEMM expresses the tiled GEMM out(x,y) = sum_k W[y][k]*X[k][x]:
+// the input image holds the activation matrix X (row k = feature k,
+// column x = token x), the weight matrix rides in per-k column Tabs.
+func buildGEMM() *Workload1 {
+	w := gemmWeights()
+	e := halide.Sum(gemmK, 1, func(k, _ int) halide.Expr {
+		col := make([]float32, gemmK)
+		for y := range col {
+			col[y] = w[y*gemmK+k]
+		}
+		return halide.Mul(
+			halide.NewTab(col, halide.CScale(0, 0, 1), halide.C(0)),
+			halide.InC(halide.C(0), halide.CScale(0, k, 1)))
+	})
+	out := halide.NewFunc("gemm").Define(e).LoadPGSM()
+	p := halide.NewPipeline("GEMM", out).IPIMTile(8, gemmK).MultiArraySchedule(true)
+	return &Workload1{Pipe: p}
+}
+
+func hostGEMM(in *pixel.Image) *pixel.Image {
+	w := gemmWeights()
+	out := pixel.New(in.W, in.H)
+	for y := 0; y < in.H; y++ {
+		for x := 0; x < in.W; x++ {
+			acc := w[y*gemmK] * in.At(x, 0)
+			for k := 1; k < gemmK; k++ {
+				p := w[y*gemmK+k] * in.At(x, k)
+				acc = acc + p
+			}
+			out.Set(x, y, acc)
+		}
+	}
+	return out
+}
+
+// -------------------------------------------------------------- conv2d
+
+// Conv2D geometry: channels-as-planes layout. A C-channel activation
+// of h rows is stored as C planes of p rows each (p = h+2 for the 3x3
+// kernel's vertical halo, p = h for 1x1); the output uses the same
+// layout. A one-hot Tab indexed by y/p selects the output channel, so
+// the whole multi-channel operator is a single SIMB kernel.
+const (
+	convC    = 2             // channels (in == out)
+	convH    = 4             // activation rows per channel
+	convP    = convH + 2     // padded plane height
+	convRows = convC * convP // image height
+
+	conv1C    = 4 // 1x1 conv channels
+	conv1P    = 4 // plane height (no padding needed)
+	conv1Rows = conv1C * conv1P
+)
+
+func conv3Weights() []float32 { return dnnWeights(0x434F4E33, convC*convC*9) }
+func conv1Weights() []float32 { return dnnWeights(0x434F4E31, conv1C*conv1C) }
+
+// oneHot returns the n-value mask selecting index i.
+func oneHot(n, i int) []float32 {
+	m := make([]float32, n)
+	m[i] = 1
+	return m
+}
+
+func buildConv3x3() *Workload1 {
+	w := conv3Weights()
+	e := halide.Sum(1, convC, func(_, oc int) halide.Expr {
+		inner := halide.Sum(9, convC, func(rx, ic int) halide.Expr {
+			dy, dx := rx/3-1, rx%3-1
+			wv := w[(oc*convC+ic)*9+(dy+1)*3+(dx+1)]
+			return halide.Mul(halide.K(wv),
+				halide.InC(halide.C(dx), halide.C((ic-oc)*convP+dy)))
+		})
+		return halide.Mul(
+			halide.NewTab(oneHot(convC, oc), halide.CScale(0, 0, 1), halide.CScale(1, 0, convP)),
+			inner)
+	})
+	out := halide.NewFunc("conv3").Define(e).LoadPGSM()
+	p := halide.NewPipeline("Conv3x3", out).IPIMTile(4, convRows).MultiArraySchedule(true)
+	return &Workload1{Pipe: p}
+}
+
+func hostConv3x3(in *pixel.Image) *pixel.Image {
+	w := conv3Weights()
+	// The full reduction domain for one output channel (ic major, then
+	// dy, then dx), in the exact FMac accumulation order.
+	sum := func(oc, x, y int) float32 {
+		var acc float32
+		first := true
+		for ic := 0; ic < convC; ic++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					wv := w[(oc*convC+ic)*9+(dy+1)*3+(dx+1)]
+					p := wv * in.At(x+dx, y+(ic-oc)*convP+dy)
+					if first {
+						acc, first = p, false
+					} else {
+						acc = acc + p
+					}
+				}
+			}
+		}
+		return acc
+	}
+	out := pixel.New(in.W, in.H)
+	for y := 0; y < in.H; y++ {
+		sel := y / convP
+		for x := 0; x < in.W; x++ {
+			var tot float32
+			for oc := 0; oc < convC; oc++ {
+				var m float32
+				if oc == sel {
+					m = 1
+				}
+				p := m * sum(oc, x, y)
+				if oc == 0 {
+					tot = p
+				} else {
+					tot = tot + p
+				}
+			}
+			out.Set(x, y, tot)
+		}
+	}
+	return out
+}
+
+func buildConv1x1() *Workload1 {
+	w := conv1Weights()
+	e := halide.Sum(1, conv1C, func(_, oc int) halide.Expr {
+		inner := halide.Sum(1, conv1C, func(_, ic int) halide.Expr {
+			return halide.Mul(halide.K(w[oc*conv1C+ic]),
+				halide.InC(halide.C(0), halide.C((ic-oc)*conv1P)))
+		})
+		return halide.Mul(
+			halide.NewTab(oneHot(conv1C, oc), halide.CScale(0, 0, 1), halide.CScale(1, 0, conv1P)),
+			inner)
+	})
+	out := halide.NewFunc("conv1").Define(e).LoadPGSM()
+	p := halide.NewPipeline("Conv1x1", out).IPIMTile(4, conv1Rows).MultiArraySchedule(true)
+	return &Workload1{Pipe: p}
+}
+
+func hostConv1x1(in *pixel.Image) *pixel.Image {
+	w := conv1Weights()
+	out := pixel.New(in.W, in.H)
+	for y := 0; y < in.H; y++ {
+		sel := y / conv1P
+		for x := 0; x < in.W; x++ {
+			var tot float32
+			for oc := 0; oc < conv1C; oc++ {
+				acc := w[oc*conv1C] * in.At(x, y+(0-oc)*conv1P)
+				for ic := 1; ic < conv1C; ic++ {
+					p := w[oc*conv1C+ic] * in.At(x, y+(ic-oc)*conv1P)
+					acc = acc + p
+				}
+				var m float32
+				if oc == sel {
+					m = 1
+				}
+				p := m * acc
+				if oc == 0 {
+					tot = p
+				} else {
+					tot = tot + p
+				}
+			}
+			out.Set(x, y, tot)
+		}
+	}
+	return out
+}
+
+// PackConv2D lays out a dense channel-major activation image (channels
+// x h rows of width w) into the padded plane format Conv3x3 consumes:
+// each channel becomes h+2 rows whose first and last rows replicate
+// the channel's edge rows (clamp padding), so the operator computes a
+// clamped-boundary convolution.
+func PackConv2D(act *pixel.Image, channels int) (*pixel.Image, error) {
+	if channels <= 0 || act.H%channels != 0 {
+		return nil, fmt.Errorf("workloads: %d rows not divisible into %d channels", act.H, channels)
+	}
+	h := act.H / channels
+	out := pixel.New(act.W, channels*(h+2))
+	for c := 0; c < channels; c++ {
+		for r := -1; r <= h; r++ {
+			src := r
+			if src < 0 {
+				src = 0
+			}
+			if src >= h {
+				src = h - 1
+			}
+			for x := 0; x < act.W; x++ {
+				out.Set(x, c*(h+2)+r+1, act.At(x, c*h+src))
+			}
+		}
+	}
+	return out, nil
+}
+
+// --------------------------------------------------- transformer block
+
+// Fused transformer feed-forward block: h = relu(W1*x + b1) (first
+// GEMM + bias + activation, one materialized stage) followed by
+// out = W2*h (second GEMM). xfD is the model dimension, xfF the
+// hidden dimension.
+const (
+	xfD = 16
+	xfF = 12
+)
+
+func xfW1() []float32 { return dnnWeights(0x58463157, xfF*xfD) }
+func xfB1() []float32 { return dnnWeights(0x58464231, xfF) }
+func xfW2() []float32 { return dnnWeights(0x58463257, xfD*xfF) }
+
+func buildTransformer() *Workload1 {
+	w1, b1, w2 := xfW1(), xfB1(), xfW2()
+	hSum := halide.Sum(xfD, 1, func(k, _ int) halide.Expr {
+		col := make([]float32, xfF)
+		for y := range col {
+			col[y] = w1[y*xfD+k]
+		}
+		return halide.Mul(
+			halide.NewTab(col, halide.CScale(0, 0, 1), halide.C(0)),
+			halide.InC(halide.C(0), halide.CScale(0, k, 1)))
+	})
+	h := halide.NewFunc("xf_h").Define(
+		halide.Max(halide.Add(hSum, halide.NewTab(b1, halide.CScale(0, 0, 1), halide.C(0))), halide.K(0))).
+		ComputeRoot().LoadPGSM()
+	oSum := halide.Sum(xfF, 1, func(k, _ int) halide.Expr {
+		col := make([]float32, xfD)
+		for y := range col {
+			col[y] = w2[y*xfF+k]
+		}
+		return halide.Mul(
+			halide.NewTab(col, halide.CScale(0, 0, 1), halide.C(0)),
+			h.AtC(halide.C(0), halide.CScale(0, k, 1)))
+	})
+	out := halide.NewFunc("xf_out").Define(oSum).LoadPGSM()
+	p := halide.NewPipeline("Transformer", out).IPIMTile(8, xfD).MultiArraySchedule(true)
+	return &Workload1{Pipe: p}
+}
+
+func hostTransformer(in *pixel.Image) *pixel.Image {
+	w1, b1, w2 := xfW1(), xfB1(), xfW2()
+	out := pixel.New(in.W, in.H)
+	var h [xfF]float32
+	for x := 0; x < in.W; x++ {
+		for y := 0; y < xfF; y++ {
+			acc := w1[y*xfD] * in.At(x, 0)
+			for k := 1; k < xfD; k++ {
+				p := w1[y*xfD+k] * in.At(x, k)
+				acc = acc + p
+			}
+			s := acc + b1[y]
+			if s > 0 {
+				h[y] = s
+			} else {
+				h[y] = 0
+			}
+		}
+		for y := 0; y < xfD; y++ {
+			acc := w2[y*xfF] * h[0]
+			for k := 1; k < xfF; k++ {
+				p := w2[y*xfF+k] * h[k]
+				acc = acc + p
+			}
+			out.Set(x, y, acc)
+		}
+	}
+	return out
+}
+
+// ------------------------------------------------------------ registry
+
+// DNN returns the DNN/GEMM workload family. The heights are fixed by
+// operator geometry (feature and channel counts); pass them through
+// unchanged and scale only the width.
+func DNN() []DNNWorkload {
+	return []DNNWorkload{
+		{Name: "GEMM", Description: fmt.Sprintf("%dx%d weight GEMM over token columns", gemmK, gemmK),
+			Build: buildGEMM, Host: hostGEMM,
+			TestW: 64, TestH: gemmK, BenchW: 1024, BenchH: gemmK},
+		{Name: "Conv3x3", Description: fmt.Sprintf("3x3 conv, %d->%d channels, planes layout", convC, convC),
+			Build: buildConv3x3, Host: hostConv3x3,
+			TestW: 32, TestH: convRows, BenchW: 1024, BenchH: convRows},
+		{Name: "Conv1x1", Description: fmt.Sprintf("1x1 conv, %d->%d channels, planes layout", conv1C, conv1C),
+			Build: buildConv1x1, Host: hostConv1x1,
+			TestW: 32, TestH: conv1Rows, BenchW: 1024, BenchH: conv1Rows},
+		{Name: "Transformer", Description: fmt.Sprintf("fused FFN block: relu(W1*x+b1) then W2*h, d=%d f=%d", xfD, xfF),
+			Build: buildTransformer, Host: hostTransformer,
+			TestW: 64, TestH: xfD, BenchW: 512, BenchH: xfD},
+	}
+}
+
+// DNNByName finds a DNN workload.
+func DNNByName(name string) (DNNWorkload, error) {
+	for _, w := range DNN() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return DNNWorkload{}, fmt.Errorf("workloads: unknown DNN workload %q", name)
+}

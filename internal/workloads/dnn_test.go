@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"testing"
+
+	"ipim/internal/compiler"
+	"ipim/internal/cube"
+	"ipim/internal/pixel"
+	"ipim/internal/sim"
+)
+
+// TestDNNMatchHostGolden runs every DNN workload at test size on the
+// tiny machine and pins the triple equality the family guarantees:
+// device output = host golden = reference interpreter, bit for bit,
+// under both schedules. (The root dnn_test.go sweeps sizes and modes;
+// this is the package's own gate.)
+func TestDNNMatchHostGolden(t *testing.T) {
+	for _, wl := range DNN() {
+		for _, multiArray := range []bool{false, true} {
+			wl, multiArray := wl, multiArray
+			name := wl.Name
+			if multiArray {
+				name += "/multi-array"
+			}
+			t.Run(name, func(t *testing.T) {
+				cfg := sim.TestTiny()
+				pipe := wl.Build().Pipe.MultiArraySchedule(multiArray)
+				img := pixel.Synth(wl.TestW, wl.TestH, 0xD2D2+uint64(len(wl.Name)))
+				art, err := compiler.Compile(&cfg, pipe, img.W, img.H, compiler.Opt)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				m, err := cube.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := compiler.LoadInput(m, art, img); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := compiler.Execute(m, art); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				got, err := compiler.ReadOutput(m, art)
+				if err != nil {
+					t.Fatal(err)
+				}
+				golden := wl.Host(img)
+				if d := pixel.MaxAbsDiff(got, golden); d != 0 {
+					t.Errorf("device output differs from host golden by %g", d)
+				}
+				ref, err := pipe.Reference(img)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := pixel.MaxAbsDiff(golden, ref); d != 0 {
+					t.Errorf("host golden differs from reference interpreter by %g", d)
+				}
+			})
+		}
+	}
+}
+
+func TestDNNByName(t *testing.T) {
+	wl, err := DNNByName("GEMM")
+	if err != nil || wl.Name != "GEMM" {
+		t.Fatalf("DNNByName(GEMM) = %v, %v", wl.Name, err)
+	}
+	if _, err := DNNByName("NoSuch"); err == nil {
+		t.Fatal("DNNByName(NoSuch) did not fail")
+	}
+	if len(DNN()) != 4 {
+		t.Fatalf("DNN() has %d workloads, want 4", len(DNN()))
+	}
+}
+
+func TestPackConv2DPadding(t *testing.T) {
+	act := pixel.Synth(8, 6, 3) // 2 channels x 3 rows
+	packed, err := PackConv2D(act, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.W != 8 || packed.H != 10 {
+		t.Fatalf("packed size %dx%d, want 8x10", packed.W, packed.H)
+	}
+	for c := 0; c < 2; c++ {
+		base := c * 5
+		for x := 0; x < 8; x++ {
+			if packed.At(x, base) != act.At(x, c*3) {
+				t.Fatalf("channel %d top pad not replicated at x=%d", c, x)
+			}
+			if packed.At(x, base+4) != act.At(x, c*3+2) {
+				t.Fatalf("channel %d bottom pad not replicated at x=%d", c, x)
+			}
+		}
+	}
+	if _, err := PackConv2D(act, 4); err == nil {
+		t.Fatal("ragged channel split accepted")
+	}
+}

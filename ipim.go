@@ -64,6 +64,9 @@ type (
 	Image = pixel.Image
 	// Workload is one Table II benchmark.
 	Workload = workloads.Workload
+	// DNNWorkload is one member of the DNN/GEMM workload family (builder,
+	// bit-exact host golden reference, and canonical sizes).
+	DNNWorkload = workloads.DNNWorkload
 	// Program is a SIMB instruction sequence.
 	Program = isa.Program
 	// GPUProfile is the analytical V100 baseline result.
@@ -311,6 +314,16 @@ func Workloads() []Workload { return workloads.All() }
 
 // WorkloadByName finds a Table II benchmark.
 func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// DNNWorkloads returns the DNN/GEMM workload family: conv2d (3x3 and
+// 1x1, multi-channel), a tiled GEMM, and a fused transformer
+// feed-forward block, each paired with a bit-exact host golden
+// reference. The family defaults to the multi-array stage-ahead
+// schedule (Pipeline.MultiArraySchedule).
+func DNNWorkloads() []DNNWorkload { return workloads.DNN() }
+
+// DNNWorkloadByName finds a DNN/GEMM family workload.
+func DNNWorkloadByName(name string) (DNNWorkload, error) { return workloads.DNNByName(name) }
 
 // GPUBaseline models the V100 executing a pipeline on a WxH input.
 func GPUBaseline(pipe *Pipeline, imgW, imgH int) (GPUProfile, error) {

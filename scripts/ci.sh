@@ -47,6 +47,15 @@ go test -run='^$' -bench='^BenchmarkSimCoreFunctional$' -benchtime=1x .
 # rotting.
 go run ./cmd/ipim-bench -mode functional -div 8 -json - > /dev/null
 
+# DNN golden-sweep smoke: the DNN/GEMM family at tiny shapes through
+# the shipped CLI, in cycle mode and in functional mode. The
+# dnn_test.go sweep (device vs host golden vs reference, both
+# schedules, all modes) is the real correctness gate under -race
+# above; this slot keeps the -exp dnn / -json-dnn surfaces and the
+# multi-array end-to-end path from rotting.
+go run ./cmd/ipim-bench -exp dnn -div 8 > /dev/null
+go run ./cmd/ipim-bench -mode functional -div 8 -json-dnn - > /dev/null
+
 # Autotuner smoke: a real parallel grid search through the ipim-tune
 # CLI (tiny machine, small probe) plus the serve background-tuning
 # integration path. The unit suite covers both under -race above; this

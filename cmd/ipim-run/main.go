@@ -6,15 +6,21 @@
 //
 //	ipim-run -workload GaussianBlur
 //	ipim-run -workload Histogram -W 512 -H 256 -opts baseline1
+//	ipim-run -workload Histogram -checkpoint run.ckpt   # ^C-safe
+//	ipim-run -workload Histogram -resume run.ckpt       # continue it
 //	ipim-run -list
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 
 	"ipim"
 	"ipim/internal/cliutil"
@@ -37,6 +43,12 @@ func main() {
 		"fault-injection spec, e.g. seed=7,dram=1e-5,multibit=0.2,link=1e-6,exec=1e-4 (empty = off)")
 	maxCycles := flag.Int64("max-cycles", 0,
 		"abort the run after this many simulated cycles (0 = unlimited)")
+	ckptFile := flag.String("checkpoint", "",
+		"stream machine checkpoints to this file at phase barriers, so an interrupted run (^C) can continue with -resume")
+	ckptEvery := flag.Int64("checkpoint-every", 0,
+		"minimum simulated-cycle spacing between checkpoints (0 = every barrier; needs -checkpoint)")
+	resumeFile := flag.String("resume", "",
+		"resume an interrupted run from this checkpoint file (pass the same workload flags as the original run)")
 	flag.Parse()
 
 	if *list {
@@ -62,6 +74,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	every, err := cliutil.CheckpointInterval(*ckptEvery, *ckptFile, "checkpoint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cliutil.ResumeFile(*resumeFile); err != nil {
+		log.Fatal(err)
+	}
 	w, h := wl.BenchW, wl.BenchH
 	if *width > 0 {
 		w = *width
@@ -71,13 +90,29 @@ func main() {
 	}
 
 	cfg := ipim.OneVaultConfig()
-	m, err := ipim.NewMachine(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	m.SetFaultPlan(plan)
-	if *maxCycles > 0 {
-		m.SetBudget(ipim.RunOptions{MaxCycles: *maxCycles})
+	var m *ipim.Machine
+	if *resumeFile != "" {
+		// The checkpoint carries the machine state, the interrupted
+		// run's budget and the fault plan; -faults is ignored here.
+		f, err := os.Open(*resumeFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err = ipim.RestoreMachine(f, cfg)
+		f.Close()
+		if err != nil {
+			log.Fatalf("-resume %s: %v", *resumeFile, err)
+		}
+		if !m.HasResume() {
+			log.Fatalf("-resume %s: checkpoint carries no interrupted run", *resumeFile)
+		}
+		fmt.Printf("resuming interrupted run from %s\n", *resumeFile)
+	} else {
+		m, err = ipim.NewMachine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.SetFaultPlan(plan)
 	}
 	var img *ipim.Image
 	if *inFile != "" {
@@ -102,22 +137,43 @@ func main() {
 	fmt.Printf("%s on %dx%d (%s): %d SIMB instructions, %d spills\n",
 		wl.Name, w, h, opts.Name(), len(art.Prog.Ins), art.Spills)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runOpts := ipim.RunOptions{MaxCycles: *maxCycles}
+	if *ckptFile != "" {
+		runOpts.CheckpointEvery = every
+		runOpts.CheckpointSink = func(data []byte) error { return writeCheckpoint(*ckptFile, data) }
+	}
+	// fail reports a fatal run error; an interrupt (^C) under
+	// checkpointing points at the resume command instead of just dying.
+	fail := func(err error) {
+		if errors.Is(err, ipim.ErrCancelled) && *ckptFile != "" {
+			log.Fatalf("interrupted: %v\nresume with: -resume %s (plus the same workload flags)", err, *ckptFile)
+		}
+		log.Fatal(err)
+	}
+
 	var stats ipim.Stats
 	var result *ipim.Image
 	verified := false
 	// Transient injected execution faults are retryable by contract:
-	// rerun on the same machine (its fault counters have advanced).
+	// rerun on the same machine (its fault counters have advanced). A
+	// resumed run continues the checkpointed attempt first.
 	const maxAttempts = 4
 	if pipe.Histogram {
 		var bins []int32
 		for attempt := 1; ; attempt++ {
 			var err error
-			bins, stats, err = ipim.RunHistogram(m, art, img)
+			if m.HasResume() {
+				bins, stats, err = ipim.ResumeHistogram(ctx, m, art, runOpts)
+			} else {
+				bins, stats, err = ipim.RunHistogramContext(ctx, m, art, img, runOpts)
+			}
 			if err == nil {
 				break
 			}
 			if !errors.Is(err, ipim.ErrTransientFault) || attempt == maxAttempts {
-				log.Fatal(err)
+				fail(err)
 			}
 			fmt.Printf("transient fault (attempt %d/%d): %v; retrying\n", attempt, maxAttempts, err)
 		}
@@ -134,12 +190,16 @@ func main() {
 	} else {
 		for attempt := 1; ; attempt++ {
 			var err error
-			result, stats, err = ipim.Run(m, art, img)
+			if m.HasResume() {
+				result, stats, err = ipim.ResumeRun(ctx, m, art, runOpts)
+			} else {
+				result, stats, err = ipim.RunContext(ctx, m, art, img, runOpts)
+			}
 			if err == nil {
 				break
 			}
 			if !errors.Is(err, ipim.ErrTransientFault) || attempt == maxAttempts {
-				log.Fatal(err)
+				fail(err)
 			}
 			fmt.Printf("transient fault (attempt %d/%d): %v; retrying\n", attempt, maxAttempts, err)
 		}
@@ -193,6 +253,25 @@ func main() {
 	machineTime := float64(stats.Cycles) * 1e-9 / float64(full.TotalVaults())
 	fmt.Printf("full-machine speedup over the V100 baseline: %.2fx; energy saving %.1f%%\n",
 		g.TimeSec/machineTime, (1-b.Total()/g.EnergyJ)*100)
+}
+
+// writeCheckpoint atomically replaces path with one sealed checkpoint:
+// temp file in the same directory, then rename, so ^C (or a crash)
+// mid-write leaves the previous checkpoint intact, never a torn file.
+func writeCheckpoint(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func max64(a, b int64) int64 {

@@ -59,7 +59,12 @@ func main() {
 		"stuck-worker watchdog scan interval (negative = off)")
 	maxBody := flag.Int64("max-body", 64<<20, "request body size limit in bytes")
 	busName := flag.String("bus", "pcie3", "modeled host bus: pcie3, pcie5")
-	drainWait := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	drainWait := flag.Duration("drain-timeout", 30*time.Second,
+		"graceful shutdown budget: in-flight jobs get this long to finish (journaled jobs checkpoint continuously and resume after restart)")
+	ckptDir := flag.String("checkpoint-dir", "",
+		"crash-recovery journal directory: in-flight jobs checkpoint here at phase barriers and resume after a crash or restart (empty = off)")
+	ckptEvery := flag.Int64("checkpoint-every", 0,
+		"minimum simulated-cycle spacing between journal checkpoints (0 = every barrier; needs -checkpoint-dir)")
 	faultSpec := flag.String("faults", "",
 		"fault-injection spec, e.g. seed=7,dram=1e-5,multibit=0.2,link=1e-6,exec=1e-4 (empty = off)")
 	retries := flag.Int("retries", 2, "max in-place retries of a run hit by a transient injected fault (negative = off)")
@@ -85,6 +90,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	every, err := cliutil.CheckpointInterval(*ckptEvery, *ckptDir, "checkpoint-dir")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	srv, err := serve.New(serve.Config{
 		Machine:            mcfg,
@@ -100,6 +109,8 @@ func main() {
 		Logger:             log.Default(),
 		Faults:             plan,
 		MaxRetries:         *retries,
+		CheckpointDir:      *ckptDir,
+		CheckpointEvery:    every,
 		DegradeThreshold:   *degrade,
 		TuneWorkers:        *tuneWorkers,
 		TuneDB:             *tuneDB,

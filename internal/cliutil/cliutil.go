@@ -8,6 +8,7 @@ package cliutil
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -86,6 +87,43 @@ func Workload(value string) (ipim.Workload, error) {
 		table[wl.Name] = wl
 	}
 	return Lookup("workload", value, table)
+}
+
+// CheckpointInterval validates a -checkpoint-every flag against the
+// flag that enables checkpointing (-checkpoint for ipim-run,
+// -checkpoint-dir for ipim-serve): the interval must be non-negative,
+// a non-zero interval requires the target flag, and an unset interval
+// (0) resolves to 1 — a checkpoint at every covered barrier — when
+// checkpointing is on.
+func CheckpointInterval(every int64, target, targetFlag string) (int64, error) {
+	if every < 0 {
+		return 0, fmt.Errorf("bad -checkpoint-every value %d (want a non-negative cycle count)", every)
+	}
+	if every > 0 && target == "" {
+		return 0, fmt.Errorf("-checkpoint-every requires -%s", targetFlag)
+	}
+	if target != "" && every == 0 {
+		every = 1
+	}
+	return every, nil
+}
+
+// ResumeFile validates a -resume flag value: empty is "no resume";
+// otherwise the checkpoint file must exist and be a regular file (the
+// restore itself then validates format, version, CRC and machine
+// configuration).
+func ResumeFile(value string) error {
+	if value == "" {
+		return nil
+	}
+	fi, err := os.Stat(value)
+	if err != nil {
+		return fmt.Errorf("bad -resume value %q: %v", value, err)
+	}
+	if fi.IsDir() {
+		return fmt.Errorf("bad -resume value %q: is a directory, want a checkpoint file", value)
+	}
+	return nil
 }
 
 // Bus resolves the -bus modeled-host-attachment flag.

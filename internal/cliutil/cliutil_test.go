@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -100,5 +101,48 @@ func TestDomainResolvers(t *testing.T) {
 	}
 	if _, err := Bus("isa"); err == nil || !strings.Contains(err.Error(), "pcie3, pcie5") {
 		t.Errorf("Bus error does not list choices: %v", err)
+	}
+}
+
+func TestCheckpointInterval(t *testing.T) {
+	// Unset interval with checkpointing off stays off.
+	if got, err := CheckpointInterval(0, "", "checkpoint"); err != nil || got != 0 {
+		t.Errorf("CheckpointInterval(0, off) = %d, %v; want 0, nil", got, err)
+	}
+	// Unset interval with checkpointing on resolves to every barrier.
+	if got, err := CheckpointInterval(0, "run.ckpt", "checkpoint"); err != nil || got != 1 {
+		t.Errorf("CheckpointInterval(0, on) = %d, %v; want 1, nil", got, err)
+	}
+	// Explicit interval passes through.
+	if got, err := CheckpointInterval(500, "run.ckpt", "checkpoint"); err != nil || got != 500 {
+		t.Errorf("CheckpointInterval(500, on) = %d, %v; want 500, nil", got, err)
+	}
+	// Interval without the enabling flag is a usage error naming it.
+	if _, err := CheckpointInterval(500, "", "checkpoint-dir"); err == nil || !strings.Contains(err.Error(), "-checkpoint-dir") {
+		t.Errorf("CheckpointInterval(500, off) error = %v; want mention of -checkpoint-dir", err)
+	}
+	// Negative intervals are rejected.
+	if _, err := CheckpointInterval(-1, "run.ckpt", "checkpoint"); err == nil || !strings.Contains(err.Error(), "-checkpoint-every") {
+		t.Errorf("CheckpointInterval(-1) error = %v; want rejection", err)
+	}
+}
+
+func TestResumeFile(t *testing.T) {
+	if err := ResumeFile(""); err != nil {
+		t.Errorf("ResumeFile(\"\") = %v; want nil", err)
+	}
+	dir := t.TempDir()
+	if err := ResumeFile(dir); err == nil || !strings.Contains(err.Error(), "directory") {
+		t.Errorf("ResumeFile(dir) = %v; want directory rejection", err)
+	}
+	if err := ResumeFile(dir + "/missing.ckpt"); err == nil {
+		t.Error("ResumeFile(missing) = nil; want error")
+	}
+	f := dir + "/run.ckpt"
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ResumeFile(f); err != nil {
+		t.Errorf("ResumeFile(file) = %v; want nil", err)
 	}
 }

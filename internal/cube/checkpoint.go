@@ -1,0 +1,454 @@
+package cube
+
+// Machine-level checkpoint/restore and deterministic resume.
+//
+// A checkpoint is a complete image of the machine's architectural state
+// at a quiescent point — a phase barrier mid-run, or idle between runs.
+// The payload schema (inside the internal/ckpt container) is, in order:
+//
+//  1. configuration digest (rejects restores onto a mismatched machine)
+//  2. fault plan (so RestoreMachine needs no plan argument and the
+//     decision streams pick up exactly where they left off)
+//  3. deduplicated program table (vaults often share one *isa.Program;
+//     pointer sharing is restored so memo keys and artifact identity
+//     behave as before the checkpoint)
+//  4. one vault image per vault, in (cube, vault) order
+//  5. link state for every mesh, the SERDES mesh, and every per-source
+//     port shard, in construction order
+//  6. the in-progress run, if any: budget, resolved mode, the run's
+//     baseline stats snapshot, the active vault set, and each active
+//     vault's budget-origin offset
+//
+// Restore follows the decode-then-apply discipline end to end: the
+// whole payload is parsed and validated into images first and only then
+// applied, so a corrupt or truncated checkpoint returns a typed error
+// (wrapping ckpt.ErrCorrupt / ckpt.ErrVersion / ErrCheckpointConfig)
+// and leaves the machine exactly as it was — never half-restored.
+//
+// The correctness contract is differential and pinned by tests at the
+// repository root: run-to-barrier-N → checkpoint → restore onto a fresh
+// machine → ResumeContext must match the uninterrupted run bit for bit
+// in pixels, sim.Stats and fault counters, at any worker count, in
+// fast-forward and stepwise modes, with or without the timing memoizer
+// (which is flushed on restore — its blocks belong to the abandoned
+// timeline's controller snapshots).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"ipim/internal/ckpt"
+	"ipim/internal/fault"
+	"ipim/internal/isa"
+	"ipim/internal/noc"
+	"ipim/internal/sim"
+	"ipim/internal/vault"
+)
+
+// ErrCheckpointConfig marks a checkpoint taken on a machine whose
+// configuration differs from the one it is being restored onto.
+// Restores require an identical sim.Config: geometry, timing and
+// latency parameters all shape the serialized state.
+var ErrCheckpointConfig = errors.New("cube: checkpoint configuration mismatch")
+
+// ErrNoResume marks a ResumeContext call on a machine whose checkpoint
+// carried no in-progress run (or whose resume was already consumed).
+var ErrNoResume = errors.New("cube: no checkpointed run to resume")
+
+// liveRun is the in-flight run's bookkeeping, stashed on the machine
+// between BeginRun and EndRun so a mid-run checkpoint (taken by the
+// barrier hook) can serialize the run section.
+type liveRun struct {
+	keys   [][2]int
+	active []*vault.Vault
+	budget sim.RunOptions
+	mode   sim.Mode
+	before sim.Stats
+}
+
+// resumeState is a restored checkpoint's run section, consumed by
+// ResumeContext.
+type resumeState struct {
+	keys       [][2]int
+	budget     sim.RunOptions
+	mode       sim.Mode
+	before     sim.Stats
+	elapsed    []int64
+	funcIssued []int64
+}
+
+// configDigest is the compatibility string a checkpoint embeds.
+// sim.Config is a flat value struct, so %+v covers every field and is
+// stable for identical configurations.
+func configDigest(cfg *sim.Config) string { return fmt.Sprintf("%+v", *cfg) }
+
+// Checkpoint serializes the machine's full architectural state to w as
+// one versioned, CRC-guarded container. The machine must be quiescent:
+// idle between runs, or at a phase barrier (the RunOptions checkpoint
+// hook calls it there). A non-quiescent vault is an error, not a panic,
+// so misuse from the public API is recoverable.
+func (m *Machine) Checkpoint(w io.Writer) error {
+	for c := range m.Vaults {
+		for vid, v := range m.Vaults[c] {
+			if !v.Quiescent() {
+				return fmt.Errorf("cube: checkpoint of non-quiescent vault %d/%d (mid-phase)", c, vid)
+			}
+		}
+	}
+	return ckpt.Write(w, m.checkpointPayload())
+}
+
+// CheckpointBytes is Checkpoint into a fresh byte slice (the form the
+// serve journal and the periodic sink consume).
+func (m *Machine) CheckpointBytes() ([]byte, error) {
+	for c := range m.Vaults {
+		for vid, v := range m.Vaults[c] {
+			if !v.Quiescent() {
+				return nil, fmt.Errorf("cube: checkpoint of non-quiescent vault %d/%d (mid-phase)", c, vid)
+			}
+		}
+	}
+	return ckpt.Seal(m.checkpointPayload()), nil
+}
+
+// checkpointPayload builds the checkpoint payload. Callers have
+// verified quiescence (vault.EncodeCkpt re-asserts it).
+func (m *Machine) checkpointPayload() []byte {
+	e := &ckpt.Enc{}
+	e.String(configDigest(&m.Cfg))
+
+	// Fault plan by value (it is immutable and flat).
+	if p := m.fplan; p != nil {
+		e.Bool(true)
+		e.U64(p.Seed)
+		e.F64(p.DRAMBitFlipRate)
+		e.F64(p.DRAMMultiBitFraction)
+		e.F64(p.LinkFaultRate)
+		e.I64(p.LinkRetryPenalty)
+		e.F64(p.ExecFaultRate)
+		e.Int(p.ExecFailFirst)
+	} else {
+		e.Bool(false)
+	}
+
+	// Program table: distinct loaded programs in first-appearance order
+	// over the (cube, vault) walk, so the indices below are stable.
+	var progs []*isa.Program
+	index := map[*isa.Program]int{}
+	for _, cube := range m.Vaults {
+		for _, v := range cube {
+			if p := v.Program(); p != nil {
+				if _, ok := index[p]; !ok {
+					index[p] = len(progs)
+					progs = append(progs, p)
+				}
+			}
+		}
+	}
+	e.U32(uint32(len(progs)))
+	for _, p := range progs {
+		e.String(p.Name)
+		e.Bytes32(isa.EncodeProgram(p))
+	}
+
+	// Vault images.
+	for _, cube := range m.Vaults {
+		for _, v := range cube {
+			pi := -1
+			if p := v.Program(); p != nil {
+				pi = index[p]
+			}
+			v.EncodeCkpt(e, pi)
+		}
+	}
+
+	// Interconnect: meshes, SERDES, then every port shard.
+	for _, mesh := range m.meshes {
+		mesh.EncodeCkpt(e)
+	}
+	m.serdes.EncodeCkpt(e)
+	for _, ps := range m.ports {
+		for _, p := range ps {
+			for _, st := range p.mesh {
+				st.EncodeCkpt(e)
+			}
+			p.serdes.EncodeCkpt(e)
+		}
+	}
+
+	// In-progress run, if any.
+	if r := m.run; r != nil {
+		e.Bool(true)
+		e.I64(r.budget.MaxCycles)
+		e.I64(r.budget.MaxPhaseSteps)
+		e.I64(r.budget.CheckpointEvery)
+		e.U8(uint8(r.budget.Mode))
+		e.U8(uint8(r.mode))
+		r.before.EncodeCkpt(e)
+		e.U32(uint32(len(r.keys)))
+		for i, k := range r.keys {
+			e.Int(k[0])
+			e.Int(k[1])
+			e.I64(r.active[i].RunStartDelta())
+			e.I64(r.active[i].FuncIssued())
+		}
+	} else {
+		e.Bool(false)
+	}
+	return e.Bytes()
+}
+
+// Restore rewrites the machine's state in place from a sealed
+// checkpoint container (the bytes a CheckpointSink received or
+// CheckpointBytes returned). The whole payload is decoded and validated
+// first; on any error the machine is untouched. On success any
+// checkpointed in-progress run is armed for ResumeContext. The timing
+// memoizer is flushed on every vault.
+func (m *Machine) Restore(data []byte) error {
+	payload, err := ckpt.Open(data)
+	if err != nil {
+		return err
+	}
+	return m.restorePayload(payload)
+}
+
+// RestoreMachine builds a fresh machine for cfg and restores the
+// checkpoint read from r onto it. cfg must equal the configuration the
+// checkpoint was taken under (ErrCheckpointConfig otherwise); the fault
+// plan travels inside the checkpoint, so none is passed here.
+func RestoreMachine(r io.Reader, cfg sim.Config) (*Machine, error) {
+	payload, err := ckpt.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.restorePayload(payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// HasResume reports whether a restored checkpoint's in-progress run is
+// waiting to be resumed with ResumeContext.
+func (m *Machine) HasResume() bool { return m.resume != nil }
+
+// restorePayload decodes, validates, then applies one checkpoint
+// payload. Decode and validation touch no machine state.
+func (m *Machine) restorePayload(payload []byte) error {
+	d := ckpt.NewDec(payload)
+
+	digest := d.String()
+	if d.Err() == nil && digest != configDigest(&m.Cfg) {
+		return fmt.Errorf("%w: checkpoint taken under a different configuration", ErrCheckpointConfig)
+	}
+
+	var plan *fault.Plan
+	if d.Bool() {
+		plan = &fault.Plan{
+			Seed:                 d.U64(),
+			DRAMBitFlipRate:      d.F64(),
+			DRAMMultiBitFraction: d.F64(),
+			LinkFaultRate:        d.F64(),
+			LinkRetryPenalty:     d.I64(),
+			ExecFaultRate:        d.F64(),
+			ExecFailFirst:        d.Int(),
+		}
+		if d.Err() == nil {
+			if err := plan.Validate(); err != nil {
+				return fmt.Errorf("cube: checkpoint fault plan: %v: %w", err, ckpt.ErrCorrupt)
+			}
+		}
+	}
+
+	nProgs := int(d.U32())
+	if d.Err() == nil && nProgs > d.Len()/8 {
+		return fmt.Errorf("cube: checkpoint declares %d programs in %d bytes: %w", nProgs, d.Len(), ckpt.ErrCorrupt)
+	}
+	progs := make([]*isa.Program, 0, nProgs)
+	for i := 0; i < nProgs && d.Err() == nil; i++ {
+		name := d.String()
+		blob := d.Bytes32()
+		if d.Err() != nil {
+			break
+		}
+		p, err := isa.DecodeProgram(blob)
+		if err != nil {
+			return fmt.Errorf("cube: checkpoint program %d: %v: %w", i, err, ckpt.ErrCorrupt)
+		}
+		p.Name = name
+		if err := vault.ValidateForLoad(&m.Cfg, p); err != nil {
+			return fmt.Errorf("cube: checkpoint program %d: %v: %w", i, err, ckpt.ErrCorrupt)
+		}
+		progs = append(progs, p)
+	}
+
+	nVaults := m.Cfg.Cubes * m.Cfg.VaultsPerCube
+	imgs := make([]*vault.Image, 0, nVaults)
+	for i := 0; i < nVaults && d.Err() == nil; i++ {
+		img, err := vault.DecodeVaultCkpt(d, &m.Cfg, progs)
+		if err != nil {
+			return err
+		}
+		imgs = append(imgs, img)
+	}
+
+	var meshImgs []*noc.LinkImage
+	for _, mesh := range m.meshes {
+		img, err := noc.DecodeLinkCkpt(d, mesh.Nodes())
+		if err != nil {
+			return err
+		}
+		meshImgs = append(meshImgs, img)
+	}
+	serdesImg, err := noc.DecodeLinkCkpt(d, m.serdes.Nodes())
+	if err != nil {
+		return err
+	}
+	var portImgs [][]*noc.LinkImage // per port: meshes..., serdes
+	for _, ps := range m.ports {
+		for range ps {
+			var shard []*noc.LinkImage
+			for _, mesh := range m.meshes {
+				img, err := noc.DecodeLinkCkpt(d, mesh.Nodes())
+				if err != nil {
+					return err
+				}
+				shard = append(shard, img)
+			}
+			img, err := noc.DecodeLinkCkpt(d, m.serdes.Nodes())
+			if err != nil {
+				return err
+			}
+			portImgs = append(portImgs, append(shard, img))
+		}
+	}
+
+	var rs *resumeState
+	if d.Bool() {
+		rs = &resumeState{
+			budget: sim.RunOptions{
+				MaxCycles:       d.I64(),
+				MaxPhaseSteps:   d.I64(),
+				CheckpointEvery: d.I64(),
+				Mode:            sim.Mode(d.U8()),
+			},
+			mode: sim.Mode(d.U8()),
+		}
+		rs.before.DecodeCkpt(d)
+		nActive := int(d.U32())
+		if d.Err() == nil && (nActive == 0 || nActive > nVaults) {
+			return fmt.Errorf("cube: checkpoint run section has %d active vaults of %d: %w", nActive, nVaults, ckpt.ErrCorrupt)
+		}
+		for i := 0; i < nActive && d.Err() == nil; i++ {
+			k := [2]int{d.Int(), d.Int()}
+			rs.keys = append(rs.keys, k)
+			rs.elapsed = append(rs.elapsed, d.I64())
+			rs.funcIssued = append(rs.funcIssued, d.I64())
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if d.Len() != 0 {
+		return fmt.Errorf("cube: %d trailing bytes after checkpoint payload: %w", d.Len(), ckpt.ErrCorrupt)
+	}
+	if rs != nil {
+		if rs.mode != sim.CycleMode && rs.mode != sim.FunctionalMode {
+			return fmt.Errorf("cube: checkpoint run section has unresolved mode %d: %w", rs.mode, ckpt.ErrCorrupt)
+		}
+		prev := [2]int{-1, -1}
+		for i, k := range rs.keys {
+			if k[0] < 0 || k[0] >= m.Cfg.Cubes || k[1] < 0 || k[1] >= m.Cfg.VaultsPerCube {
+				return fmt.Errorf("cube: checkpoint run section references vault %v: %w", k, ckpt.ErrCorrupt)
+			}
+			if k[0] < prev[0] || (k[0] == prev[0] && k[1] <= prev[1]) {
+				return fmt.Errorf("cube: checkpoint run section vault order broken at %v: %w", k, ckpt.ErrCorrupt)
+			}
+			prev = k
+			if !imgs[k[0]*m.Cfg.VaultsPerCube+k[1]].HasProgram() {
+				return fmt.Errorf("cube: checkpoint run section vault %v has no program: %w", k, ckpt.ErrCorrupt)
+			}
+			if rs.elapsed[i] < 0 {
+				return fmt.Errorf("cube: checkpoint run section vault %v has negative elapsed time: %w", k, ckpt.ErrCorrupt)
+			}
+		}
+	}
+
+	// Everything validated — apply, infallibly. Plan first: attaching
+	// resets the fault decision-stream counters the images then restore.
+	m.SetFaultPlan(plan)
+	i := 0
+	for _, cube := range m.Vaults {
+		for _, v := range cube {
+			v.ApplyCkpt(imgs[i])
+			i++
+		}
+	}
+	for mi, mesh := range m.meshes {
+		mesh.ApplyLinkCkpt(meshImgs[mi])
+	}
+	m.serdes.ApplyLinkCkpt(serdesImg)
+	pi := 0
+	for _, ps := range m.ports {
+		for _, p := range ps {
+			shard := portImgs[pi]
+			pi++
+			for si, st := range p.mesh {
+				st.ApplyLinkCkpt(shard[si])
+			}
+			p.serdes.ApplyLinkCkpt(shard[len(shard)-1])
+		}
+	}
+	m.resume = rs
+	return nil
+}
+
+// Resume is ResumeContext under a background context.
+func (m *Machine) Resume() (sim.Stats, error) {
+	return m.ResumeContext(context.Background())
+}
+
+// ResumeContext continues the in-progress run a restored checkpoint
+// carried, from its barrier to completion, and returns the stats of the
+// WHOLE run (the uninterrupted run's stats, bit for bit — the baseline
+// snapshot travels in the checkpoint). By default the serialized budget
+// governs the resumed run, so budget exhaustion trips at the same
+// instruction it would have without the interruption; host-side knobs
+// the caller has armed on the machine (SetBudget) override it — the
+// checkpoint sink (which cannot be serialized) always, and non-zero
+// MaxCycles/MaxPhaseSteps/CheckpointEvery in place of the serialized
+// values, which is how a budget-aborted run is resumed with a looser
+// budget. Each checkpoint's resume is consumed by one call: a second
+// call returns ErrNoResume until another Restore.
+func (m *Machine) ResumeContext(ctx context.Context) (sim.Stats, error) {
+	rs := m.resume
+	if rs == nil {
+		return sim.Stats{}, ErrNoResume
+	}
+	m.resume = nil
+	var active []*vault.Vault
+	for _, k := range rs.keys {
+		active = append(active, m.Vaults[k[0]][k[1]])
+	}
+	budget := rs.budget
+	budget.CheckpointSink = m.budget.CheckpointSink
+	if m.budget.MaxCycles > 0 {
+		budget.MaxCycles = m.budget.MaxCycles
+	}
+	if m.budget.MaxPhaseSteps > 0 {
+		budget.MaxPhaseSteps = m.budget.MaxPhaseSteps
+	}
+	if m.budget.CheckpointEvery > 0 {
+		budget.CheckpointEvery = m.budget.CheckpointEvery
+	}
+	interrupt := makeInterrupt(ctx)
+	for i, v := range active {
+		v.BeginResumedRun(budget, rs.mode, interrupt, rs.elapsed[i], rs.funcIssued[i])
+	}
+	return m.finishRun(ctx, rs.keys, active, budget, rs.mode, rs.before)
+}

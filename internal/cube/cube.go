@@ -26,6 +26,7 @@ import (
 	"sort"
 	"sync"
 
+	"ipim/internal/ckpt"
 	"ipim/internal/dram"
 	"ipim/internal/fault"
 	"ipim/internal/isa"
@@ -85,6 +86,18 @@ type Machine struct {
 	// via SetTimingMemo; forced on when IPIM_NO_MEMO=1 is set in the
 	// environment.
 	memoOff bool
+
+	// fplan is the fault plan attached via SetFaultPlan (nil = none),
+	// kept so checkpoints can serialize it.
+	fplan *fault.Plan
+
+	// run is the in-flight run's bookkeeping (see liveRun), non-nil
+	// only between BeginRun and EndRun; mid-run checkpoints read it.
+	run *liveRun
+
+	// resume holds a restored checkpoint's in-progress run until
+	// ResumeContext consumes it.
+	resume *resumeState
 }
 
 // New builds a machine for the configuration.
@@ -142,10 +155,16 @@ func (m *Machine) Mode() sim.Mode { return m.mode }
 // runMode resolves the mode one run executes under: the budget's
 // override if set, else the machine default.
 func (m *Machine) runMode() sim.Mode {
+	mode := m.mode
 	if m.budget.Mode != sim.DefaultMode {
-		return m.budget.Mode
+		mode = m.budget.Mode
 	}
-	return m.mode
+	if mode == sim.DefaultMode {
+		// Resolve eagerly: runs (and the checkpoints they serialize)
+		// always carry a concrete mode.
+		mode = sim.CycleMode
+	}
+	return mode
 }
 
 // SetTimingMemo enables (the default) or disables the block-level
@@ -290,6 +309,7 @@ func (m *Machine) Budget() sim.RunOptions { return m.budget }
 // computes — are bit-identical across serial and parallel schedules.
 // Not safe to call during an active Run.
 func (m *Machine) SetFaultPlan(p *fault.Plan) {
+	m.fplan = p
 	for c := range m.Vaults {
 		for vid, v := range m.Vaults[c] {
 			v.SetFaultPlan(p)
@@ -468,34 +488,80 @@ func (m *Machine) RunContext(ctx context.Context, programs map[[2]int]*isa.Progr
 	// reports only what THIS run contributed.
 	before := m.collectStats(active)
 
-	// Arm run control. The interrupt hook is shared by all vault
-	// goroutines — a context's Done channel is safe for concurrent
-	// polling — and is nil for non-cancellable contexts so the vaults
-	// skip the poll entirely.
-	var interrupt func() error
-	if ctx.Done() != nil {
-		interrupt = func() error {
-			select {
-			case <-ctx.Done():
-				return fmt.Errorf("%w: %w", sim.ErrCancelled, context.Cause(ctx))
-			default:
-				return nil
-			}
-		}
-	}
+	// Arm run control and drive the phase loop to completion.
+	interrupt := makeInterrupt(ctx)
 	mode := m.runMode()
-	functional := mode == sim.FunctionalMode
 	for _, v := range active {
 		v.BeginRun(m.budget, mode, interrupt)
 	}
+	return m.finishRun(ctx, keys, active, m.budget, mode, before)
+}
+
+// makeInterrupt builds the per-vault cancellation hook for a context.
+// The hook is shared by all vault goroutines — a context's Done channel
+// is safe for concurrent polling — and is nil for non-cancellable
+// contexts so the vaults skip the poll entirely.
+func makeInterrupt(ctx context.Context) func() error {
+	if ctx.Done() == nil {
+		return nil
+	}
+	return func() error {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %w", sim.ErrCancelled, context.Cause(ctx))
+		default:
+			return nil
+		}
+	}
+}
+
+// runProgress is the checkpoint pacing metric: the furthest active
+// vault clock in cycle mode, or — since functional runs never advance
+// clocks — the furthest cumulative issue counter.
+func runProgress(active []*vault.Vault, functional bool) int64 {
+	var p int64
+	for _, v := range active {
+		if functional {
+			if v.Stats.Issued > p {
+				p = v.Stats.Issued
+			}
+		} else if v.Now() > p {
+			p = v.Now()
+		}
+	}
+	return p
+}
+
+// finishRun drives an armed run (BeginRun or BeginResumedRun already
+// called on every active vault) phase by phase to completion, aligning
+// clocks at each barrier and taking periodic checkpoints there when the
+// budget arms a sink. It is the shared back half of RunContext and
+// ResumeContext; the run bookkeeping it stashes on the machine is what
+// a mid-run checkpoint serializes. On return the vaults are disarmed.
+func (m *Machine) finishRun(ctx context.Context, keys [][2]int, active []*vault.Vault, budget sim.RunOptions, mode sim.Mode, before sim.Stats) (sim.Stats, error) {
+	m.run = &liveRun{keys: keys, active: active, budget: budget, mode: mode, before: before}
 	defer func() {
+		m.run = nil
 		for _, v := range active {
 			v.EndRun()
 		}
 	}()
 
+	functional := mode == sim.FunctionalMode
 	workers := m.phaseWorkers(len(active))
 	phased := make([]bool, len(active))
+	ckptOn := budget.CheckpointSink != nil && budget.CheckpointEvery > 0
+	lastCkpt := runProgress(active, functional)
+	if ckptOn {
+		// Run-start checkpoint: programs are loaded, inputs staged and
+		// run control armed, but no phase has executed — the earliest
+		// point a crash-recovery journal can resume from, and the only
+		// checkpoint a single-phase (sync-free) program ever gets.
+		if err := budget.CheckpointSink(ckpt.Seal(m.checkpointPayload())); err != nil {
+			m.Reset()
+			return sim.Stats{}, fmt.Errorf("cube: checkpoint sink: %w", err)
+		}
+	}
 	for {
 		// Barrier-level check: catches cancellation between phases even
 		// if no vault issues another instruction.
@@ -546,6 +612,20 @@ func (m *Machine) RunContext(ctx context.Context, programs map[[2]int]*isa.Progr
 			t += m.barrierCost()
 			for _, v := range active {
 				v.AlignTo(t)
+			}
+		}
+		// Periodic checkpoint, at the barrier only: every vault has
+		// drained (quiescent) and clocks are aligned, so the snapshot
+		// needs no in-flight state. Pure control — it reads timed state
+		// but never writes it, so a checkpointing run's stats are
+		// bit-identical to a non-checkpointing one.
+		if ckptOn {
+			if p := runProgress(active, functional); p-lastCkpt >= budget.CheckpointEvery {
+				lastCkpt = p
+				if err := budget.CheckpointSink(ckpt.Seal(m.checkpointPayload())); err != nil {
+					m.Reset()
+					return sim.Stats{}, fmt.Errorf("cube: checkpoint sink: %w", err)
+				}
 			}
 		}
 	}

@@ -9,7 +9,7 @@ import (
 	"ipim/internal/sim"
 )
 
-func mustAssemble(t *testing.T, src string) *isa.Program {
+func mustAssemble(t testing.TB, src string) *isa.Program {
 	t.Helper()
 	p, err := isa.Assemble(src)
 	if err != nil {
@@ -21,7 +21,7 @@ func mustAssemble(t *testing.T, src string) *isa.Program {
 	return p
 }
 
-func newTinyMachine(t *testing.T) *Machine {
+func newTinyMachine(t testing.TB) *Machine {
 	t.Helper()
 	m, err := New(sim.TestTiny())
 	if err != nil {

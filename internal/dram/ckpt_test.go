@@ -1,0 +1,100 @@
+package dram
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ipim/internal/ckpt"
+)
+
+// warmCtrl drives a controller through a handful of requests plus ECC
+// traffic so every serialized field is away from its zero value, and
+// returns the clock after the last completion.
+func warmCtrl(t *testing.T, c *Controller) int64 {
+	t.Helper()
+	now := int64(0)
+	for i, r := range []*Request{
+		{Bank: 0, Addr: 0, Write: false},
+		{Bank: 1, Addr: 4096, Write: true},
+		{Bank: 0, Addr: 64, Write: false}, // row hit on bank 0
+		{Bank: 3, Addr: 1 << 20, Write: false},
+	} {
+		if !c.Enqueue(now, r) {
+			t.Fatalf("request %d: queue full", i)
+		}
+		for !r.Done {
+			ev := c.NextEvent(now)
+			if ev == math.MaxInt64 {
+				t.Fatal("controller idle with pending request")
+			}
+			now = ev
+			c.AdvanceTo(now)
+		}
+	}
+	c.NoteECC(0, true)
+	c.NoteECC(2, false)
+	return now
+}
+
+func encodeCtrl(c *Controller, base int64) []byte {
+	var e ckpt.Enc
+	c.EncodeCkpt(&e, base)
+	return e.Bytes()
+}
+
+func TestCtrlCkptRoundTrip(t *testing.T) {
+	src := newTestCtrl(OpenPage, FRFCFS)
+	now := warmCtrl(t, src)
+	payload := encodeCtrl(src, now)
+
+	img, err := DecodeCtrlCkpt(ckpt.NewDec(payload), 4)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// Restore onto a controller built with the other policies: the
+	// checkpoint carries its own and must win.
+	dst := newTestCtrl(ClosePage, FCFS)
+	dst.ApplyCtrlCkpt(img, now)
+
+	if p, s := dst.Policies(); p != OpenPage || s != FRFCFS {
+		t.Errorf("restored policies = (%v, %v), want (OpenPage, FRFCFS)", p, s)
+	}
+	if dst.Stats != src.Stats {
+		t.Errorf("restored Stats = %+v, want %+v", dst.Stats, src.Stats)
+	}
+	tal := dst.BankECCTally()
+	if tal[0].Corrected != 1 || tal[2].Uncorrected != 1 {
+		t.Errorf("restored ECC tally = %+v", tal)
+	}
+	// Re-encoding the restored controller at the same base must be
+	// byte-identical: the canonical snapshot round-trips exactly.
+	if got := encodeCtrl(dst, now); string(got) != string(payload) {
+		t.Error("re-encoded checkpoint differs from the original")
+	}
+	// And the two controllers must schedule an identical future
+	// request identically (the snapshot equivalence contract).
+	a := runOne(t, src, now, 0, 64, false)
+	b := runOne(t, dst, now, 0, 64, false)
+	if a.Finish != b.Finish {
+		t.Errorf("post-restore request finished at %d on the original, %d on the restored", a.Finish, b.Finish)
+	}
+}
+
+func TestCtrlCkptRejections(t *testing.T) {
+	src := newTestCtrl(OpenPage, FRFCFS)
+	now := warmCtrl(t, src)
+	payload := encodeCtrl(src, now)
+
+	if _, err := DecodeCtrlCkpt(ckpt.NewDec(payload), 8); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Errorf("bank-count mismatch: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := DecodeCtrlCkpt(ckpt.NewDec(payload[:10]), 4); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Errorf("truncated: err = %v, want ErrCorrupt", err)
+	}
+	bad := append([]byte(nil), payload...)
+	bad[0] = 0xFF // impossible page policy
+	if _, err := DecodeCtrlCkpt(ckpt.NewDec(bad), 4); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Errorf("unknown policy: err = %v, want ErrCorrupt", err)
+	}
+}

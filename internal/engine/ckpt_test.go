@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBankPrefixRestoreRoundTrip(t *testing.T) {
+	src := newTestPE(t)
+	if got := src.BankPrefix(); got != nil {
+		t.Fatalf("untouched bank has a %d-byte prefix, want nil", len(got))
+	}
+	if err := src.WriteBank(0x40, []byte{9, 8, 7, 6}); err != nil {
+		t.Fatal(err)
+	}
+	prefix := src.BankPrefix()
+	if len(prefix) < 0x44 {
+		t.Fatalf("prefix covers %d bytes, want at least 0x44", len(prefix))
+	}
+
+	dst := newTestPE(t)
+	dst.RestoreBank(prefix)
+	got, err := dst.ReadBank(0x40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{9, 8, 7, 6}) {
+		t.Errorf("restored bank reads %v, want [9 8 7 6]", got)
+	}
+	if !bytes.Equal(dst.BankPrefix(), prefix) {
+		t.Error("restored prefix differs from the checkpointed one")
+	}
+}
+
+func TestRestoreBankClearsStaleTail(t *testing.T) {
+	// A pooled machine may have materialized more of the bank in a
+	// previous life than the checkpoint carries; the tail must read
+	// zero after the restore, exactly like unmaterialized DRAM.
+	pe := newTestPE(t)
+	if err := pe.WriteBank(0x200, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	pe.RestoreBank([]byte{1, 2, 3}) // much shorter prefix
+	got, err := pe.ReadBank(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 0}) {
+		t.Errorf("bank head reads %v, want [1 2 3 0]", got)
+	}
+	tail, err := pe.ReadBank(0x200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail[0] != 0 || tail[1] != 0 {
+		t.Errorf("stale tail survived the restore: %v", tail)
+	}
+}
+
+func TestRestoreBankOversizePanics(t *testing.T) {
+	pe := newTestPE(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("restoring a prefix larger than the bank must panic")
+		}
+	}()
+	pe.RestoreBank(make([]byte, pe.bankBytes+1))
+}

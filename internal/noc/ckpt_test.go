@@ -1,0 +1,88 @@
+package noc
+
+import (
+	"errors"
+	"testing"
+
+	"ipim/internal/ckpt"
+	"ipim/internal/fault"
+)
+
+func encodeMesh(m *Mesh) []byte {
+	var e ckpt.Enc
+	m.EncodeCkpt(&e)
+	return e.Bytes()
+}
+
+func TestMeshCkptRoundTrip(t *testing.T) {
+	src := NewMesh(4, 4, 1, 1, 16)
+	src.Send(0, src.Node(0, 0), src.Node(3, 3), 128)
+	src.Send(7, src.Node(1, 2), src.Node(2, 0), 64)
+	payload := encodeMesh(src)
+
+	img, err := DecodeLinkCkpt(ckpt.NewDec(payload), 16)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	dst := NewMesh(4, 4, 1, 1, 16)
+	dst.ApplyLinkCkpt(img)
+
+	if dst.Stats != src.Stats {
+		t.Errorf("restored Stats = %+v, want %+v", dst.Stats, src.Stats)
+	}
+	// Re-encode must be byte-identical, and an identical future send
+	// must observe identical link occupancy on both meshes.
+	if string(encodeMesh(dst)) != string(payload) {
+		t.Error("re-encoded checkpoint differs from the original")
+	}
+	a := src.Send(9, src.Node(0, 0), src.Node(3, 3), 256)
+	b := dst.Send(9, dst.Node(0, 0), dst.Node(3, 3), 256)
+	if a != b {
+		t.Errorf("post-restore send finished at %d on the original, %d on the restored", a, b)
+	}
+}
+
+func TestLinkStateCkptRoundTripWithFaults(t *testing.T) {
+	plan := &fault.Plan{Seed: 7, LinkFaultRate: 0.5, LinkRetryPenalty: 3}
+	mk := func() (*Mesh, *LinkState) {
+		m := NewMesh(4, 4, 1, 1, 16)
+		st := m.NewLinkState()
+		st.AttachFaults(plan, fault.Site(fault.DomLink, 11))
+		return m, st
+	}
+	src, sst := mk()
+	src.SendOn(sst, 0, src.Node(0, 0), src.Node(3, 1), 96)
+	src.SendOn(sst, 3, src.Node(2, 2), src.Node(0, 3), 48)
+
+	var e ckpt.Enc
+	sst.EncodeCkpt(&e)
+	img, err := DecodeLinkCkpt(ckpt.NewDec(e.Bytes()), 16)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	dst, dst2 := mk() // AttachFaults zeroes the stream position...
+	dst2.ApplyLinkCkpt(img)
+	if dst2.Stats != sst.Stats {
+		t.Errorf("restored shard Stats = %+v, want %+v", dst2.Stats, sst.Stats)
+	}
+	// ...and Apply restores it, so both shards roll the same future
+	// fault decisions: identical sends land at identical times with
+	// identical fault counters.
+	a := src.SendOn(sst, 20, src.Node(0, 0), src.Node(3, 3), 512)
+	b := dst.SendOn(dst2, 20, dst.Node(0, 0), dst.Node(3, 3), 512)
+	if a != b || sst.Stats != dst2.Stats {
+		t.Errorf("post-restore divergence: finish %d vs %d, stats %+v vs %+v",
+			a, b, sst.Stats, dst2.Stats)
+	}
+}
+
+func TestLinkCkptRejections(t *testing.T) {
+	m := NewMesh(4, 4, 1, 1, 16)
+	payload := encodeMesh(m)
+	if _, err := DecodeLinkCkpt(ckpt.NewDec(payload), 4); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Errorf("node-count mismatch: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := DecodeLinkCkpt(ckpt.NewDec(payload[:6]), 16); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Errorf("truncated: err = %v, want ErrCorrupt", err)
+	}
+}

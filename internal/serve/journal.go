@@ -1,0 +1,153 @@
+package serve
+
+// Crash-recovery journal: one sealed machine checkpoint per in-flight
+// job, keyed by a content hash of the request (so an identical request
+// re-submitted after a crash — worker panic, watchdog kill, process
+// death — finds the interrupted run's last barrier state and resumes it
+// instead of starting over). Writes go through a temp file in the same
+// directory plus an atomic rename, mirroring the autotune results
+// store: a crash mid-write leaves either the previous checkpoint or the
+// new one, never a torn file — and a torn file from a crash mid-rename
+// window is rejected by the checkpoint CRC and discarded.
+//
+// Lifecycle: the run's CheckpointSink overwrites the job's journal
+// entry at every covered barrier; the entry is removed only when the
+// run completes and its response is derivable — any failure (panic,
+// cancellation, budget abort, process death) keeps the last checkpoint
+// on disk for the next attempt.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// ckptExt is the journal entry suffix; pending() counts these.
+const ckptExt = ".ckpt"
+
+// ckptJournal is the on-disk checkpoint store. Safe for concurrent use;
+// per-job writes are serialized by the fact that one job runs on one
+// worker at a time, but distinct jobs share the directory.
+type ckptJournal struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// newCkptJournal ensures the journal directory exists.
+func newCkptJournal(dir string) (*ckptJournal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint journal: %w", err)
+	}
+	return &ckptJournal{dir: dir}, nil
+}
+
+func (j *ckptJournal) path(id string) string {
+	return filepath.Join(j.dir, id+ckptExt)
+}
+
+// write atomically replaces the job's journal entry: temp file in the
+// same directory, fsync, rename.
+func (j *ckptJournal) write(id string, data []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp, err := os.CreateTemp(j.dir, id+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint journal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: checkpoint journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: checkpoint journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: checkpoint journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path(id)); err != nil {
+		return fmt.Errorf("serve: checkpoint journal: %w", err)
+	}
+	return nil
+}
+
+// load returns the job's journal entry, or false when there is none.
+func (j *ckptJournal) load(id string) ([]byte, bool) {
+	data, err := os.ReadFile(j.path(id))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// remove deletes the job's journal entry (run completed, or the entry
+// proved unusable).
+func (j *ckptJournal) remove(id string) {
+	os.Remove(j.path(id))
+}
+
+// pending counts journal entries awaiting a resuming request — the
+// startup-scan inventory and the ipim_checkpoint_journal_pending gauge.
+func (j *ckptJournal) pending() int {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ckptExt {
+			n++
+		}
+	}
+	return n
+}
+
+// jobID derives the journal key for one plane run of one request: a
+// content hash over everything that determines the run, so a crashed
+// job is matched exactly by its re-submission and can never collide
+// with a different workload, image or budget.
+func jobID(workload, opts, mode string, maxCycles int64, plane int, body []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%s|%d|%d|", workload, opts, mode, maxCycles, plane)
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// jitter is the retry backoff source: full jitter (uniform in
+// [0, base<<attempt), capped), which decorrelates the retry storms a
+// deterministic exponential schedule produces when many requests hit
+// the same transient fault window. Seedable so tests get a fixed
+// sequence.
+type jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// newJitter builds a backoff source; seed 0 draws one from the clock.
+func newJitter(seed int64) *jitter {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// backoffCap bounds a single backoff wait regardless of attempt count.
+const backoffCap = 5 * time.Second
+
+// backoff returns the full-jitter wait for the given zero-based
+// attempt: uniform in [0, min(cap, base<<attempt)).
+func (j *jitter) backoff(base time.Duration, attempt int) time.Duration {
+	ceil := base << uint(attempt)
+	if ceil <= 0 || ceil > backoffCap {
+		ceil = backoffCap
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return time.Duration(j.rng.Int63n(int64(ceil) + 1))
+}

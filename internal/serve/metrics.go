@@ -39,6 +39,12 @@ type metrics struct {
 	faultsUncorrected int64
 	retries           int64
 
+	// Crash-recovery accounting (rendered only with a checkpoint
+	// journal, i.e. when journalPending is set).
+	jobsResumed int64
+	ckptWrites  int64
+	ckptBytes   int64
+
 	// Live gauges, sampled at render time.
 	queueDepth          func() int64
 	cacheStats          func() cacheStats
@@ -49,6 +55,7 @@ type metrics struct {
 	busySeconds         func() float64
 	degraded            func() bool
 	tuneSnapshot        func() tuneSnapshot // nil when tuning is disabled
+	journalPending      func() int          // nil when journaling is disabled
 }
 
 // routeHist is one route's latency histogram: per-bucket counts (last
@@ -110,6 +117,22 @@ func (mt *metrics) observeRetry() {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
 	mt.retries++
+}
+
+// observeResume records one plane run resumed from the checkpoint
+// journal instead of restarted from scratch.
+func (mt *metrics) observeResume() {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.jobsResumed++
+}
+
+// observeCheckpoint records one checkpoint written to the journal.
+func (mt *metrics) observeCheckpoint(bytes int) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.ckptWrites++
+	mt.ckptBytes += int64(bytes)
 }
 
 // write renders the registry in Prometheus text format. Series are
@@ -228,6 +251,20 @@ func (mt *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP ipim_request_retries_total Pooled runs retried after a transient injected fault.\n")
 	fmt.Fprintf(w, "# TYPE ipim_request_retries_total counter\n")
 	fmt.Fprintf(w, "ipim_request_retries_total %d\n", mt.retries)
+	if mt.journalPending != nil {
+		fmt.Fprintf(w, "# HELP ipim_jobs_resumed_total Plane runs resumed from the checkpoint journal after a crash.\n")
+		fmt.Fprintf(w, "# TYPE ipim_jobs_resumed_total counter\n")
+		fmt.Fprintf(w, "ipim_jobs_resumed_total %d\n", mt.jobsResumed)
+		fmt.Fprintf(w, "# HELP ipim_checkpoint_writes_total Checkpoints written to the crash-recovery journal.\n")
+		fmt.Fprintf(w, "# TYPE ipim_checkpoint_writes_total counter\n")
+		fmt.Fprintf(w, "ipim_checkpoint_writes_total %d\n", mt.ckptWrites)
+		fmt.Fprintf(w, "# HELP ipim_checkpoint_bytes Total bytes written to the crash-recovery journal.\n")
+		fmt.Fprintf(w, "# TYPE ipim_checkpoint_bytes counter\n")
+		fmt.Fprintf(w, "ipim_checkpoint_bytes %d\n", mt.ckptBytes)
+		fmt.Fprintf(w, "# HELP ipim_checkpoint_journal_pending Journal entries awaiting a resuming request.\n")
+		fmt.Fprintf(w, "# TYPE ipim_checkpoint_journal_pending gauge\n")
+		fmt.Fprintf(w, "ipim_checkpoint_journal_pending %d\n", mt.journalPending())
+	}
 	if mt.degraded != nil {
 		v := 0
 		if mt.degraded() {

@@ -20,6 +20,11 @@ var (
 	// errDraining means the pool no longer accepts work because the
 	// process is shutting down (HTTP 503).
 	errDraining = errors.New("serve: pool draining")
+	// errWorkerPanic marks a job that died in a recovered worker panic.
+	// With a checkpoint journal the handler treats it like a transient
+	// fault and re-enqueues the job, which resumes from the last
+	// journaled barrier instead of restarting.
+	errWorkerPanic = errors.New("serve: worker recovered from panic")
 )
 
 // job is one unit of simulator work: run fn on a pooled machine.
@@ -179,7 +184,7 @@ func (p *pool) runJob(m *ipim.Machine, j *job) (err error) {
 		if r := recover(); r != nil {
 			p.panics.Add(1)
 			m.Reset()
-			err = fmt.Errorf("serve: worker recovered from panic: %v", r)
+			err = fmt.Errorf("%w: %v", errWorkerPanic, r)
 			return
 		}
 		switch {

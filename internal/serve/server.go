@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"ipim"
@@ -90,9 +91,32 @@ type Config struct {
 	// transient injected fault (ipim.ErrTransientFault). Default 2;
 	// negative disables retries.
 	MaxRetries int
-	// RetryBackoff is the wait before the first retry, doubling per
-	// attempt (default 25ms). The per-request deadline still applies.
+	// RetryBackoff scales the full-jitter retry wait: attempt k sleeps
+	// uniform in [0, RetryBackoff<<k), capped (default 25ms base). The
+	// jitter decorrelates retry bursts when many requests trip over the
+	// same transient-fault window; the per-request deadline still
+	// applies.
 	RetryBackoff time.Duration
+	// RetrySeed seeds the jittered-backoff source so tests get a
+	// deterministic retry schedule (0: seeded from the clock).
+	RetrySeed int64
+
+	// CheckpointDir enables crash-recovery journaling: every journaled
+	// run streams a machine checkpoint into <dir>/<jobID>.ckpt at phase
+	// barriers, and a request whose job crashed (worker panic, process
+	// death) resumes from the last checkpoint instead of restarting.
+	// Empty (the default) disables journaling.
+	CheckpointDir string
+	// CheckpointEvery is the minimum simulated-cycle spacing between
+	// journal checkpoints (default 1: every covered barrier). Larger
+	// values trade resume granularity for journal write traffic.
+	CheckpointEvery int64
+	// ChaosCrashAfterCheckpoints is the chaos-testing knob: a fresh
+	// (non-resumed) journaled plane run panics on its worker after
+	// writing this many checkpoints, at most once per distinct job, so
+	// the recovery path is exercised deterministically under load.
+	// 0 (the default, and the only sane production value) disables it.
+	ChaosCrashAfterCheckpoints int
 	// DegradeThreshold trips degraded mode when the mean uncorrected
 	// ECC error count over the last DegradeWindow completed requests
 	// exceeds it; while degraded the server sheds /v1/process load with
@@ -166,6 +190,9 @@ func (c *Config) fillDefaults() {
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 25 * time.Millisecond
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1
+	}
 	if c.DegradeWindow == 0 {
 		c.DegradeWindow = 16
 	}
@@ -195,6 +222,13 @@ type Server struct {
 	tuner   *tuner // nil when background tuning is disabled
 	mux     *http.ServeMux
 
+	journal *ckptJournal // nil when crash-recovery journaling is disabled
+	backoff *jitter
+
+	// chaosCrashed tracks job ids that already took their injected
+	// chaos crash, so a chaos run makes progress on the second attempt.
+	chaosCrashed sync.Map
+
 	draining chan struct{} // closed when Shutdown begins
 }
 
@@ -219,8 +253,21 @@ func New(cfg Config) (*Server, error) {
 		metrics:  newMetrics(),
 		meter:    host.NewMeter(cfg.Bus),
 		degrade:  newDegradeState(cfg.DegradeThreshold, cfg.DegradeWindow, cfg.DegradeCooldown),
+		backoff:  newJitter(cfg.RetrySeed),
 		mux:      http.NewServeMux(),
 		draining: make(chan struct{}),
+	}
+	if cfg.CheckpointDir != "" {
+		j, err := newCkptJournal(cfg.CheckpointDir)
+		if err != nil {
+			p.drain(context.Background())
+			return nil, err
+		}
+		s.journal = j
+		s.metrics.journalPending = j.pending
+		if n := j.pending(); n > 0 {
+			cfg.Logger.Printf("checkpoint journal: %d interrupted job(s) in %s awaiting resume", n, cfg.CheckpointDir)
+		}
 	}
 	s.metrics.queueDepth = p.queueDepth
 	s.metrics.panicCount = p.panicCount
@@ -398,6 +445,10 @@ type runResult struct {
 	injected    int64 // DRAM flip events + link faults
 	corrected   int64 // ECC-corrected DRAM events
 	uncorrected int64 // detected-uncorrectable DRAM events
+
+	// resumed reports whether any plane of the request was resumed from
+	// the checkpoint journal rather than run from the start.
+	resumed bool
 }
 
 func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
@@ -509,11 +560,16 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	// no-op when tuning is disabled or the key was already submitted).
 	s.tuner.maybeEnqueue(key, wl)
 
-	// Run on a pooled machine, retrying transient injected faults with
-	// exponential backoff under the request deadline. A tuned artifact
-	// carries its schedule's DRAM policies; they are timing-only (never
-	// data), applied for this run and restored before the machine goes
-	// back to the pool.
+	// Run on a pooled machine, retrying transient injected faults (and,
+	// when the checkpoint journal is on, crashed workers — the retry
+	// resumes from the last journaled barrier) with full-jitter backoff
+	// under the request deadline. A tuned artifact carries its
+	// schedule's DRAM policies; they are timing-only (never data),
+	// applied for this run and restored before the machine goes back to
+	// the pool.
+	jid := func(plane int) string {
+		return jobID(wl.Name, optName, mode.String(), budget.MaxCycles, plane, body)
+	}
 	res := &runResult{}
 	run := func() error {
 		*res = runResult{}
@@ -522,16 +578,24 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 				m.SetDRAMPolicy(sched.Page, sched.Sched)
 				defer m.SetDRAMPolicy(s.cfg.Machine.Page, s.cfg.Machine.Sched)
 			}
-			return s.runOn(ctx, m, art, planes, budget, res)
+			return s.runOn(ctx, m, art, planes, budget, res, jid)
 		})
+	}
+	retryable := func(err error) bool {
+		if errors.Is(err, ipim.ErrTransientFault) {
+			return true
+		}
+		// A worker panic is only worth retrying when the journal can
+		// hand the retry the crashed run's progress.
+		return s.journal != nil && errors.Is(err, errWorkerPanic)
 	}
 	err = run()
 	retries := 0
-	for errors.Is(err, ipim.ErrTransientFault) && retries < s.cfg.MaxRetries {
+	for retryable(err) && retries < s.cfg.MaxRetries {
 		retries++
 		s.metrics.observeRetry()
 		select {
-		case <-time.After(s.cfg.RetryBackoff << uint(retries-1)):
+		case <-time.After(s.backoff.backoff(s.cfg.RetryBackoff, retries-1)):
 		case <-ctx.Done():
 		}
 		if ctx.Err() != nil {
@@ -594,6 +658,9 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	}
 	h.Set("X-Ipim-Instructions", strconv.FormatInt(res.issued, 10))
 	h.Set("X-Ipim-Transfer-Ns", strconv.FormatFloat(transferNS, 'f', 0, 64))
+	if s.journal != nil {
+		h.Set("X-Ipim-Resumed", strconv.FormatBool(res.resumed))
+	}
 	if s.cfg.Faults.Enabled() {
 		h.Set("X-Ipim-Faults-Corrected", strconv.FormatInt(res.corrected, 10))
 		h.Set("X-Ipim-Faults-Uncorrected", strconv.FormatInt(res.uncorrected, 10))
@@ -605,8 +672,9 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 // runOn executes every plane of a request on one pooled machine,
 // accumulating the simulated accounting into res. ctx and budget flow
 // into the simulator: mid-run cancellation and cycle-budget aborts
-// surface as ipim.ErrCancelled / ipim.ErrCycleBudget.
-func (s *Server) runOn(ctx context.Context, m *ipim.Machine, art *ipim.Artifact, planes []*ipim.Image, budget ipim.RunOptions, res *runResult) error {
+// surface as ipim.ErrCancelled / ipim.ErrCycleBudget. jid names each
+// plane's checkpoint-journal entry (ignored without a journal).
+func (s *Server) runOn(ctx context.Context, m *ipim.Machine, art *ipim.Artifact, planes []*ipim.Image, budget ipim.RunOptions, res *runResult, jid func(plane int) string) error {
 	nPEs, nVaults := s.cfg.Machine.TotalPEs(), s.cfg.Machine.TotalVaults()
 	accumulate := func(stats *ipim.Stats) {
 		res.cycles += stats.Cycles
@@ -617,7 +685,7 @@ func (s *Server) runOn(ctx context.Context, m *ipim.Machine, art *ipim.Artifact,
 		res.injected += stats.DRAM.ECCCorrected + stats.DRAM.ECCUncorrected + stats.NoC.LinkFaults
 	}
 	if art.Plan.Pipe.Histogram {
-		bins, stats, err := ipim.RunHistogramContext(ctx, m, art, planes[0], budget)
+		_, bins, stats, err := s.planeRun(ctx, m, art, planes[0], budget, jid(0), true, res)
 		if err != nil {
 			return err
 		}
@@ -625,8 +693,8 @@ func (s *Server) runOn(ctx context.Context, m *ipim.Machine, art *ipim.Artifact,
 		accumulate(&stats)
 		return nil
 	}
-	for _, p := range planes {
-		out, stats, err := ipim.RunContext(ctx, m, art, p, budget)
+	for i, p := range planes {
+		out, _, stats, err := s.planeRun(ctx, m, art, p, budget, jid(i), false, res)
 		if err != nil {
 			return err
 		}
@@ -634,6 +702,82 @@ func (s *Server) runOn(ctx context.Context, m *ipim.Machine, art *ipim.Artifact,
 		accumulate(&stats)
 	}
 	return nil
+}
+
+// planeRun executes one plane run (or the histogram pass), with
+// crash-recovery journaling when the server has a checkpoint journal:
+// if the journal holds this job's checkpoint the machine is restored
+// and the interrupted run resumed from its last barrier — by the
+// determinism contract, bit-identical to never having crashed — and a
+// fresh run streams a checkpoint into the journal at every covered
+// barrier. The journal entry is removed only when the run completes;
+// every failure (panic, cancellation, budget abort, process death)
+// leaves the last checkpoint for the next attempt.
+func (s *Server) planeRun(ctx context.Context, m *ipim.Machine, art *ipim.Artifact, img *ipim.Image, budget ipim.RunOptions, id string, hist bool, res *runResult) (*ipim.Image, []int32, ipim.Stats, error) {
+	if s.journal == nil {
+		if hist {
+			bins, stats, err := ipim.RunHistogramContext(ctx, m, art, img, budget)
+			return nil, bins, stats, err
+		}
+		out, stats, err := ipim.RunContext(ctx, m, art, img, budget)
+		return out, nil, stats, err
+	}
+	resumed := false
+	if data, ok := s.journal.load(id); ok {
+		switch err := m.Restore(data); {
+		case err != nil:
+			// Unusable entry — torn write the CRC caught, or a machine
+			// reconfiguration since it was written. Discard, run fresh.
+			s.cfg.Logger.Printf("checkpoint journal: discarding %s: %v", id, err)
+			s.journal.remove(id)
+		case m.HasResume():
+			resumed = true
+		default:
+			// An idle checkpoint carries no interrupted run to continue.
+			s.journal.remove(id)
+		}
+	}
+	opts := budget
+	opts.CheckpointEvery = s.cfg.CheckpointEvery
+	writes := 0
+	opts.CheckpointSink = func(data []byte) error {
+		if err := s.journal.write(id, data); err != nil {
+			return err
+		}
+		s.metrics.observeCheckpoint(len(data))
+		writes++
+		if n := s.cfg.ChaosCrashAfterCheckpoints; n > 0 && !resumed && writes == n {
+			if _, crashed := s.chaosCrashed.LoadOrStore(id, true); !crashed {
+				panic(fmt.Sprintf("chaos: injected crash after %d checkpoint(s) of job %s", n, id))
+			}
+		}
+		return nil
+	}
+	var (
+		out   *ipim.Image
+		bins  []int32
+		stats ipim.Stats
+		err   error
+	)
+	switch {
+	case resumed && hist:
+		bins, stats, err = ipim.ResumeHistogram(ctx, m, art, opts)
+	case resumed:
+		out, stats, err = ipim.ResumeRun(ctx, m, art, opts)
+	case hist:
+		bins, stats, err = ipim.RunHistogramContext(ctx, m, art, img, opts)
+	default:
+		out, stats, err = ipim.RunContext(ctx, m, art, img, opts)
+	}
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	if resumed {
+		res.resumed = true
+		s.metrics.observeResume()
+	}
+	s.journal.remove(id)
+	return out, bins, stats, nil
 }
 
 // handleSimb runs raw SIMB assembly (POST body) on a pooled machine:

@@ -70,6 +70,22 @@ type RunOptions struct {
 	// Mode overrides the machine's execution mode for runs under this
 	// options value (DefaultMode = no override; see sim.Mode).
 	Mode Mode
+
+	// CheckpointEvery asks the run loop to serialize the machine at the
+	// first phase barrier after this many cycles (functional mode:
+	// issued instructions) have elapsed since the run began or since the
+	// previous checkpoint (0 = never). Barriers are the only points a
+	// checkpoint can be taken: every queue is drained there, so the
+	// snapshot needs no in-flight state. CheckpointEvery = 1 therefore
+	// means "at every barrier".
+	CheckpointEvery int64
+
+	// CheckpointSink receives each serialized checkpoint. A nil sink
+	// disables checkpointing regardless of CheckpointEvery. The sink is
+	// called synchronously between phases; a non-nil error aborts the
+	// run with that error (the machine is Reset, as for cancellation).
+	// The byte slice is freshly allocated and owned by the sink.
+	CheckpointSink func(data []byte) error
 }
 
 // Enabled reports whether any budget is set.

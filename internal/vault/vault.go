@@ -401,14 +401,8 @@ func (v *Vault) peByIndex(i int) (*engine.PG, *engine.PE) {
 // (DRAM bank state, the clock) is preserved so consecutive kernels model
 // a continuously running machine.
 func (v *Vault) Load(p *isa.Program) error {
-	if err := p.Validate(v.Cfg.DataRFEntries, v.Cfg.AddrRFEntries, v.Cfg.CtrlRFEntries); err != nil {
+	if err := ValidateForLoad(v.Cfg, p); err != nil {
 		return err
-	}
-	for i := range p.Ins {
-		in := &p.Ins[i]
-		if in.ImmLabel >= 0 && in.Op != isa.OpSetiCRF {
-			return fmt.Errorf("vault: instruction %d: label reference outside seti_crf", i)
-		}
 	}
 	v.prog = p
 	v.pc = 0

@@ -28,6 +28,7 @@ import (
 	"io"
 	"strings"
 
+	"ipim/internal/ckpt"
 	"ipim/internal/compiler"
 	"ipim/internal/cube"
 	"ipim/internal/energy"
@@ -118,6 +119,27 @@ var (
 	// timeout; it wraps the context's cause, so
 	// errors.Is(err, context.DeadlineExceeded) also works.
 	ErrCancelled = sim.ErrCancelled
+)
+
+// Checkpoint/restore errors. See docs/ARCHITECTURE.md ("Checkpoint
+// format") for the on-disk container and the quiescence contract.
+var (
+	// ErrCheckpointCorrupt marks a checkpoint rejected by structural or
+	// integrity validation (bad magic, CRC mismatch, impossible field).
+	// Match with errors.Is; ErrCheckpointTruncated wraps it.
+	ErrCheckpointCorrupt = ckpt.ErrCorrupt
+	// ErrCheckpointTruncated marks a checkpoint cut short — the usual
+	// signature of a crash mid-write (a torn tail).
+	ErrCheckpointTruncated = ckpt.ErrTruncated
+	// ErrCheckpointVersion marks a checkpoint written by an incompatible
+	// schema version.
+	ErrCheckpointVersion = ckpt.ErrVersion
+	// ErrCheckpointConfig marks a checkpoint taken on a machine with a
+	// different configuration than the restore target.
+	ErrCheckpointConfig = cube.ErrCheckpointConfig
+	// ErrNoResume marks a Resume on a machine whose checkpoint carried no
+	// interrupted run (it was taken between runs, not at a barrier).
+	ErrNoResume = cube.ErrNoResume
 )
 
 // ParseFaultPlan parses a -faults flag spec such as
@@ -293,11 +315,61 @@ func RunHistogramContext(ctx context.Context, m *Machine, art *Artifact, img *Im
 	return bins, stats, nil
 }
 
-// applyBudget temporarily installs a non-zero budget or execution-mode
-// override on the machine, returning the function that restores the
-// previous budget.
+// RestoreMachine assembles a fresh machine for cfg and rewrites its
+// full architectural state from a checkpoint previously written by
+// Machine.Checkpoint (or streamed out via RunOptions.CheckpointSink).
+// The checkpoint must have been taken on an identically configured
+// machine (ErrCheckpointConfig otherwise); corrupt, truncated or
+// mis-versioned bytes yield the typed errors above and never a
+// half-restored machine. If the checkpoint interrupted a run,
+// ResumeRun/ResumeHistogram continue it.
+func RestoreMachine(r io.Reader, cfg Config) (*Machine, error) {
+	return cube.RestoreMachine(r, cfg)
+}
+
+// ResumeRun continues the interrupted run a restored machine carries
+// (ErrNoResume if there is none) and gathers the output image exactly
+// as Run would have. The resumed run keeps the checkpointed budget and
+// execution mode; opts only re-arms checkpointing (sink and interval) —
+// its other fields are ignored. The contract: checkpoint at barrier N,
+// RestoreMachine onto a fresh machine, ResumeRun, and the pixels, Stats
+// and fault counters are bit-identical to the run that was never
+// interrupted, at any worker count. Note the returned Stats span the
+// whole original run, not just the resumed tail.
+func ResumeRun(ctx context.Context, m *Machine, art *Artifact, opts RunOptions) (*Image, Stats, error) {
+	restore := applyBudget(m, opts)
+	defer restore()
+	stats, err := m.ResumeContext(ctx)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out, err := compiler.ReadOutput(m, art)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return out, stats, nil
+}
+
+// ResumeHistogram is ResumeRun for histogram pipelines.
+func ResumeHistogram(ctx context.Context, m *Machine, art *Artifact, opts RunOptions) ([]int32, Stats, error) {
+	restore := applyBudget(m, opts)
+	defer restore()
+	stats, err := m.ResumeContext(ctx)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	bins, err := compiler.ReadHistogram(m, art)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return bins, stats, nil
+}
+
+// applyBudget temporarily installs a non-zero budget, execution-mode or
+// checkpoint-sink override on the machine, returning the function that
+// restores the previous budget.
 func applyBudget(m *Machine, opts RunOptions) func() {
-	if !opts.Enabled() && opts.Mode == sim.DefaultMode {
+	if !opts.Enabled() && opts.Mode == sim.DefaultMode && opts.CheckpointSink == nil {
 		return func() {}
 	}
 	prev := m.Budget()

@@ -56,6 +56,26 @@ go run ./cmd/ipim-bench -mode functional -div 8 -json - > /dev/null
 go run ./cmd/ipim-bench -exp dnn -div 8 > /dev/null
 go run ./cmd/ipim-bench -mode functional -div 8 -json-dnn - > /dev/null
 
+# Checkpoint/resume smoke: force a mid-run budget abort with a
+# checkpoint file, then resume it to completion through the shipped
+# CLI — one Table II workload with real phase barriers (Histogram) and
+# one DNN workload (GEMM runs under ipim-bench's dnn sweep above). The
+# checkpoint_test.go differential matrix (4 workloads × FF/stepwise ×
+# worker counts × fault rates, restore at first/middle/last barrier)
+# is the real correctness gate under -race above; this slot keeps the
+# -checkpoint/-resume flag surface and the restore-from-disk path from
+# rotting. The chaos soak (injected worker panics + pool teardown,
+# byte-identical responses) runs under -race in the suite above as
+# TestChaosCrashRecoverySoak / TestDrainRestartResumesJournal.
+ckpt_dir=$(mktemp -d)
+trap 'rm -rf "$ckpt_dir"' EXIT
+go run ./cmd/ipim-run -workload Histogram -W 64 -H 32 \
+    -checkpoint "$ckpt_dir/ci.ckpt" -max-cycles 2000 > /dev/null 2>&1 || true
+test -s "$ckpt_dir/ci.ckpt"
+go run ./cmd/ipim-run -workload Histogram -W 64 -H 32 \
+    -resume "$ckpt_dir/ci.ckpt" -max-cycles 10000000 > /dev/null
+go test . -run '^TestCheckpointResumeDifferential$/^dnn:GEMM' -count=1
+
 # Autotuner smoke: a real parallel grid search through the ipim-tune
 # CLI (tiny machine, small probe) plus the serve background-tuning
 # integration path. The unit suite covers both under -race above; this
@@ -71,6 +91,7 @@ go test ./internal/serve -run '^TestBackgroundTuningSoak$' -count=1
 go test ./internal/isa -run='^$' -fuzz='^FuzzAssemble$' -fuzztime=10s
 go test ./internal/pixel -run='^$' -fuzz='^FuzzNetpbm$' -fuzztime=10s
 go test . -run='^$' -fuzz='^FuzzFunctionalVsTiming$' -fuzztime=10s
+go test ./internal/cube -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=10s
 
 # Coverage floor over the internal packages' own statements (cmd/ and
 # examples/ mains are exercised end-to-end by the examples smoke test

@@ -1,0 +1,131 @@
+// Command ipim-router fronts a fleet of ipim-serve workers: it routes
+// requests by consistent hashing on the artifact key (so each worker's
+// compile cache and autotune store shard naturally), fails over when a
+// worker dies mid-request — including mid-stream, splicing the
+// remaining frames from a surviving worker — and applies per-tenant
+// admission control keyed on the X-Ipim-Tenant header.
+//
+// Usage:
+//
+//	ipim-router                                  # :8090
+//	ipim-router -addr :8090 -tenants batch=1,interactive=4
+//	ipim-serve -addr :8081 -router http://localhost:8090
+//	ipim-serve -addr :8082 -router http://localhost:8090
+//	curl -s --data-binary @in.pgm -H 'X-Ipim-Tenant: interactive' \
+//	  'localhost:8090/v1/process?workload=GaussianBlur'
+//
+// Observability: GET /healthz, GET /readyz (503 with an empty ring),
+// GET /metrics (ipim_router_* series), GET /fleet/workers (JSON worker
+// states). Workers self-register via POST /fleet/register heartbeats;
+// silent workers fall out of the ring after -worker-ttl and their keys
+// rehash onto the survivors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ipim/internal/fleet"
+)
+
+// parseTenants parses "name=weight,name=weight" into tenant configs.
+func parseTenants(spec string) ([]fleet.TenantConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []fleet.TenantConfig
+	for _, part := range strings.Split(spec, ",") {
+		name, weightStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant spec %q: want name=weight", part)
+		}
+		weight, err := strconv.Atoi(weightStr)
+		if err != nil || weight < 1 {
+			return nil, fmt.Errorf("tenant spec %q: weight must be a positive integer", part)
+		}
+		out = append(out, fleet.TenantConfig{Name: name, Weight: weight})
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("ipim-router: ")
+
+	addr := flag.String("addr", ":8090", "listen address")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per worker on the hash ring (0 = default)")
+	workerTTL := flag.Duration("worker-ttl", 3*time.Second,
+		"heartbeat TTL: a worker silent this long falls out of the ring")
+	sweep := flag.Duration("sweep", 500*time.Millisecond, "TTL sweep interval")
+	failovers := flag.Int("failovers", 2, "max mid-request failover attempts before 502")
+	maxInflight := flag.Int("max-inflight", 64, "global admitted-request cap")
+	queueCap := flag.Int("tenant-queue", 64, "per-tenant admission queue capacity (full = 429)")
+	tenantSpec := flag.String("tenants", "",
+		"weighted tenants, e.g. batch=1,interactive=4 (unlisted tenants share the weight-1 default)")
+	maxBody := flag.Int64("max-body", 64<<20, "request body size limit in bytes")
+	drainWait := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	tenants, err := parseTenants(*tenantSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rt := fleet.New(fleet.Config{
+		Vnodes:           *vnodes,
+		WorkerTTL:        *workerTTL,
+		SweepInterval:    *sweep,
+		FailoverAttempts: *failovers,
+		MaxInflight:      *maxInflight,
+		TenantQueueCap:   *queueCap,
+		Tenants:          tenants,
+		MaxBodyBytes:     *maxBody,
+		Logger:           log.Default(),
+	})
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("routing on %s (ttl %s, %d failovers, %d inflight)",
+		ln.Addr(), *workerTTL, *failovers, *maxInflight)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: draining for up to %s", *drainWait)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("listener: %v", err)
+	}
+	log.Print("drained, bye")
+}

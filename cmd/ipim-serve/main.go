@@ -22,6 +22,11 @@
 // autotuner searches for a faster one; winners beating -tune-margin
 // are swapped into the artifact cache (X-Ipim-Schedule: tuned) and
 // recorded in -tune-db for future boots.
+//
+// With -router URL the process runs in fleet worker mode: it
+// heartbeats its -advertise address into an ipim-router, which proxies
+// /v1/process, /v1/simb and the multi-frame /v1/stream endpoint across
+// the worker fleet by consistent hashing (see docs/OPERATIONS.md).
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -76,6 +82,16 @@ func main() {
 		"persistent tuning-results journal (JSONL, shared with ipim-tune -db; empty = memory-only)")
 	tuneMargin := flag.Float64("tune-margin", 1.02,
 		"minimum default/tuned cycle ratio before a tuned artifact replaces the cached default")
+	routerURL := flag.String("router", "",
+		"fleet worker mode: base URL of an ipim-router to heartbeat into (empty = standalone)")
+	advertise := flag.String("advertise", "",
+		"base URL the router should reach this worker at (default: http:// + the bound listen address)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "heartbeat interval in fleet worker mode")
+	recoveryGrace := flag.Duration("recovery-grace", 30*time.Second,
+		"how long /readyz reports 503 while boot-time journaled jobs await resume (negative = off)")
+	streamMax := flag.Int("stream-max-frames", 1024, "max frames accepted per /v1/stream request")
+	chaosStall := flag.Int("chaos-stream-stall", 0,
+		"TESTING ONLY: stall the first stream forever after this many frames (0 = off)")
 	flag.Parse()
 
 	mcfg, err := ipim.ConfigByName(*cfgName)
@@ -93,6 +109,17 @@ func main() {
 	every, err := cliutil.CheckpointInterval(*ckptEvery, *ckptDir, "checkpoint-dir")
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Bind before serve.New: fleet worker mode needs the resolved
+	// listen address to derive the default advertise URL, and logging
+	// the bound address lets harnesses use -addr 127.0.0.1:0.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *routerURL != "" && *advertise == "" {
+		*advertise = "http://" + ln.Addr().String()
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -115,6 +142,13 @@ func main() {
 		TuneWorkers:        *tuneWorkers,
 		TuneDB:             *tuneDB,
 		TuneMargin:         *tuneMargin,
+		RouterURL:          *routerURL,
+		AdvertiseAddr:      *advertise,
+		HeartbeatInterval:  *heartbeat,
+		RecoveryGrace:      *recoveryGrace,
+		StreamMaxFrames:    *streamMax,
+
+		ChaosStreamStallAfterFrames: *chaosStall,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -134,9 +168,13 @@ func main() {
 	defer stop()
 
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
+	go func() { errCh <- httpSrv.Serve(ln) }()
 	log.Printf("serving %s machine on %s (%d workers, queue %d, cache %d)",
-		*cfgName, *addr, *workers, *queueCap, *cacheCap)
+		*cfgName, ln.Addr(), *workers, *queueCap, *cacheCap)
+	if *routerURL != "" {
+		log.Printf("fleet worker mode: heartbeating into %s as %s every %s",
+			*routerURL, *advertise, *heartbeat)
+	}
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,140 @@
+package fleet
+
+// Hand-rolled Prometheus registry for the router, mirroring
+// internal/serve's: stdlib-only, deterministic series order.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// routerMetrics is the router's counter set plus render-time gauges.
+type routerMetrics struct {
+	mu sync.Mutex
+
+	start time.Time
+
+	// requests[route][status] = count
+	requests map[string]map[int]int64
+
+	failovers      int64 // mid-request switches to another worker
+	streams        int64 // streams relayed to completion
+	framesRelayed  int64 // output frames relayed across all streams
+	beats          int64 // heartbeats accepted
+	sweptDown      int64 // workers expired by the TTL sweep
+	rejectedTenant int64 // admissions refused with a full tenant queue
+
+	// Live gauges, sampled at render time.
+	workerStates func() map[string]int
+	readyCount   func() int
+	tenantDepths func() map[string]int
+	inflight     func() int
+}
+
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{start: time.Now(), requests: map[string]map[int]int64{}}
+}
+
+func (mt *routerMetrics) observeRequest(route string, status int) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	byStatus, ok := mt.requests[route]
+	if !ok {
+		byStatus = map[int]int64{}
+		mt.requests[route] = byStatus
+	}
+	byStatus[status]++
+}
+
+func (mt *routerMetrics) add(counter *int64, n int64) {
+	mt.mu.Lock()
+	*counter += n
+	mt.mu.Unlock()
+}
+
+// write renders the registry in Prometheus text format.
+func (mt *routerMetrics) write(w io.Writer) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP ipim_router_requests_total Requests handled by the router, by route and status.\n")
+	fmt.Fprintf(w, "# TYPE ipim_router_requests_total counter\n")
+	routes := make([]string, 0, len(mt.requests))
+	for r := range mt.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		statuses := make([]int, 0, len(mt.requests[r]))
+		for s := range mt.requests[r] {
+			statuses = append(statuses, s)
+		}
+		sort.Ints(statuses)
+		for _, s := range statuses {
+			fmt.Fprintf(w, "ipim_router_requests_total{route=%q,status=\"%d\"} %d\n", r, s, mt.requests[r][s])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP ipim_router_failovers_total Mid-request failovers to another worker.\n")
+	fmt.Fprintf(w, "# TYPE ipim_router_failovers_total counter\n")
+	fmt.Fprintf(w, "ipim_router_failovers_total %d\n", mt.failovers)
+	fmt.Fprintf(w, "# HELP ipim_router_streams_total Streams relayed to completion.\n")
+	fmt.Fprintf(w, "# TYPE ipim_router_streams_total counter\n")
+	fmt.Fprintf(w, "ipim_router_streams_total %d\n", mt.streams)
+	fmt.Fprintf(w, "# HELP ipim_router_stream_frames_total Output frames relayed to stream clients.\n")
+	fmt.Fprintf(w, "# TYPE ipim_router_stream_frames_total counter\n")
+	fmt.Fprintf(w, "ipim_router_stream_frames_total %d\n", mt.framesRelayed)
+	fmt.Fprintf(w, "# HELP ipim_router_heartbeats_total Worker heartbeats accepted.\n")
+	fmt.Fprintf(w, "# TYPE ipim_router_heartbeats_total counter\n")
+	fmt.Fprintf(w, "ipim_router_heartbeats_total %d\n", mt.beats)
+	fmt.Fprintf(w, "# HELP ipim_router_workers_swept_total Workers expired by the heartbeat TTL sweep.\n")
+	fmt.Fprintf(w, "# TYPE ipim_router_workers_swept_total counter\n")
+	fmt.Fprintf(w, "ipim_router_workers_swept_total %d\n", mt.sweptDown)
+	fmt.Fprintf(w, "# HELP ipim_tenant_rejections_total Admissions refused with a full tenant queue.\n")
+	fmt.Fprintf(w, "# TYPE ipim_tenant_rejections_total counter\n")
+	fmt.Fprintf(w, "ipim_tenant_rejections_total %d\n", mt.rejectedTenant)
+
+	if mt.workerStates != nil {
+		counts := mt.workerStates()
+		states := make([]string, 0, len(counts))
+		for s := range counts {
+			states = append(states, s)
+		}
+		sort.Strings(states)
+		fmt.Fprintf(w, "# HELP ipim_router_workers Known workers, by state.\n")
+		fmt.Fprintf(w, "# TYPE ipim_router_workers gauge\n")
+		for _, s := range states {
+			fmt.Fprintf(w, "ipim_router_workers{state=%q} %d\n", s, counts[s])
+		}
+	}
+	if mt.readyCount != nil {
+		fmt.Fprintf(w, "# HELP ipim_router_ready_workers Workers currently in the routing ring.\n")
+		fmt.Fprintf(w, "# TYPE ipim_router_ready_workers gauge\n")
+		fmt.Fprintf(w, "ipim_router_ready_workers %d\n", mt.readyCount())
+	}
+	if mt.tenantDepths != nil {
+		depths := mt.tenantDepths()
+		tenants := make([]string, 0, len(depths))
+		for t := range depths {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		fmt.Fprintf(w, "# HELP ipim_tenant_queue_depth Requests waiting for admission, by tenant.\n")
+		fmt.Fprintf(w, "# TYPE ipim_tenant_queue_depth gauge\n")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "ipim_tenant_queue_depth{tenant=%q} %d\n", t, depths[t])
+		}
+	}
+	if mt.inflight != nil {
+		fmt.Fprintf(w, "# HELP ipim_router_inflight Admitted requests currently in flight.\n")
+		fmt.Fprintf(w, "# TYPE ipim_router_inflight gauge\n")
+		fmt.Fprintf(w, "ipim_router_inflight %d\n", mt.inflight())
+	}
+
+	fmt.Fprintf(w, "# HELP ipim_router_uptime_seconds Seconds since the router started.\n")
+	fmt.Fprintf(w, "# TYPE ipim_router_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "ipim_router_uptime_seconds %g\n", time.Since(mt.start).Seconds())
+}

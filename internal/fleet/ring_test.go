@@ -1,0 +1,170 @@
+package fleet
+
+// Ring invariants the fleet's correctness hangs on: placement is a
+// pure function of the member SET (insertion order invisible), and
+// removing a member moves only that member's keys.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("art|Workload%d|opt|32x16", i)
+	}
+	return keys
+}
+
+// TestRingPlacementIgnoresInsertionOrder: every permutation of the
+// member set places every key identically.
+func TestRingPlacementIgnoresInsertionOrder(t *testing.T) {
+	members := []string{"http://w0", "http://w1", "http://w2", "http://w3"}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+	keys := ringKeys(200)
+
+	want := map[string]string{}
+	for pi, perm := range perms {
+		r := NewRing(0)
+		for _, i := range perm {
+			r.Add(members[i])
+		}
+		for _, k := range keys {
+			m, ok := r.Lookup(k)
+			if !ok {
+				t.Fatal("lookup on a populated ring failed")
+			}
+			if pi == 0 {
+				want[k] = m
+			} else if m != want[k] {
+				t.Fatalf("perm %v places %q on %s; perm %v placed it on %s", perm, k, m, perms[0], want[k])
+			}
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyTheRemovedMembersKeys: after removing one
+// member, every key it did not own keeps its owner, and its own keys
+// land on survivors.
+func TestRingRemovalMovesOnlyTheRemovedMembersKeys(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"http://w0", "http://w1", "http://w2", "http://w3"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	keys := ringKeys(1000)
+	before := map[string]string{}
+	owned := 0
+	const victim = "http://w2"
+	for _, k := range keys {
+		m, _ := r.Lookup(k)
+		before[k] = m
+		if m == victim {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("victim owned no keys; the test proves nothing")
+	}
+
+	r.Remove(victim)
+	for _, k := range keys {
+		m, ok := r.Lookup(k)
+		if !ok {
+			t.Fatal("lookup failed after removal")
+		}
+		if m == victim {
+			t.Fatalf("%q still placed on the removed member", k)
+		}
+		if before[k] != victim && m != before[k] {
+			t.Fatalf("%q moved from %s to %s although %s was removed", k, before[k], m, victim)
+		}
+	}
+
+	// Re-adding restores the exact original placement (same member set
+	// → same ring, by the insertion-order invariant).
+	r.Add(victim)
+	for _, k := range keys {
+		if m, _ := r.Lookup(k); m != before[k] {
+			t.Fatalf("%q on %s after re-add, originally %s", k, m, before[k])
+		}
+	}
+}
+
+// TestRingLookupNFailoverOrder: owner first, all distinct, capped at
+// the member count, and dropping the owner promotes exactly the next
+// member in the failover order.
+func TestRingLookupNFailoverOrder(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("http://w%d", i))
+	}
+	for _, k := range ringKeys(50) {
+		order := r.LookupN(k, 10)
+		if len(order) != 4 {
+			t.Fatalf("LookupN returned %d members, want all 4", len(order))
+		}
+		owner, _ := r.Lookup(k)
+		if order[0] != owner {
+			t.Fatalf("LookupN[0] = %s, Lookup = %s", order[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("LookupN repeated %s", m)
+			}
+			seen[m] = true
+		}
+	}
+	// Failover contract: remove a key's owner and its keys land on the
+	// member LookupN named second.
+	k := ringKeys(1)[0]
+	order := r.LookupN(k, 2)
+	r.Remove(order[0])
+	if m, _ := r.Lookup(k); m != order[1] {
+		t.Fatalf("after removing the owner, %q went to %s, want the failover candidate %s", k, m, order[1])
+	}
+}
+
+// TestRingSpread: with virtual nodes, no member of a 4-member ring
+// starves (a sanity floor, not a tight balance claim).
+func TestRingSpread(t *testing.T) {
+	r := NewRing(0)
+	counts := map[string]int{}
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("http://w%d", i))
+	}
+	keys := ringKeys(1000)
+	for _, k := range keys {
+		m, _ := r.Lookup(k)
+		counts[m]++
+	}
+	for m, n := range counts {
+		if n < len(keys)/20 {
+			t.Errorf("member %s owns only %d/%d keys", m, n, len(keys))
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the edges: empty ring refuses, a
+// single member owns everything.
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Lookup("k"); ok {
+		t.Fatal("empty ring claimed to place a key")
+	}
+	if got := r.LookupN("k", 3); got != nil {
+		t.Fatalf("empty ring LookupN = %v, want nil", got)
+	}
+	r.Add("http://only")
+	for _, k := range ringKeys(10) {
+		if m, _ := r.Lookup(k); m != "http://only" {
+			t.Fatalf("single-member ring placed %q on %s", k, m)
+		}
+	}
+	r.Remove("http://only")
+	if r.Len() != 0 {
+		t.Fatal("remove left members behind")
+	}
+}

@@ -1,0 +1,515 @@
+package fleet
+
+// The router proper: tenant admission, key derivation, forwarding with
+// health-aware failover, and the stream relay.
+//
+// Failure model: a transport-level error talking to a worker marks it
+// down and re-Picks — the ring without the dead member hands the key
+// to its new owner, and by the simulator's determinism contract the
+// replayed work is byte-identical, so failover is invisible to the
+// client. Application-level errors (4xx/5xx a worker chose to send)
+// are relayed as-is: they are deterministic and would recur anywhere.
+//
+// The stream relay buffers one whole output frame at a time: the
+// client never sees a torn frame, and on a mid-stream worker death the
+// router re-dispatches exactly the input frames whose outputs it has
+// not yet relayed.
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipim/internal/pixel"
+)
+
+// Config configures a Router. The zero value is usable.
+type Config struct {
+	// Vnodes is the consistent-hash ring's virtual-node count per
+	// worker (default 64).
+	Vnodes int
+	// WorkerTTL expires workers whose heartbeats stop (default 3s);
+	// SweepInterval is how often the expiry scan runs (default 500ms).
+	WorkerTTL     time.Duration
+	SweepInterval time.Duration
+	// FailoverAttempts bounds how many non-progressing worker switches
+	// one request survives before failing (default 2). A switch that
+	// relayed at least one stream frame resets the budget.
+	FailoverAttempts int
+	// MaxInflight caps admitted requests fleet-wide (default 64);
+	// TenantQueueCap bounds each tenant's admission queue (default 64);
+	// Tenants configures the weighted tenants (a weight-1 "default" is
+	// always present).
+	MaxInflight    int
+	TenantQueueCap int
+	Tenants        []TenantConfig
+	// MaxBodyBytes bounds request bodies (default 64 MiB; the router
+	// buffers bodies so it can replay them on failover).
+	MaxBodyBytes int64
+	// Logger receives access and failover logs (default: discard).
+	Logger *log.Logger
+	// Client performs the worker-side requests (default: a client with
+	// no overall timeout — streams are long-lived; worker liveness is
+	// the heartbeat's job).
+	Client *http.Client
+}
+
+func (c *Config) fillDefaults() {
+	if c.WorkerTTL == 0 {
+		c.WorkerTTL = 3 * time.Second
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = 500 * time.Millisecond
+	}
+	if c.FailoverAttempts == 0 {
+		c.FailoverAttempts = 2
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+}
+
+// Router is the fleet front tier. Create with New, mount it (it
+// implements http.Handler), call Close on shutdown.
+type Router struct {
+	cfg     Config
+	reg     *Registry
+	sched   *Scheduler
+	metrics *routerMetrics
+	mux     *http.ServeMux
+
+	stopSweep chan struct{}
+	sweepDone chan struct{}
+}
+
+// New builds the registry, admission scheduler and routes, and starts
+// the heartbeat-TTL sweeper.
+func New(cfg Config) *Router {
+	cfg.fillDefaults()
+	rt := &Router{
+		cfg:       cfg,
+		reg:       NewRegistry(cfg.Vnodes, cfg.WorkerTTL),
+		sched:     NewScheduler(cfg.MaxInflight, cfg.TenantQueueCap, cfg.Tenants),
+		metrics:   newRouterMetrics(),
+		mux:       http.NewServeMux(),
+		stopSweep: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	rt.metrics.workerStates = rt.reg.stateCounts
+	rt.metrics.readyCount = rt.reg.ReadyCount
+	rt.metrics.tenantDepths = rt.sched.Depths
+	rt.metrics.inflight = rt.sched.Inflight
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/fleet/register", rt.handleRegister)
+	rt.mux.HandleFunc("/fleet/workers", rt.handleWorkers)
+	rt.mux.HandleFunc("/", rt.route)
+	go rt.sweeper()
+	return rt
+}
+
+// Close stops the TTL sweeper.
+func (rt *Router) Close() {
+	select {
+	case <-rt.stopSweep:
+	default:
+		close(rt.stopSweep)
+		<-rt.sweepDone
+	}
+}
+
+func (rt *Router) sweeper() {
+	defer close(rt.sweepDone)
+	tick := time.NewTicker(rt.cfg.SweepInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stopSweep:
+			return
+		case <-tick.C:
+			if n := rt.reg.Sweep(); n > 0 {
+				rt.metrics.add(&rt.metrics.sweptDown, int64(n))
+				rt.cfg.Logger.Printf("fleet: swept %d worker(s) whose heartbeats expired", n)
+			}
+		}
+	}
+}
+
+// ServeHTTP wraps the routes with access logging and metrics.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	rt.mux.ServeHTTP(rec, r)
+	rt.metrics.observeRequest(routeLabel(r.URL.Path), rec.status)
+	rt.cfg.Logger.Printf("method=%s path=%s status=%d dur=%s remote=%s",
+		r.Method, r.URL.Path, rec.status, time.Since(t0).Round(time.Microsecond), r.RemoteAddr)
+}
+
+// routeLabel bounds the metrics route cardinality.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/readyz", "/metrics", "/fleet/register", "/fleet/workers",
+		"/v1/workloads", "/v1/process", "/v1/stream", "/v1/simb", "/v1/tune":
+		return path
+	}
+	return "other"
+}
+
+// statusRecorder mirrors internal/serve's: status capture for metrics,
+// with Unwrap so the stream relay can flush per frame.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.status = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz: the router is ready when it can route, i.e. at least
+// one worker is in the ring.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if rt.reg.ReadyCount() == 0 {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no ready workers", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.metrics.write(w)
+}
+
+// handleRegister accepts one worker heartbeat:
+// POST /fleet/register?addr=http://host:port&state=ready.
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	addr := q.Get("addr")
+	u, err := url.Parse(addr)
+	if addr == "" || err != nil || u.Scheme == "" || u.Host == "" {
+		http.Error(w, "addr must be the worker's absolute base URL", http.StatusBadRequest)
+		return
+	}
+	state := q.Get("state")
+	if state == "" {
+		state = StateReady
+	}
+	if err := rt.reg.Beat(addr, state); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rt.metrics.add(&rt.metrics.beats, 1)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleWorkers lists the fleet as JSON (operator visibility).
+func (rt *Router) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"workers": rt.reg.Snapshot()})
+}
+
+// routingKey derives the placement key for a request. Artifact-shaped
+// requests (/v1/process, /v1/stream) key on (workload, opts, geometry)
+// — exactly the worker's compile-cache key, so one worker owns each
+// artifact's compilation, cache entry and tuning. /v1/simb keys on the
+// program hash. Anything else keys on its path (any worker can serve
+// it; the ring just makes the choice stable).
+func (rt *Router) routingKey(r *http.Request, body []byte) string {
+	q := r.URL.Query()
+	switch r.URL.Path {
+	case "/v1/process", "/v1/stream":
+		opts := q.Get("opts")
+		if opts == "" {
+			opts = "opt"
+		}
+		if _, w, h, err := pixel.NetpbmDims(body); err == nil {
+			return fmt.Sprintf("art|%s|%s|%dx%d", q.Get("workload"), opts, w, h)
+		}
+		return "art|" + q.Get("workload") + "|" + opts
+	case "/v1/simb":
+		sum := sha256.Sum256(body)
+		return "simb|" + hex.EncodeToString(sum[:8])
+	}
+	return "meta|" + r.URL.Path
+}
+
+// route is the catch-all proxy: admit, key, forward with failover.
+func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	tenant := r.Header.Get("X-Ipim-Tenant")
+	if err := rt.sched.Acquire(r.Context(), tenant); err != nil {
+		if errors.Is(err, ErrTenantQueueFull) {
+			rt.metrics.add(&rt.metrics.rejectedTenant, 1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, err.Error(), statusClientClosedRequest)
+		return
+	}
+	defer rt.sched.Release()
+
+	key := rt.routingKey(r, body)
+	if r.URL.Path == "/v1/stream" && r.Method == http.MethodPost {
+		rt.relayStream(w, r, body, key)
+		return
+	}
+	rt.forwardOnce(w, r, body, key)
+}
+
+// statusClientClosedRequest mirrors internal/serve's 499.
+const statusClientClosedRequest = 499
+
+// forwardOnce proxies one buffered request to the key's owner,
+// failing over on transport errors. Worker responses — success or
+// error — are relayed verbatim plus an X-Ipim-Worker header.
+func (rt *Router) forwardOnce(w http.ResponseWriter, r *http.Request, body []byte, key string) {
+	for attempt := 0; ; attempt++ {
+		addr, ok := rt.reg.Pick(key)
+		if !ok {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "no ready workers", http.StatusServiceUnavailable)
+			return
+		}
+		resp, err := rt.forward(r, addr, body)
+		if err != nil {
+			rt.reg.MarkDown(addr)
+			rt.metrics.add(&rt.metrics.failovers, 1)
+			rt.cfg.Logger.Printf("fleet: worker %s failed (%v), failing over", addr, err)
+			if attempt >= rt.cfg.FailoverAttempts {
+				http.Error(w, fmt.Sprintf("no worker could serve the request (last: %v)", err), http.StatusBadGateway)
+				return
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		h := w.Header()
+		for name, vals := range resp.Header {
+			h[name] = vals
+		}
+		h.Set("X-Ipim-Worker", addr)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+}
+
+// forward issues the worker-side copy of a request.
+func (rt *Router) forward(r *http.Request, addr string, body []byte) (*http.Response, error) {
+	u := addr + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for name, vals := range r.Header {
+		req.Header[name] = vals
+	}
+	return rt.cfg.Client.Do(req)
+}
+
+// relayStream proxies /v1/stream with sticky placement and mid-stream
+// failover: the stream's input frames go to the key's owner, output
+// frames are relayed one whole frame at a time, and when the upstream
+// dies after frame k the router re-dispatches input frames k..n-1 to
+// the key's next owner. Determinism makes the spliced output
+// byte-identical to an undisturbed stream.
+func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, body []byte, key string) {
+	frames, _, _, err := pixel.SplitPGMFrames(body, 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// frames are subslices of body, so the not-yet-relayed suffix
+	// starting at input frame k is body[offsets[k]:].
+	offsets := make([]int, len(frames))
+	off := 0
+	for i, f := range frames {
+		offsets[i] = off
+		off += len(f)
+	}
+
+	rc := http.NewResponseController(w)
+	sent := 0 // output frames relayed to the client
+	dispatches := 0
+	failures := 0 // consecutive worker switches with no progress
+	for sent < len(frames) {
+		addr, ok := rt.reg.Pick(key)
+		if !ok {
+			rt.streamFail(w, sent, "no ready workers", http.StatusServiceUnavailable)
+			return
+		}
+		resp, err := rt.forward(r, addr, body[offsets[sent]:])
+		if err != nil {
+			rt.reg.MarkDown(addr)
+			rt.metrics.add(&rt.metrics.failovers, 1)
+			rt.cfg.Logger.Printf("fleet: stream worker %s failed before responding (%v)", addr, err)
+			if failures++; failures > rt.cfg.FailoverAttempts {
+				rt.streamFail(w, sent, "no worker could serve the stream", http.StatusBadGateway)
+				return
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			// A deterministic application-level rejection: relay it on a
+			// fresh stream, abort a committed one.
+			if sent > 0 {
+				resp.Body.Close()
+				panic(http.ErrAbortHandler)
+			}
+			defer resp.Body.Close()
+			h := w.Header()
+			for name, vals := range resp.Header {
+				h[name] = vals
+			}
+			h.Set("X-Ipim-Worker", addr)
+			w.WriteHeader(resp.StatusCode)
+			io.Copy(w, resp.Body)
+			return
+		}
+		if dispatches == 0 {
+			h := w.Header()
+			for name, vals := range resp.Header {
+				h[name] = vals
+			}
+			h.Set("X-Ipim-Worker", addr)
+			// The upstream count covers the suffix; the client gets the
+			// whole stream.
+			h.Set("X-Ipim-Stream-Frames", strconv.Itoa(len(frames)))
+		}
+		dispatches++
+		progressed := false
+		br := bufio.NewReader(resp.Body)
+		for sent < len(frames) {
+			frame, ferr := readPGMFrame(br)
+			if ferr != nil {
+				break // torn or short upstream: fail over below
+			}
+			if _, werr := w.Write(frame); werr != nil {
+				resp.Body.Close()
+				return // client went away
+			}
+			rc.Flush()
+			sent++
+			progressed = true
+			rt.metrics.add(&rt.metrics.framesRelayed, 1)
+		}
+		resp.Body.Close()
+		if sent < len(frames) {
+			rt.reg.MarkDown(addr)
+			rt.metrics.add(&rt.metrics.failovers, 1)
+			rt.cfg.Logger.Printf("fleet: stream to %s died after %d/%d frame(s), failing over", addr, sent, len(frames))
+			if progressed {
+				failures = 0
+			} else if failures++; failures > rt.cfg.FailoverAttempts {
+				rt.streamFail(w, sent, "no worker could finish the stream", http.StatusBadGateway)
+				return
+			}
+		}
+	}
+	rt.metrics.add(&rt.metrics.streams, 1)
+}
+
+// streamFail reports a stream that cannot continue: a clean error on a
+// fresh stream, a torn connection on a committed one (the status line
+// is gone; a short 200 body would be a lie).
+func (rt *Router) streamFail(w http.ResponseWriter, sent int, msg string, code int) {
+	if sent > 0 {
+		panic(http.ErrAbortHandler)
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, msg, code)
+}
+
+// readPGMFrame reads one canonical binary PGM frame — the exact form
+// the worker's encoder emits ("P5\n<w> <h>\n255\n" + w*h bytes) — and
+// returns its verbatim bytes. io.EOF before the first byte means the
+// upstream body ended cleanly.
+func readPGMFrame(br *bufio.Reader) ([]byte, error) {
+	l1, err := br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	if l1 != "P5\n" {
+		return nil, fmt.Errorf("fleet: upstream frame does not start with P5")
+	}
+	l2, err := br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	var fw, fh int
+	if _, err := fmt.Sscanf(l2, "%d %d", &fw, &fh); err != nil || fw <= 0 || fh <= 0 || fw*fh > 1<<30 {
+		return nil, fmt.Errorf("fleet: bad upstream frame geometry %q", strings.TrimSpace(l2))
+	}
+	l3, err := br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	if l3 != "255\n" {
+		return nil, fmt.Errorf("fleet: bad upstream frame maxval %q", strings.TrimSpace(l3))
+	}
+	frame := make([]byte, 0, len(l1)+len(l2)+len(l3)+fw*fh)
+	frame = append(frame, l1...)
+	frame = append(frame, l2...)
+	frame = append(frame, l3...)
+	px := make([]byte, fw*fh)
+	if _, err := io.ReadFull(br, px); err != nil {
+		return nil, err
+	}
+	return append(frame, px...), nil
+}

@@ -1,0 +1,194 @@
+package fleet
+
+// Per-tenant QoS: admission control in front of the fleet. A global
+// in-flight cap bounds how much work the router lets loose on the
+// workers (their own queues provide per-process backpressure; this is
+// the fleet-wide valve). When the cap is reached, arrivals wait in
+// bounded per-tenant FIFO queues, and freed slots are handed out by
+// smooth weighted round-robin — a tenant with weight 3 gets 3 slots
+// for every 1 a weight-1 tenant gets, interleaved smoothly rather than
+// in bursts, and an idle tenant's share flows to the active ones.
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ErrTenantQueueFull rejects an arrival whose tenant queue is at
+// capacity (HTTP 429 at the router).
+var ErrTenantQueueFull = errors.New("fleet: tenant queue full")
+
+// DefaultTenant is the bucket for requests with no (or an unknown)
+// X-Ipim-Tenant header.
+const DefaultTenant = "default"
+
+// TenantConfig names one tenant and its scheduling weight.
+type TenantConfig struct {
+	Name   string
+	Weight int
+}
+
+// tenantQ is one tenant's queue and smooth-WRR state.
+type tenantQ struct {
+	name    string
+	weight  int
+	current int // smooth-WRR accumulator
+	waiters []chan struct{}
+}
+
+// Scheduler is the admission controller. Goroutine-safe.
+type Scheduler struct {
+	mu          sync.Mutex
+	maxInflight int
+	queueCap    int
+	inflight    int
+	waiting     int
+	tenants     map[string]*tenantQ
+	order       []string // sorted tenant names: deterministic iteration
+}
+
+// NewScheduler builds the admission controller. maxInflight <= 0
+// defaults to 64, queueCap <= 0 to 64 per tenant. A "default" tenant
+// (weight 1) is added unless configured explicitly.
+func NewScheduler(maxInflight, queueCap int, tenants []TenantConfig) *Scheduler {
+	if maxInflight <= 0 {
+		maxInflight = 64
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	s := &Scheduler{
+		maxInflight: maxInflight,
+		queueCap:    queueCap,
+		tenants:     map[string]*tenantQ{},
+	}
+	for _, tc := range tenants {
+		w := tc.Weight
+		if w < 1 {
+			w = 1
+		}
+		s.tenants[tc.Name] = &tenantQ{name: tc.Name, weight: w}
+	}
+	if _, ok := s.tenants[DefaultTenant]; !ok {
+		s.tenants[DefaultTenant] = &tenantQ{name: DefaultTenant, weight: 1}
+	}
+	for name := range s.tenants {
+		s.order = append(s.order, name)
+	}
+	sort.Strings(s.order)
+	return s
+}
+
+// normalize maps a request's tenant header onto a configured tenant.
+func (s *Scheduler) normalize(tenant string) string {
+	if _, ok := s.tenants[tenant]; !ok {
+		return DefaultTenant
+	}
+	return tenant
+}
+
+// Acquire admits one request, blocking in the tenant's queue when the
+// global cap is reached. Returns nil once admitted (pair with
+// Release), ErrTenantQueueFull when the tenant queue is at capacity,
+// or the context error if the caller gives up first.
+func (s *Scheduler) Acquire(ctx context.Context, tenant string) error {
+	s.mu.Lock()
+	tq := s.tenants[s.normalize(tenant)]
+	// Jumping the line while others wait would defeat the weights, so a
+	// free slot is taken directly only when no one is queued.
+	if s.inflight < s.maxInflight && s.waiting == 0 {
+		s.inflight++
+		s.mu.Unlock()
+		return nil
+	}
+	if len(tq.waiters) >= s.queueCap {
+		s.mu.Unlock()
+		return ErrTenantQueueFull
+	}
+	grant := make(chan struct{})
+	tq.waiters = append(tq.waiters, grant)
+	s.waiting++
+	s.mu.Unlock()
+
+	select {
+	case <-grant:
+		return nil // dispatch already counted us in-flight
+	case <-ctx.Done():
+		s.mu.Lock()
+		removed := false
+		for i, w := range tq.waiters {
+			if w == grant {
+				tq.waiters = append(tq.waiters[:i], tq.waiters[i+1:]...)
+				s.waiting--
+				removed = true
+				break
+			}
+		}
+		s.mu.Unlock()
+		if !removed {
+			// The grant raced the cancellation: the slot is ours, give
+			// it back.
+			s.Release()
+		}
+		return ctx.Err()
+	}
+}
+
+// Release returns an admitted request's slot and hands freed capacity
+// to queued waiters by smooth weighted round-robin.
+func (s *Scheduler) Release() {
+	s.mu.Lock()
+	s.inflight--
+	for s.inflight < s.maxInflight && s.waiting > 0 {
+		tq := s.swrrPickLocked()
+		grant := tq.waiters[0]
+		tq.waiters = tq.waiters[1:]
+		s.waiting--
+		s.inflight++
+		close(grant)
+	}
+	s.mu.Unlock()
+}
+
+// swrrPickLocked runs one smooth-WRR round over the tenants that have
+// waiters: every contender gains its weight, the richest wins and pays
+// the total active weight back. Ties break by name so the schedule is
+// deterministic.
+func (s *Scheduler) swrrPickLocked() *tenantQ {
+	total := 0
+	var best *tenantQ
+	for _, name := range s.order {
+		tq := s.tenants[name]
+		if len(tq.waiters) == 0 {
+			continue
+		}
+		total += tq.weight
+		tq.current += tq.weight
+		if best == nil || tq.current > best.current {
+			best = tq
+		}
+	}
+	best.current -= total
+	return best
+}
+
+// Depths snapshots every tenant's queue depth (including zeros, so the
+// metrics series set stays fixed).
+func (s *Scheduler) Depths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.tenants))
+	for name, tq := range s.tenants {
+		out[name] = len(tq.waiters)
+	}
+	return out
+}
+
+// Inflight reports the number of admitted requests.
+func (s *Scheduler) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}

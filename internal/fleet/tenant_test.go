@@ -1,0 +1,150 @@
+package fleet
+
+// Admission-control contract: smooth-WRR grant order follows the
+// weights exactly, tenant queues are bounded, and a cancelled waiter
+// leaves no residue.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitDepth polls until the tenant's queue reaches depth n.
+func waitDepth(t *testing.T, s *Scheduler, tenant string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Depths()[tenant] >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("tenant %s never reached queue depth %d (depths: %v)", tenant, n, s.Depths())
+}
+
+// TestSchedulerSmoothWRRGrantOrder pins the exact smooth-WRR schedule:
+// weights a=3, b=1 with both queues full grant a,a,b,a,a,a,b,a.
+func TestSchedulerSmoothWRRGrantOrder(t *testing.T) {
+	s := NewScheduler(1, 16, []TenantConfig{{Name: "a", Weight: 3}, {Name: "b", Weight: 1}})
+
+	// Occupy the only slot so every arrival queues.
+	if err := s.Acquire(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []string
+	var wg sync.WaitGroup
+	enqueue := func(tenant string, n int) {
+		for i := 0; i < n; i++ {
+			start := s.Depths()[tenant]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := s.Acquire(context.Background(), tenant); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				got = append(got, tenant)
+				mu.Unlock()
+				s.Release()
+			}()
+			waitDepth(t, s, tenant, start+1)
+		}
+	}
+	enqueue("a", 6)
+	enqueue("b", 2)
+
+	s.Release() // free the slot; grants cascade one at a time
+	wg.Wait()
+
+	want := []string{"a", "a", "b", "a", "a", "a", "b", "a"}
+	if len(got) != len(want) {
+		t.Fatalf("granted %d waiters, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSchedulerQueueCap: a tenant at queue capacity is rejected, not
+// blocked.
+func TestSchedulerQueueCap(t *testing.T) {
+	s := NewScheduler(1, 2, nil)
+	if err := s.Acquire(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		start := s.Depths()[DefaultTenant]
+		go func() {
+			errs <- s.Acquire(context.Background(), "")
+		}()
+		waitDepth(t, s, DefaultTenant, start+1)
+	}
+	if err := s.Acquire(context.Background(), ""); !errors.Is(err, ErrTenantQueueFull) {
+		t.Fatalf("third waiter: err = %v, want ErrTenantQueueFull", err)
+	}
+	s.Release()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+		s.Release()
+	}
+}
+
+// TestSchedulerCancelledWaiterLeavesNoResidue: a waiter that gives up
+// is removed from its queue, and the slots keep flowing.
+func TestSchedulerCancelledWaiterLeavesNoResidue(t *testing.T) {
+	s := NewScheduler(1, 8, nil)
+	if err := s.Acquire(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 1)
+	go func() { errs <- s.Acquire(ctx, "") }()
+	waitDepth(t, s, DefaultTenant, 1)
+	cancel()
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: err = %v, want context.Canceled", err)
+	}
+	if d := s.Depths()[DefaultTenant]; d != 0 {
+		t.Fatalf("queue depth after cancellation = %d, want 0", d)
+	}
+	s.Release()
+	// The slot is free again: an immediate acquire succeeds.
+	if err := s.Acquire(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+	if got := s.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+}
+
+// TestSchedulerUnknownTenantUsesDefault: an unconfigured tenant name
+// lands in the default bucket.
+func TestSchedulerUnknownTenantUsesDefault(t *testing.T) {
+	s := NewScheduler(1, 8, []TenantConfig{{Name: "paid", Weight: 4}})
+	if err := s.Acquire(context.Background(), "nobody-configured-this"); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 1)
+	go func() { errs <- s.Acquire(context.Background(), "also-unknown") }()
+	waitDepth(t, s, DefaultTenant, 1)
+	if d := s.Depths()["paid"]; d != 0 {
+		t.Fatalf("paid queue depth = %d, want 0", d)
+	}
+	s.Release()
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+}

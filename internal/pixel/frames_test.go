@@ -1,0 +1,109 @@
+package pixel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func encodePGM(t *testing.T, im *Image) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSplitPGMFramesRoundTrip(t *testing.T) {
+	var body []byte
+	var want [][]byte
+	for seed := uint64(1); seed <= 4; seed++ {
+		f := encodePGM(t, Synth(16, 8, seed))
+		want = append(want, f)
+		body = append(body, f...)
+	}
+	frames, w, h, err := SplitPGMFrames(body, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 16 || h != 8 {
+		t.Fatalf("geometry = %dx%d, want 16x8", w, h)
+	}
+	if len(frames) != len(want) {
+		t.Fatalf("split %d frames, want %d", len(frames), len(want))
+	}
+	for i := range frames {
+		if !bytes.Equal(frames[i], want[i]) {
+			t.Errorf("frame %d differs from its encoding", i)
+		}
+		if _, err := ReadPGM(bytes.NewReader(frames[i])); err != nil {
+			t.Errorf("frame %d does not re-decode: %v", i, err)
+		}
+	}
+}
+
+func TestSplitPGMFramesWithComments(t *testing.T) {
+	// A frame with a header comment still delimits exactly.
+	withComment := []byte("P5\n# a comment\n4 2\n255\n01234567")
+	body := append(append([]byte{}, withComment...), encodePGM(t, Synth(4, 2, 9))...)
+	frames, w, h, err := SplitPGMFrames(body, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 || w != 4 || h != 2 {
+		t.Fatalf("frames=%d %dx%d, want 2 frames of 4x2", len(frames), w, h)
+	}
+	if !bytes.Equal(frames[0], withComment) {
+		t.Error("comment frame mis-delimited")
+	}
+}
+
+func TestSplitPGMFramesErrors(t *testing.T) {
+	good := encodePGM(t, Synth(8, 4, 1))
+	other := encodePGM(t, Synth(4, 4, 1))
+	cases := []struct {
+		name string
+		body []byte
+		max  int
+		want string
+	}{
+		{"empty", nil, 0, "empty stream"},
+		{"not pgm", []byte("P6\n2 2\n255\n" + strings.Repeat("x", 12)), 0, "not a binary PGM"},
+		{"garbage", []byte("hello world"), 0, "magic"},
+		{"short frame", good[:len(good)-3], 0, "short PGM frame"},
+		{"trailing garbage", append(append([]byte{}, good...), 'x'), 0, "magic"},
+		{"mixed dims", append(append([]byte{}, good...), other...), 0, "must share one geometry"},
+		{"too many", append(append([]byte{}, good...), good...), 1, "exceeds 1 frames"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, err := SplitPGMFrames(tc.body, tc.max)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNetpbmDims(t *testing.T) {
+	pgm := encodePGM(t, Synth(32, 16, 1))
+	magic, w, h, err := NetpbmDims(pgm)
+	if err != nil || magic != "P5" || w != 32 || h != 16 {
+		t.Fatalf("PGM dims = %s %dx%d (%v), want P5 32x16", magic, w, h, err)
+	}
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, Synth(8, 4, 1), Synth(8, 4, 2), Synth(8, 4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	magic, w, h, err = NetpbmDims(buf.Bytes())
+	if err != nil || magic != "P6" || w != 8 || h != 4 {
+		t.Fatalf("PPM dims = %s %dx%d (%v), want P6 8x4", magic, w, h, err)
+	}
+	if _, _, _, err := NetpbmDims([]byte("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, _, _, err := NetpbmDims([]byte("P7\n1 1\n255\nx")); err == nil {
+		t.Fatal("P7 accepted")
+	}
+}

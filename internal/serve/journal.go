@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 )
@@ -92,6 +93,22 @@ func (j *ckptJournal) remove(id string) {
 	os.Remove(j.path(id))
 }
 
+// ids lists the job ids of every journal entry on disk — the boot-time
+// backlog inventory the readiness gate tracks (see recoveryState).
+func (j *ckptJournal) ids() []string {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil
+	}
+	var ids []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ckptExt {
+			ids = append(ids, strings.TrimSuffix(e.Name(), ckptExt))
+		}
+	}
+	return ids
+}
+
 // pending counts journal entries awaiting a resuming request — the
 // startup-scan inventory and the ipim_checkpoint_journal_pending gauge.
 func (j *ckptJournal) pending() int {
@@ -106,6 +123,56 @@ func (j *ckptJournal) pending() int {
 		}
 	}
 	return n
+}
+
+// recoveryState gates /readyz on the checkpoint-journal backlog the
+// server BOOTED with. Only boot-time entries count: a journal entry
+// written for an in-flight run must not flip readiness, or every
+// journaled request would bounce the worker out of the balancer. Each
+// backlog id is ticked off when its entry is removed (resumed to
+// completion, or discarded as unusable), and the whole gate expires at
+// the recovery-grace deadline so a backlog nobody re-submits cannot
+// park the worker in not-ready forever. A nil *recoveryState (no
+// journal) reports an empty backlog.
+type recoveryState struct {
+	mu       sync.Mutex
+	ids      map[string]struct{}
+	deadline time.Time
+}
+
+// newRecoveryState records the boot-time journal inventory; grace
+// bounds how long the backlog may hold readiness down.
+func newRecoveryState(ids []string, grace time.Duration) *recoveryState {
+	rs := &recoveryState{ids: make(map[string]struct{}, len(ids)), deadline: time.Now().Add(grace)}
+	for _, id := range ids {
+		rs.ids[id] = struct{}{}
+	}
+	return rs
+}
+
+// done ticks a job off the backlog (no-op for ids journaled after
+// boot, and on a nil receiver).
+func (rs *recoveryState) done(id string) {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	delete(rs.ids, id)
+	rs.mu.Unlock()
+}
+
+// backlog returns how many boot-time journal entries still await
+// resume, or 0 once the grace deadline has passed.
+func (rs *recoveryState) backlog() int {
+	if rs == nil {
+		return 0
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.ids) == 0 || time.Now().After(rs.deadline) {
+		return 0
+	}
+	return len(rs.ids)
 }
 
 // jobID derives the journal key for one plane run of one request: a

@@ -45,6 +45,10 @@ type metrics struct {
 	ckptWrites  int64
 	ckptBytes   int64
 
+	// Streaming accounting (/v1/stream).
+	streams      int64
+	streamFrames int64
+
 	// Live gauges, sampled at render time.
 	queueDepth          func() int64
 	cacheStats          func() cacheStats
@@ -56,6 +60,7 @@ type metrics struct {
 	degraded            func() bool
 	tuneSnapshot        func() tuneSnapshot // nil when tuning is disabled
 	journalPending      func() int          // nil when journaling is disabled
+	recoveryBacklog     func() int          // nil when journaling is disabled
 }
 
 // routeHist is one route's latency histogram: per-bucket counts (last
@@ -133,6 +138,15 @@ func (mt *metrics) observeCheckpoint(bytes int) {
 	defer mt.mu.Unlock()
 	mt.ckptWrites++
 	mt.ckptBytes += int64(bytes)
+}
+
+// observeStream records one completed stream and how many output
+// frames it delivered.
+func (mt *metrics) observeStream(frames int64) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.streams++
+	mt.streamFrames += frames
 }
 
 // write renders the registry in Prometheus text format. Series are
@@ -265,6 +279,11 @@ func (mt *metrics) write(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE ipim_checkpoint_journal_pending gauge\n")
 		fmt.Fprintf(w, "ipim_checkpoint_journal_pending %d\n", mt.journalPending())
 	}
+	if mt.recoveryBacklog != nil {
+		fmt.Fprintf(w, "# HELP ipim_recovery_backlog Boot-time journal entries still awaiting resume (holds /readyz at 503 until drained or the grace expires).\n")
+		fmt.Fprintf(w, "# TYPE ipim_recovery_backlog gauge\n")
+		fmt.Fprintf(w, "ipim_recovery_backlog %d\n", mt.recoveryBacklog())
+	}
 	if mt.degraded != nil {
 		v := 0
 		if mt.degraded() {
@@ -274,6 +293,13 @@ func (mt *metrics) write(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE ipim_degraded gauge\n")
 		fmt.Fprintf(w, "ipim_degraded %d\n", v)
 	}
+
+	fmt.Fprintf(w, "# HELP ipim_streams_total Multi-frame streams completed on /v1/stream.\n")
+	fmt.Fprintf(w, "# TYPE ipim_streams_total counter\n")
+	fmt.Fprintf(w, "ipim_streams_total %d\n", mt.streams)
+	fmt.Fprintf(w, "# HELP ipim_stream_frames_total Output frames delivered on /v1/stream.\n")
+	fmt.Fprintf(w, "# TYPE ipim_stream_frames_total counter\n")
+	fmt.Fprintf(w, "ipim_stream_frames_total %d\n", mt.streamFrames)
 
 	fmt.Fprintf(w, "# HELP ipim_simulated_cycles_total Accelerator cycles simulated for served requests.\n")
 	fmt.Fprintf(w, "# TYPE ipim_simulated_cycles_total counter\n")

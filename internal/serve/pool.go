@@ -153,6 +153,32 @@ func (p *pool) submit(ctx context.Context, fn func(ctx context.Context, m *ipim.
 	}
 }
 
+// submitWait is submit for jobs whose fn writes to resources the
+// caller owns — e.g. an HTTP response being streamed frame by frame.
+// It never returns while fn may still be running: context expiry still
+// interrupts the run cooperatively through fn's ctx (and a context
+// that expires while the job is queued makes the worker skip it), but
+// submitWait waits for the worker to hand the job back instead of
+// abandoning it, so the caller can safely reclaim whatever fn was
+// writing to.
+func (p *pool) submitWait(ctx context.Context, fn func(ctx context.Context, m *ipim.Machine) error) error {
+	j := &job{ctx: ctx, fn: fn, done: make(chan error, 1)}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return errDraining
+	}
+	select {
+	case p.queue <- j:
+		p.depth.Add(1)
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		return errQueueFull
+	}
+	return <-j.done
+}
+
 // worker owns one machine for the life of the pool and drains the
 // queue until drain closes it.
 func (p *pool) worker(id int, m *ipim.Machine) {

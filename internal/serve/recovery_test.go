@@ -200,6 +200,85 @@ func TestDrainRestartResumesJournal(t *testing.T) {
 	}
 }
 
+// TestReadyzDuringRecoveryBacklog: a worker that boots over a journal
+// with interrupted jobs must answer /readyz with 503 until the backlog
+// is replayed — so a router never routes fresh work onto a worker busy
+// resuming — while journal entries written for in-flight runs must NOT
+// flip readiness, and the grace deadline releases a backlog nobody
+// re-submits.
+func TestReadyzDuringRecoveryBacklog(t *testing.T) {
+	dir := t.TempDir()
+	job := chaosJob{wl: "Brighten", seed: 11}
+	body := chaosBody(t, job.seed)
+	id := jobID("Brighten", "opt", ipim.CycleMode.String(), 0, 0, body)
+
+	// Seed the journal the way a crashed process leaves it: the entry a
+	// client will re-submit, plus an orphan nobody ever will.
+	j, err := newCkptJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []string{id, "deadbeefdeadbeef"} {
+		if err := j.write(e, []byte("boot-time entry")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := testServer(t, func(c *Config) {
+		c.CheckpointDir = dir
+		c.RecoveryGrace = time.Minute
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	readyz := func() int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := readyz(); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with boot backlog = %d, want 503", got)
+	}
+	if got := scrapeMetric(t, ts.URL, "ipim_recovery_backlog"); got != 2 {
+		t.Fatalf("ipim_recovery_backlog = %d, want 2", got)
+	}
+
+	// Replaying the job clears its backlog slot (here the planted entry
+	// is garbage, so the run discards it and starts fresh — removal is
+	// removal either way). A fresh journaled request with a DIFFERENT id
+	// writes and removes its own entry mid-flight; that must not touch
+	// the backlog.
+	if status, _, out := postJob(t, ts.URL, job, body); status != http.StatusOK {
+		t.Fatalf("replayed job: status %d: %s", status, out)
+	}
+	other := chaosJob{wl: "Brighten", seed: 12}
+	if status, _, out := postJob(t, ts.URL, other, chaosBody(t, other.seed)); status != http.StatusOK {
+		t.Fatalf("fresh job: status %d: %s", status, out)
+	}
+	if got := scrapeMetric(t, ts.URL, "ipim_recovery_backlog"); got != 1 {
+		t.Fatalf("ipim_recovery_backlog after replay = %d, want 1 (only the orphan)", got)
+	}
+	if got := readyz(); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with the orphan outstanding = %d, want 503", got)
+	}
+
+	// Only the grace deadline releases the orphan.
+	s.recovery.mu.Lock()
+	s.recovery.deadline = time.Now().Add(-time.Second)
+	s.recovery.mu.Unlock()
+	if got := readyz(); got != http.StatusOK {
+		t.Fatalf("/readyz after grace expiry = %d, want 200", got)
+	}
+	if got := scrapeMetric(t, ts.URL, "ipim_recovery_backlog"); got != 0 {
+		t.Fatalf("ipim_recovery_backlog after grace expiry = %d, want 0", got)
+	}
+}
+
 // TestJitterBackoffSeededAndBounded pins the retry backoff contract:
 // same seed, same schedule; every wait stays within the exponential
 // envelope and the global cap.

@@ -34,6 +34,7 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ipim"
@@ -145,6 +146,41 @@ type Config struct {
 	// TuneQueueCap bounds the background tuning queue (default 16; a
 	// full queue drops the enqueue, to be retried by a later request).
 	TuneQueueCap int
+
+	// StreamMaxFrames caps the frame count of one /v1/stream body
+	// (default 1024). The body size is already bounded by MaxBodyBytes;
+	// this bounds per-frame bookkeeping.
+	StreamMaxFrames int
+	// RecoveryGrace bounds how long /readyz reports 503 for the
+	// checkpoint-journal backlog found at boot (default 30s). Within the
+	// grace window a worker that restarted with interrupted jobs on disk
+	// stays out of the router's ring until every boot-time entry has been
+	// resumed (or discarded); after it, the worker goes ready regardless,
+	// so a backlog nobody re-submits cannot park the worker forever.
+	// Negative disables the gate.
+	RecoveryGrace time.Duration
+
+	// RouterURL enables fleet worker mode: the server registers with the
+	// ipim-router at this base URL and heartbeats its health state
+	// (ready/backlog/degraded/draining) every HeartbeatInterval. Empty
+	// (the default) is standalone mode.
+	RouterURL string
+	// AdvertiseAddr is the base URL the router should reach this worker
+	// at (required when RouterURL is set), e.g. "http://10.0.0.7:8080".
+	AdvertiseAddr string
+	// HeartbeatInterval is the registration beat period (default 1s).
+	HeartbeatInterval time.Duration
+
+	// ChaosStreamAbortAfterFrames is a chaos knob for the fleet failover
+	// path: the first stream served after boot (or after SetStreamChaos)
+	// aborts its connection mid-stream once this many output frames have
+	// been written, exactly once. 0 disables it.
+	ChaosStreamAbortAfterFrames int
+	// ChaosStreamStallAfterFrames is the process-level variant: the
+	// first stream stalls forever after this many output frames, so an
+	// external harness can SIGKILL the worker at a deterministic point.
+	// 0 disables it.
+	ChaosStreamStallAfterFrames int
 }
 
 func (c *Config) fillDefaults() {
@@ -208,6 +244,15 @@ func (c *Config) fillDefaults() {
 	if c.TuneQueueCap == 0 {
 		c.TuneQueueCap = 16
 	}
+	if c.StreamMaxFrames == 0 {
+		c.StreamMaxFrames = 1024
+	}
+	if c.RecoveryGrace == 0 {
+		c.RecoveryGrace = 30 * time.Second
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = time.Second
+	}
 }
 
 // Server is the HTTP image-processing service. Create with New, mount
@@ -222,12 +267,20 @@ type Server struct {
 	tuner   *tuner // nil when background tuning is disabled
 	mux     *http.ServeMux
 
-	journal *ckptJournal // nil when crash-recovery journaling is disabled
-	backoff *jitter
+	journal  *ckptJournal   // nil when crash-recovery journaling is disabled
+	recovery *recoveryState // nil without a journal; gates /readyz on the boot backlog
+	backoff  *jitter
+
+	heartbeat *heartbeater // nil in standalone mode
 
 	// chaosCrashed tracks job ids that already took their injected
 	// chaos crash, so a chaos run makes progress on the second attempt.
 	chaosCrashed sync.Map
+	// chaosStreamAbort is ChaosStreamAbortAfterFrames, atomic so tests
+	// can re-arm it at runtime (SetStreamChaos); chaosStreamClaimed
+	// makes either stream-chaos knob single-shot.
+	chaosStreamAbort   atomic.Int64
+	chaosStreamClaimed atomic.Bool
 
 	draining chan struct{} // closed when Shutdown begins
 }
@@ -257,6 +310,7 @@ func New(cfg Config) (*Server, error) {
 		mux:      http.NewServeMux(),
 		draining: make(chan struct{}),
 	}
+	s.chaosStreamAbort.Store(int64(cfg.ChaosStreamAbortAfterFrames))
 	if cfg.CheckpointDir != "" {
 		j, err := newCkptJournal(cfg.CheckpointDir)
 		if err != nil {
@@ -265,7 +319,9 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.journal = j
 		s.metrics.journalPending = j.pending
-		if n := j.pending(); n > 0 {
+		s.recovery = newRecoveryState(j.ids(), cfg.RecoveryGrace)
+		s.metrics.recoveryBacklog = s.recovery.backlog
+		if n := s.recovery.backlog(); n > 0 {
 			cfg.Logger.Printf("checkpoint journal: %d interrupted job(s) in %s awaiting resume", n, cfg.CheckpointDir)
 		}
 	}
@@ -297,8 +353,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("/v1/process", s.handleProcess)
+	s.mux.HandleFunc("/v1/stream", s.handleStream)
 	s.mux.HandleFunc("/v1/simb", s.handleSimb)
 	s.mux.HandleFunc("/v1/tune", s.handleTune)
+	if cfg.RouterURL != "" {
+		if err := s.startHeartbeat(); err != nil {
+			p.drain(context.Background())
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -312,6 +375,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	default:
 		close(s.draining)
 	}
+	// With the draining flag up, tell the router before the pool stops:
+	// the final "draining" beat pulls this worker out of the ring so new
+	// keys rehash while queued work finishes.
+	s.heartbeat.stopAndWait()
 	// Cancel any in-flight background tuning first: it is the lowest
 	// priority work and must never hold up the drain.
 	if err := s.tuner.close(); err != nil {
@@ -346,7 +413,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // (unknown paths collapse into one label so cardinality stays fixed).
 func metricsRoute(path string) string {
 	switch path {
-	case "/healthz", "/readyz", "/metrics", "/v1/workloads", "/v1/process", "/v1/simb", "/v1/tune":
+	case "/healthz", "/readyz", "/metrics", "/v1/workloads", "/v1/process", "/v1/stream", "/v1/simb", "/v1/tune":
 		return path
 	}
 	return "other"
@@ -376,6 +443,10 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach its Flusher (the streaming endpoint flushes per frame).
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
 // handleHealthz is pure liveness: it answers 200 as long as the
 // process can serve HTTP at all, draining or not, so orchestrators
 // don't kill a pod that is gracefully finishing its queue. Readiness
@@ -397,6 +468,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if retryAfter, shedding := s.degrade.active(); shedding {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		http.Error(w, "degraded: uncorrected-error rate above threshold", http.StatusServiceUnavailable)
+		return
+	}
+	if n := s.recovery.backlog(); n > 0 {
+		// The checkpoint journal still holds jobs interrupted before the
+		// last restart. Stay out of the balancer until they are replayed
+		// (re-submissions resume them) or the recovery grace expires, so
+		// a router doesn't pile new work onto a worker busy replaying.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("recovering: %d journaled job(s) awaiting resume", n), http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -729,12 +809,12 @@ func (s *Server) planeRun(ctx context.Context, m *ipim.Machine, art *ipim.Artifa
 			// Unusable entry — torn write the CRC caught, or a machine
 			// reconfiguration since it was written. Discard, run fresh.
 			s.cfg.Logger.Printf("checkpoint journal: discarding %s: %v", id, err)
-			s.journal.remove(id)
+			s.journalRemove(id)
 		case m.HasResume():
 			resumed = true
 		default:
 			// An idle checkpoint carries no interrupted run to continue.
-			s.journal.remove(id)
+			s.journalRemove(id)
 		}
 	}
 	opts := budget
@@ -776,8 +856,15 @@ func (s *Server) planeRun(ctx context.Context, m *ipim.Machine, art *ipim.Artifa
 		res.resumed = true
 		s.metrics.observeResume()
 	}
-	s.journal.remove(id)
+	s.journalRemove(id)
 	return out, bins, stats, nil
+}
+
+// journalRemove deletes a job's journal entry and, if the id was part
+// of the boot-time backlog, ticks it off the readiness gate.
+func (s *Server) journalRemove(id string) {
+	s.journal.remove(id)
+	s.recovery.done(id)
 }
 
 // handleSimb runs raw SIMB assembly (POST body) on a pooled machine:

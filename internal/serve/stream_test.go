@@ -1,0 +1,225 @@
+package serve
+
+// /v1/stream contract: a multi-frame body is processed on ONE pooled
+// machine with one compiled artifact, the output frames come back in
+// order and byte-identical to per-frame /v1/process responses, and a
+// mid-stream failure tears the connection down instead of lying with a
+// short 200 body.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ipim"
+	"ipim/internal/pixel"
+)
+
+// streamBody concatenates n synthetic 32x16 PGM frames (seeds 1..n).
+func streamBody(t *testing.T, n int) []byte {
+	return streamBodyDims(t, n, 32, 16)
+}
+
+func streamBodyDims(t *testing.T, n, w, h int) []byte {
+	t.Helper()
+	var body []byte
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		var buf bytes.Buffer
+		if err := ipim.WritePGM(&buf, ipim.Synth(w, h, seed)); err != nil {
+			t.Fatal(err)
+		}
+		body = append(body, buf.Bytes()...)
+	}
+	return body
+}
+
+func streamURL(base, workload, extra string) string {
+	u := base + "/v1/stream?workload=" + workload
+	if extra != "" {
+		u += "&" + extra
+	}
+	return u
+}
+
+// TestStreamMatchesPerFrameProcess: every output frame of a stream is
+// byte-identical to processing that frame alone — the amortization is
+// timing-only, never data — and the stream metrics tick.
+func TestStreamMatchesPerFrameProcess(t *testing.T) {
+	s := testServer(t, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const n = 4
+	body := streamBody(t, n)
+	inFrames, _, _, err := pixel.SplitPGMFrames(body, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(streamURL(ts.URL, "GaussianBlur", ""), "application/x-ipim-frames", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Ipim-Stream-Frames"); got != "4" {
+		t.Errorf("X-Ipim-Stream-Frames = %q, want 4", got)
+	}
+	outFrames, _, _, err := pixel.SplitPGMFrames(out, 0)
+	if err != nil {
+		t.Fatalf("response does not split back into frames: %v", err)
+	}
+	if len(outFrames) != n {
+		t.Fatalf("got %d output frames, want %d", len(outFrames), n)
+	}
+	for i, in := range inFrames {
+		presp, err := http.Post(processURL(ts.URL, "GaussianBlur", ""), "image/x-portable-graymap", bytes.NewReader(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := io.ReadAll(presp.Body)
+		presp.Body.Close()
+		if presp.StatusCode != http.StatusOK {
+			t.Fatalf("process frame %d: status %d: %s", i, presp.StatusCode, want)
+		}
+		if !bytes.Equal(outFrames[i], want) {
+			t.Errorf("stream frame %d differs from its /v1/process response", i)
+		}
+	}
+	if got := scrapeMetric(t, ts.URL, "ipim_streams_total"); got != 1 {
+		t.Errorf("ipim_streams_total = %d, want 1", got)
+	}
+	if got := scrapeMetric(t, ts.URL, "ipim_stream_frames_total"); got != n {
+		t.Errorf("ipim_stream_frames_total = %d, want %d", got, n)
+	}
+	// The whole stream is one artifact: a second identical stream must
+	// be a cache hit.
+	resp2, err := http.Post(streamURL(ts.URL, "GaussianBlur", ""), "application/x-ipim-frames", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Ipim-Cache"); got != "hit" {
+		t.Errorf("second stream X-Ipim-Cache = %q, want hit", got)
+	}
+}
+
+// TestStreamGeometryChange: a workload that changes the output
+// geometry (Downsample halves it) still streams frame-delimited — the
+// consumer re-splits on the OUTPUT geometry.
+func TestStreamGeometryChange(t *testing.T) {
+	s := testServer(t, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Post(streamURL(ts.URL, "Downsample", ""), "application/x-ipim-frames", bytes.NewReader(streamBodyDims(t, 3, 64, 32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	frames, w, h, err := pixel.SplitPGMFrames(out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 || w != 32 || h != 16 {
+		t.Fatalf("output = %d frames of %dx%d, want 3 of 32x16", len(frames), w, h)
+	}
+}
+
+// TestStreamRejects pins the 4xx surface of the endpoint.
+func TestStreamRejects(t *testing.T) {
+	s := testServer(t, func(c *Config) { c.StreamMaxFrames = 2 })
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		url    string
+		body   []byte
+		status int
+		want   string
+	}{
+		{"histogram workload", streamURL(ts.URL, "Histogram", ""), streamBody(t, 1), http.StatusBadRequest, "not streamable"},
+		{"unknown workload", streamURL(ts.URL, "Nope", ""), streamBody(t, 1), http.StatusNotFound, ""},
+		{"garbage body", streamURL(ts.URL, "Brighten", ""), []byte("not frames"), http.StatusBadRequest, "magic"},
+		{"over frame cap", streamURL(ts.URL, "Brighten", ""), streamBody(t, 3), http.StatusBadRequest, "exceeds 2 frames"},
+		{"empty body", streamURL(ts.URL, "Brighten", ""), nil, http.StatusBadRequest, "empty stream"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(tc.url, "application/x-ipim-frames", bytes.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			msg, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.status, msg)
+			}
+			if tc.want != "" && !strings.Contains(string(msg), tc.want) {
+				t.Fatalf("body %q missing %q", msg, tc.want)
+			}
+		})
+	}
+	resp, err := http.Get(streamURL(ts.URL, "Brighten", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestStreamChaosAbortTearsConnection: with the chaos knob armed the
+// stream delivers exactly the configured number of frames and then the
+// connection dies — the client sees a truncated body, never a clean
+// short 200. This is the failure the router's failover consumes.
+func TestStreamChaosAbortTearsConnection(t *testing.T) {
+	s := testServer(t, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	s.SetStreamChaos(2)
+
+	resp, err := http.Post(streamURL(ts.URL, "Brighten", ""), "application/x-ipim-frames", bytes.NewReader(streamBody(t, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, rerr := io.ReadAll(resp.Body)
+	if rerr == nil {
+		t.Fatal("read completed cleanly; want a torn connection")
+	}
+	frames, _, _, err := pixel.SplitPGMFrames(out, 0)
+	if err != nil {
+		t.Fatalf("the frames delivered before the abort must be whole: %v", err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("delivered %d frames before abort, want 2", len(frames))
+	}
+
+	// The knob is single-shot: the next stream runs clean.
+	resp2, err := http.Post(streamURL(ts.URL, "Brighten", ""), "application/x-ipim-frames", bytes.NewReader(streamBody(t, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	out2, rerr := io.ReadAll(resp2.Body)
+	if rerr != nil {
+		t.Fatalf("second stream should be clean: %v", rerr)
+	}
+	if frames, _, _, err := pixel.SplitPGMFrames(out2, 0); err != nil || len(frames) != 4 {
+		t.Fatalf("second stream = %d frames (%v), want 4", len(frames), err)
+	}
+}

@@ -84,6 +84,16 @@ go test . -run '^TestCheckpointResumeDifferential$/^dnn:GEMM' -count=1
 go run ./cmd/ipim-tune -config tiny -W 32 -H 16 -strategy grid -workers 4 -json > /dev/null
 go test ./internal/serve -run '^TestBackgroundTuningSoak$' -count=1
 
+# Fleet smoke: real ipim-router + ipim-serve binaries, one router
+# fronting two workers, a Table II request and a 4-frame stream pushed
+# through the router with the stream's owning worker SIGKILLed
+# mid-stream; asserts the client still got byte-identical frames and
+# that ipim_router_failovers_total moved. The in-process differential
+# gate (TestFleetDifferentialGate) runs under -race in the suite
+# above; this slot keeps the shipped binaries' flag surface and the
+# cross-process splice path from rotting.
+go test ./internal/fleet -run '^TestFleetProcessSmoke$' -count=1
+
 # Fuzz smoke: a short real fuzzing run (not just the seed corpus, which
 # plain `go test` already replays) so the fuzz targets can't bit-rot
 # between PRs. Keep -fuzztime small; this is a build/harness check, not
